@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the computational kernels (supporting data
+//! for the per-benchmark discussion: how expensive is one work unit of each
+//! benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kernels::cray::{render_scanline, Scene};
+use kernels::h264::{encode_sequence, generate_video, VideoParams};
+use kernels::image::ImageRgb;
+use kernels::kmeans::{assign_range, init_centroids};
+use kernels::md5::md5_digest;
+use kernels::rgbcmy::convert_rows;
+use kernels::rotate::rotate_rows;
+use kernels::workload::{clustered_points, md5_buffers, synthetic_rgb_image};
+
+fn bench_cray_scanline(c: &mut Criterion) {
+    let scene = Scene::demo(12);
+    let (w, h) = (128usize, 96usize);
+    let mut row = vec![0u8; 3 * w];
+    c.bench_function("kernel/cray_scanline_128px", |b| {
+        b.iter(|| render_scanline(black_box(&scene), w, h, black_box(48), &mut row))
+    });
+}
+
+fn bench_rotate_band(c: &mut Criterion) {
+    let img = synthetic_rgb_image(256, 192, 1);
+    let mut band = vec![0u8; 3 * 256 * 16];
+    c.bench_function("kernel/rotate_band_256x16", |b| {
+        b.iter(|| rotate_rows(black_box(&img), 0.37, 80..96, &mut band))
+    });
+}
+
+fn bench_rgbcmy_band(c: &mut Criterion) {
+    let img = synthetic_rgb_image(256, 192, 2);
+    let mut band = vec![0u8; 4 * 256 * 16];
+    c.bench_function("kernel/rgbcmy_band_256x16", |b| {
+        b.iter(|| convert_rows(black_box(&img), 80..96, &mut band))
+    });
+}
+
+fn bench_md5_buffer(c: &mut Criterion) {
+    let buffers = md5_buffers(1, 16 * 1024, 3);
+    c.bench_function("kernel/md5_16KiB", |b| {
+        b.iter(|| md5_digest(black_box(&buffers[0])))
+    });
+}
+
+fn bench_kmeans_assign(c: &mut Criterion) {
+    let points = clustered_points(4_096, 8, 8, 4);
+    let centroids = init_centroids(&points, 8, 8);
+    let mut labels = vec![0u32; 4_096];
+    c.bench_function("kernel/kmeans_assign_4096x8d", |b| {
+        b.iter(|| {
+            assign_range(
+                black_box(&points),
+                black_box(&centroids),
+                8,
+                0..4_096,
+                &mut labels,
+            )
+        })
+    });
+}
+
+fn bench_h264_encode_decode(c: &mut Criterion) {
+    let params = VideoParams {
+        width: 64,
+        height: 48,
+        frames: 4,
+        gop: 2,
+        seed: 5,
+    };
+    let video = generate_video(&params);
+    c.bench_function("kernel/h264_encode_4frames_64x48", |b| {
+        b.iter(|| encode_sequence(black_box(&params), black_box(&video)))
+    });
+    let stream = encode_sequence(&params, &video);
+    c.bench_function("kernel/h264_decode_4frames_64x48", |b| {
+        b.iter(|| kernels::h264::decode_sequence(black_box(&stream), 4))
+    });
+}
+
+fn bench_image_checksum(c: &mut Criterion) {
+    let img: ImageRgb = synthetic_rgb_image(256, 192, 9);
+    c.bench_function("kernel/fletcher64_256x192rgb", |b| {
+        b.iter(|| black_box(&img).checksum())
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = kernels_benches;
+    config = configured();
+    targets = bench_cray_scanline, bench_rotate_band, bench_rgbcmy_band, bench_md5_buffer,
+              bench_kmeans_assign, bench_h264_encode_decode, bench_image_checksum
+}
+criterion_main!(kernels_benches);

@@ -1,0 +1,113 @@
+//! Criterion benchmarks of the runtime primitives themselves: task spawn +
+//! dependence-resolution overhead, barrier episode cost (polling vs
+//! blocking), and critical-section cost. These are the overheads the
+//! simulator's machine model parameterises, so measuring them closes the
+//! loop between the real runtime and the scaling model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ompss::{BarrierKind, Runtime, RuntimeConfig, TaskBarrier};
+use threadkit::BlockingBarrier;
+
+fn bench_task_spawn_overhead(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(1));
+    let mut group = c.benchmark_group("runtime/spawn");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    group.bench_function("independent_empty_tasks_x100", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                let d = rt.data(0u64);
+                rt.task().output(&d).spawn(move |ctx| {
+                    *ctx.write(&d) = 1;
+                });
+            }
+            rt.taskwait();
+        })
+    });
+
+    group.bench_function("dependent_chain_x100", |b| {
+        b.iter(|| {
+            let d = rt.data(0u64);
+            for _ in 0..100 {
+                let d = d.clone();
+                rt.task().inout(&d).spawn(move |ctx| {
+                    *ctx.write(&d) += 1;
+                });
+            }
+            rt.taskwait();
+            black_box(rt.into_inner(d))
+        })
+    });
+    group.finish();
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .max(2);
+    let mut group = c.benchmark_group("runtime/barrier");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    group.bench_function(format!("polling_x100_{threads}thr"), |b| {
+        b.iter(|| {
+            let barrier = TaskBarrier::new(threads, BarrierKind::Polling);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let b = barrier.clone();
+                    scope.spawn(move || {
+                        for _ in 0..100 {
+                            b.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    group.bench_function(format!("blocking_x100_{threads}thr"), |b| {
+        b.iter(|| {
+            let barrier = BlockingBarrier::new(threads);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let b = barrier.clone();
+                    scope.spawn(move || {
+                        for _ in 0..100 {
+                            b.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_critical_sections(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(1));
+    let mut group = c.benchmark_group("runtime/critical");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function("uncontended_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc += rt.critical("bench", || black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    runtime_benches,
+    bench_task_spawn_overhead,
+    bench_barriers,
+    bench_critical_sections
+);
+criterion_main!(runtime_benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the full benchmark suite: sequential vs Pthreads
+//! vs OmpSs variant of every Table 1 benchmark, on the host (small inputs).
+//!
+//! These are the host-scale counterparts of Table 1's columns: one group per
+//! benchmark, one function per variant. Absolute numbers depend on the host;
+//! the harness exists so that `cargo bench` regenerates the comparison on
+//! any machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use benchsuite::{run_benchmark, Variant, WorkloadSize};
+use ompss::{Runtime, RuntimeConfig};
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let threads = host_threads();
+    for name in benchsuite::benchmark_names() {
+        let mut group = c.benchmark_group(format!("suite/{name}"));
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(200));
+        group.bench_function(BenchmarkId::new("seq", 1), |b| {
+            b.iter(|| {
+                black_box(run_benchmark(
+                    name,
+                    Variant::Sequential,
+                    1,
+                    WorkloadSize::Small,
+                ))
+            })
+        });
+        group.bench_function(BenchmarkId::new("pthreads", threads), |b| {
+            b.iter(|| {
+                black_box(run_benchmark(
+                    name,
+                    Variant::Pthreads,
+                    threads,
+                    WorkloadSize::Small,
+                ))
+            })
+        });
+        group.bench_function(BenchmarkId::new("ompss", threads), |b| {
+            b.iter(|| {
+                black_box(run_benchmark(
+                    name,
+                    Variant::Ompss,
+                    threads,
+                    WorkloadSize::Small,
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_ompss_runtime_reuse(c: &mut Criterion) {
+    // The runner creates a fresh runtime per run (as `run_benchmark` does);
+    // this group shows the steady-state cost with a reused runtime, which is
+    // how a real application would use it.
+    let threads = host_threads();
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(threads));
+    let mut group = c.benchmark_group("suite/reused_runtime");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let cray_params = benchsuite::benchmarks::cray::Params::small();
+    group.bench_function("c-ray_ompss", |b| {
+        b.iter(|| black_box(benchsuite::benchmarks::cray::run_ompss(&cray_params, &rt)))
+    });
+    let md5_params = benchsuite::benchmarks::md5::Params::small();
+    group.bench_function("md5_ompss", |b| {
+        b.iter(|| black_box(benchsuite::benchmarks::md5::run_ompss(&md5_params, &rt)))
+    });
+    group.finish();
+}
+
+criterion_group!(suite_benches, bench_suite, bench_ompss_runtime_reuse);
+criterion_main!(suite_benches);

@@ -1,0 +1,67 @@
+//! The Section 4 `h264dec` claim: OmpSs needs to group macroblock rows into
+//! coarse tasks to amortise task overhead, and that grouping caps the
+//! exposed parallelism, so the task version stops scaling where the
+//! hand-optimised Pthreads line decoder keeps going.
+//!
+//! The experiment sweeps the `group_rows` granularity knob of the h264dec
+//! pipeline workload on the 32-core machine model and reports the
+//! OmpSs-over-Pthreads speedup per core count, plus the OmpSs self-speedup
+//! (vs its own 1-core time) to show where each granularity saturates.
+
+use simsched::machine::MachineParams;
+use simsched::workloads::{workload, Structure};
+use simsched::{ompss as sim_ompss, pthreads as sim_pthreads};
+
+fn main() {
+    println!("=== Task-granularity ablation (h264dec, Section 4) ===\n");
+    let machine = MachineParams::default();
+    let base = match workload("h264dec").structure {
+        Structure::Pipeline(p) => p,
+        _ => unreachable!("h264dec is a pipeline"),
+    };
+
+    let groupings = [1usize, 2, 5, 10, 20, base.mb_rows];
+    println!("OmpSs-over-Pthreads speedup by reconstruction task granularity (rows per task):");
+    print!("{:<10}", "cores");
+    for g in groupings {
+        print!("{:>10}", format!("{g} rows"));
+    }
+    println!("{:>12}", "pthreads 1x");
+    for cores in simsched::PAPER_CORE_COUNTS {
+        print!("{cores:<10}");
+        let pth = sim_pthreads::pipeline_time_ns(&base, cores, &machine);
+        for g in groupings {
+            let mut shape = base;
+            shape.group_rows = g;
+            let omp = sim_ompss::pipeline_time_ns(&shape, cores, &machine);
+            print!("{:>10.2}", pth as f64 / omp as f64);
+        }
+        let pth1 = sim_pthreads::pipeline_time_ns(&base, 1, &machine);
+        println!("{:>12.2}", pth1 as f64 / pth as f64);
+    }
+
+    println!("\nOmpSs self-speedup (vs its own single-core time):");
+    print!("{:<10}", "cores");
+    for g in groupings {
+        print!("{:>10}", format!("{g} rows"));
+    }
+    println!();
+    for cores in simsched::PAPER_CORE_COUNTS {
+        print!("{cores:<10}");
+        for g in groupings {
+            let mut shape = base;
+            shape.group_rows = g;
+            let t1 = sim_ompss::pipeline_time_ns(&shape, 1, &machine);
+            let tc = sim_ompss::pipeline_time_ns(&shape, cores, &machine);
+            print!("{:>10.2}", t1 as f64 / tc as f64);
+        }
+        println!();
+    }
+
+    println!(
+        "\nFine tasks (1-2 rows) pay task-management overhead at low core counts;\n\
+         coarse tasks (whole frames) stop scaling early. The default grouping is a\n\
+         compromise — and it still saturates well below the Pthreads line decoder\n\
+         at 24 and 32 cores, which is exactly the pattern in Table 1."
+    );
+}

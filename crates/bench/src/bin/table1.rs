@@ -1,0 +1,88 @@
+//! Regenerate Table 1 of the paper.
+//!
+//! Default mode: run both runtime models (OmpSs task runtime, Pthreads SPMD)
+//! through the `simsched` simulator on the paper's 32-core machine model and
+//! print the speedup table next to the published values.
+//!
+//! `--real [threads ...]`: additionally run the *real* benchmark
+//! implementations (small size unless `--large`) on the host at the given
+//! worker counts and print measured speedups. On a small host this exercises
+//! the actual runtimes but cannot reach the paper's core counts — that is
+//! what the simulator is for.
+
+use benchsuite::WorkloadSize;
+use simsched::{paper_table1, simulate_table1, MachineParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let real = args.iter().any(|a| a == "--real");
+    let large = args.iter().any(|a| a == "--large");
+
+    let machine = MachineParams::default();
+    let simulated = simulate_table1(&machine);
+    let paper = paper_table1();
+
+    println!(
+        "{}",
+        simulated.render("=== Table 1 (simulated on the 32-core machine model) ===")
+    );
+    println!(
+        "{}",
+        paper.render("=== Table 1 (values published in the paper) ===")
+    );
+
+    println!("=== Shape comparison (simulated vs paper, per-benchmark means) ===");
+    println!("{:<16}{:>12}{:>12}", "Benchmark", "simulated", "paper");
+    for row in &simulated.rows {
+        let paper_mean = paper.row(&row.name).map(|r| r.mean()).unwrap_or(f64::NAN);
+        println!("{:<16}{:>12.2}{:>12.2}", row.name, row.mean(), paper_mean);
+    }
+    println!(
+        "{:<16}{:>12.2}{:>12.2}",
+        "overall",
+        simulated.overall_mean(),
+        paper.overall_mean()
+    );
+
+    if real {
+        let threads: Vec<usize> = args
+            .iter()
+            .skip_while(|a| *a != "--real")
+            .skip(1)
+            .take_while(|a| !a.starts_with("--"))
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        let threads = if threads.is_empty() {
+            vec![std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)]
+        } else {
+            threads
+        };
+        let size = if large {
+            WorkloadSize::Large
+        } else {
+            WorkloadSize::Small
+        };
+        println!("\n=== Measured on this host (Pthreads time / OmpSs time) ===");
+        print!("{:<16}", "Benchmark");
+        for t in &threads {
+            print!("{:>10}", format!("{t} thr"));
+        }
+        println!();
+        let mut all = Vec::new();
+        for name in benchsuite::benchmark_names() {
+            print!("{name:<16}");
+            for &t in &threads {
+                let (_p, _o, s) = bench_harness::measure_speedup(name, t, size);
+                print!("{s:>10.2}");
+                all.push(s);
+            }
+            println!();
+        }
+        println!(
+            "geometric mean over all measured cells: {:.2}",
+            bench_harness::geometric_mean(&all)
+        );
+    }
+}

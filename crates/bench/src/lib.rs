@@ -1,0 +1,82 @@
+//! # bench-harness — regenerating the paper's table and claims
+//!
+//! Shared helpers for the harness binaries:
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 (OmpSs-over-Pthreads speedups per benchmark and core count), simulated on the 32-core machine model and optionally measured on the host |
+//! | `pipeline_study` | the Section 3 case study: the Listing-1 pipelined decoder, its task graph statistics and its output correctness |
+//! | `barrier_ablation` | the Section 4 `rgbcmy` claim: polling task barrier vs blocking thread barrier |
+//! | `locality_ablation` | the Section 4 `ray-rot` claim: locality-aware scheduling of dependent tasks |
+//! | `granularity_ablation` | the Section 4 `h264dec` claim: task-grouping granularity vs exposed parallelism |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Duration;
+
+use benchsuite::{run_benchmark, Variant, WorkloadSize};
+
+/// Geometric mean of positive values (0 for an empty slice).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    simsched::table1::geometric_mean(values)
+}
+
+/// Measured OmpSs-over-Pthreads speedup of one benchmark on the host, with
+/// the given worker count and problem size. Returns
+/// `(pthreads_time, ompss_time, speedup)`.
+pub fn measure_speedup(
+    name: &str,
+    threads: usize,
+    size: WorkloadSize,
+) -> (Duration, Duration, f64) {
+    let pthreads = run_benchmark(name, Variant::Pthreads, threads, size);
+    let ompss = run_benchmark(name, Variant::Ompss, threads, size);
+    let speedup = pthreads.duration.as_secs_f64() / ompss.duration.as_secs_f64().max(1e-9);
+    (pthreads.duration, ompss.duration, speedup)
+}
+
+/// Render a simple aligned table of (label, values-per-column).
+pub fn render_rows(header: &[String], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16}", ""));
+    for h in header {
+        out.push_str(&format!("{h:>10}"));
+    }
+    out.push('\n');
+    for (label, values) in rows {
+        out.push_str(&format!("{label:<16}"));
+        for v in values {
+            out.push_str(&format!("{v:>10.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_rows_formats_all_cells() {
+        let s = render_rows(
+            &["a".into(), "b".into()],
+            &[
+                ("row1".into(), vec![1.0, 2.5]),
+                ("row2".into(), vec![0.5, 3.0]),
+            ],
+        );
+        assert!(s.contains("row1"));
+        assert!(s.contains("2.500"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn measure_speedup_runs_a_small_benchmark() {
+        let (p, o, s) = measure_speedup("md5", 2, WorkloadSize::Small);
+        assert!(p > Duration::ZERO);
+        assert!(o > Duration::ZERO);
+        assert!(s > 0.0);
+    }
+}

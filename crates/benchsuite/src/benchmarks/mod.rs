@@ -1,0 +1,18 @@
+//! One module per benchmark of Table 1.
+//!
+//! Every module exposes a `Params` type (with `small()` for tests and
+//! `large()` for timing runs), plus `run_seq`, `run_pthreads` and
+//! `run_ompss` functions that return a checksum of the benchmark's output,
+//! so that the three variants can be verified to compute exactly the same
+//! thing.
+
+pub mod bodytrack;
+pub mod cray;
+pub mod h264dec;
+pub mod kmeans;
+pub mod md5;
+pub mod rayrot;
+pub mod rgbcmy;
+pub mod rotate;
+pub mod rotcc;
+pub mod streamcluster;

@@ -1,0 +1,31 @@
+//! # benchsuite — the paper's 10-benchmark suite, three variants each
+//!
+//! For every benchmark of Table 1 this crate provides three implementations
+//! that perform bit-identical computations (verified by checksums):
+//!
+//! * **sequential** — a plain loop over the kernel functions from the
+//!   `kernels` crate;
+//! * **pthreads** — manual threading in the style of the paper's POSIX
+//!   threads variants, built from the `threadkit` substrate (thread teams,
+//!   blocking barriers, static partitioning, bounded-queue pipelines);
+//! * **ompss** — task annotations in the style of the paper's OmpSs
+//!   variants, built on the `ompss` runtime (`input`/`output`/`inout`
+//!   clauses, `taskwait`, `taskwait_on`, renaming rings, critical sections).
+//!
+//! Both parallel variants of a benchmark exploit *the same parallelism*
+//! (same work units, same phase structure), mirroring the paper's
+//! methodology; only the way that parallelism is expressed and scheduled
+//! differs.
+//!
+//! [`runner`] provides a uniform entry point used by the examples, the
+//! integration tests and the benchmark harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod benchmarks;
+pub mod runner;
+
+pub use runner::{
+    benchmark_names, run_benchmark, verify_benchmark, RunResult, Variant, WorkloadSize,
+};

@@ -1,0 +1,230 @@
+//! Access declarations and dependence classification.
+//!
+//! OmpSs tasks declare, per argument, whether they read (`input`), write
+//! (`output`), or read-and-write (`inout`) the argument's memory. From pairs
+//! of such declarations on overlapping regions the runtime derives the
+//! classical dependence kinds:
+//!
+//! * read-after-write (**RAW**, true dependence),
+//! * write-after-read (**WAR**, anti dependence),
+//! * write-after-write (**WAW**, output dependence).
+//!
+//! The paper stresses that OmpSs performs *no automatic renaming*: WAR and
+//! WAW hazards serialise tasks unless the programmer renames buffers manually
+//! (the circular-buffer pattern of Listing 1, provided here by
+//! [`crate::pipeline::RenameRing`]).
+
+use crate::region::Region;
+
+/// The kind of access a task declares on a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// `input(x)` — the task only reads the region.
+    Input,
+    /// `output(x)` — the task overwrites the region without reading it.
+    Output,
+    /// `inout(x)` — the task reads and writes the region.
+    InOut,
+    /// `concurrent(x)` — the task updates the region commutatively;
+    /// concurrent tasks with `Concurrent` access to the same region may run
+    /// in parallel with each other (they must protect the actual update with
+    /// a critical section or atomic op), but are still ordered against
+    /// ordinary readers and writers.
+    Concurrent,
+}
+
+impl AccessKind {
+    /// Does this access read the previous contents of the region?
+    pub fn reads(self) -> bool {
+        matches!(self, AccessKind::Input | AccessKind::InOut | AccessKind::Concurrent)
+    }
+
+    /// Does this access (potentially) modify the region?
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Output | AccessKind::InOut | AccessKind::Concurrent)
+    }
+
+    /// Whether the task body is allowed to obtain a mutable guard for data
+    /// declared with this access kind.
+    pub fn allows_mutation(self) -> bool {
+        self.writes()
+    }
+}
+
+/// A single declared access: a region plus how it is accessed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// The region being accessed.
+    pub region: Region,
+    /// How the region is accessed.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Construct an access.
+    pub fn new(region: Region, kind: AccessKind) -> Self {
+        Access { region, kind }
+    }
+}
+
+/// The dependence classes that can arise between an earlier and a later
+/// access to overlapping regions (in program/spawn order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dependence {
+    /// Later task reads data produced by the earlier task.
+    ReadAfterWrite,
+    /// Later task overwrites data the earlier task reads.
+    WriteAfterRead,
+    /// Later task overwrites data the earlier task writes.
+    WriteAfterWrite,
+    /// Both accesses are commutative (`concurrent`) updates: no ordering is
+    /// required between them.
+    None,
+}
+
+impl Dependence {
+    /// Whether this dependence requires the later task to wait for the
+    /// earlier one.
+    pub fn orders(self) -> bool {
+        !matches!(self, Dependence::None)
+    }
+}
+
+/// Classify the dependence from an earlier access to a later access, assuming
+/// their regions overlap. Returns [`Dependence::None`] when no ordering is
+/// required (read-read, or concurrent-concurrent).
+pub fn classify(earlier: AccessKind, later: AccessKind) -> Dependence {
+    use AccessKind::*;
+    match (earlier, later) {
+        // Two commutative updates may reorder freely.
+        (Concurrent, Concurrent) => Dependence::None,
+        // Plain readers never conflict with each other.
+        (Input, Input) => Dependence::None,
+        // The later access writes.
+        (e, l) if l.writes() => {
+            if e.writes() {
+                Dependence::WriteAfterWrite
+            } else {
+                Dependence::WriteAfterRead
+            }
+        }
+        // The later access only reads; it depends on earlier writes.
+        (e, _l) if e.writes() => Dependence::ReadAfterWrite,
+        _ => Dependence::None,
+    }
+}
+
+/// Whether two accesses on overlapping regions require ordering at all.
+pub fn conflicts(earlier: AccessKind, later: AccessKind) -> bool {
+    classify(earlier, later).orders()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::AllocId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Input.reads());
+        assert!(!AccessKind::Input.writes());
+        assert!(!AccessKind::Output.reads());
+        assert!(AccessKind::Output.writes());
+        assert!(AccessKind::InOut.reads() && AccessKind::InOut.writes());
+        assert!(AccessKind::Concurrent.reads() && AccessKind::Concurrent.writes());
+        assert!(!AccessKind::Input.allows_mutation());
+        assert!(AccessKind::Output.allows_mutation());
+    }
+
+    #[test]
+    fn classify_raw() {
+        assert_eq!(
+            classify(AccessKind::Output, AccessKind::Input),
+            Dependence::ReadAfterWrite
+        );
+        assert_eq!(
+            classify(AccessKind::InOut, AccessKind::Input),
+            Dependence::ReadAfterWrite
+        );
+    }
+
+    #[test]
+    fn classify_war_and_waw() {
+        assert_eq!(
+            classify(AccessKind::Input, AccessKind::Output),
+            Dependence::WriteAfterRead
+        );
+        assert_eq!(
+            classify(AccessKind::Output, AccessKind::Output),
+            Dependence::WriteAfterWrite
+        );
+        assert_eq!(
+            classify(AccessKind::InOut, AccessKind::InOut),
+            Dependence::WriteAfterWrite
+        );
+    }
+
+    #[test]
+    fn classify_non_conflicting() {
+        assert_eq!(classify(AccessKind::Input, AccessKind::Input), Dependence::None);
+        assert_eq!(
+            classify(AccessKind::Concurrent, AccessKind::Concurrent),
+            Dependence::None
+        );
+    }
+
+    #[test]
+    fn concurrent_orders_against_plain_accesses() {
+        assert!(conflicts(AccessKind::Concurrent, AccessKind::Input));
+        assert!(conflicts(AccessKind::Input, AccessKind::Concurrent));
+        assert!(conflicts(AccessKind::Concurrent, AccessKind::Output));
+        assert!(conflicts(AccessKind::Output, AccessKind::Concurrent));
+    }
+
+    #[test]
+    fn access_new_keeps_fields() {
+        let r = Region::new(AllocId(1), 0, 0..8);
+        let a = Access::new(r.clone(), AccessKind::InOut);
+        assert_eq!(a.region, r);
+        assert_eq!(a.kind, AccessKind::InOut);
+    }
+
+    fn any_kind() -> impl Strategy<Value = AccessKind> {
+        prop_oneof![
+            Just(AccessKind::Input),
+            Just(AccessKind::Output),
+            Just(AccessKind::InOut),
+            Just(AccessKind::Concurrent),
+        ]
+    }
+
+    proptest! {
+        /// A pair of accesses needs ordering exactly when at least one of
+        /// them writes, except for the commutative concurrent-concurrent
+        /// pair.
+        #[test]
+        fn prop_conflict_iff_writer_involved(e in any_kind(), l in any_kind()) {
+            let expected = (e.writes() || l.writes())
+                && !(e == AccessKind::Concurrent && l == AccessKind::Concurrent);
+            prop_assert_eq!(conflicts(e, l), expected);
+        }
+
+        /// Classification is exhaustive: every pair maps to exactly one
+        /// dependence kind, and `orders()` matches `conflicts()`.
+        #[test]
+        fn prop_classify_consistent(e in any_kind(), l in any_kind()) {
+            let d = classify(e, l);
+            prop_assert_eq!(d.orders(), conflicts(e, l));
+            if d == Dependence::ReadAfterWrite {
+                prop_assert!(e.writes() && l.reads());
+            }
+            if d == Dependence::WriteAfterRead {
+                prop_assert!(l.writes() && !e.writes());
+            }
+            if d == Dependence::WriteAfterWrite {
+                prop_assert!(e.writes() && l.writes());
+            }
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! Runtime dependence analysis and the task graph.
+//!
+//! This module is the OmpSs "superscalar" piece: just like an out-of-order
+//! processor renames and tracks register dependences between in-flight
+//! instructions, the tracker here records, per memory region, which in-flight
+//! tasks last wrote it and which have read it since, and derives the
+//! dependence edges of every newly spawned task from its declared accesses.
+//!
+//! The rules implemented (for a *later* task L registering after an *earlier*
+//! task E, on overlapping regions):
+//!
+//! * L reads (`input`): L depends on E if E writes (RAW) — including
+//!   `concurrent` writers.
+//! * L writes (`output`/`inout`): L depends on every earlier reader (WAR) and
+//!   writer (WAW).
+//! * L is `concurrent`: L depends on earlier plain writers and readers, but
+//!   **not** on earlier `concurrent` accesses (commutative updates may
+//!   reorder among themselves).
+//!
+//! There is **no automatic renaming** — WAR/WAW edges serialise tasks, which
+//! is exactly the behaviour the paper works around with circular buffers in
+//! the H.264 pipeline (Listing 1).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::access::AccessKind;
+use crate::region::{AllocId, Region, RegionId};
+use crate::task::{TaskNode, TaskState};
+
+/// Per-region bookkeeping of in-flight accesses.
+#[derive(Default)]
+struct RegionEntry {
+    /// The byte range this region id refers to (recorded on first sight).
+    region: Option<Region>,
+    /// Tasks forming the last "writer generation".
+    writers: Vec<Arc<TaskNode>>,
+    /// Tasks that have read the region since the last writer generation.
+    readers: Vec<Arc<TaskNode>>,
+    /// Tasks with `concurrent` access since the last plain writer.
+    concurrent: Vec<Arc<TaskNode>>,
+}
+
+/// The dependence tracker: maps regions to their in-flight access history and
+/// knows which registered regions of an allocation overlap which.
+#[derive(Default)]
+pub(crate) struct DependencyTracker {
+    entries: HashMap<RegionId, RegionEntry>,
+    /// All region ids ever registered per allocation, used for overlap scans.
+    by_alloc: HashMap<AllocId, Vec<RegionId>>,
+}
+
+/// Result of registering a task with the tracker.
+pub(crate) struct Registration {
+    /// Number of predecessor edges actually added (predecessors that had not
+    /// yet completed).
+    pub edges: usize,
+    /// Number of distinct in-flight predecessors considered (completed or
+    /// not) — useful for statistics and asserted on in tests.
+    #[allow(dead_code)]
+    pub predecessors_seen: usize,
+}
+
+impl DependencyTracker {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the declared accesses of `node`, adding dependence edges from
+    /// every conflicting in-flight task, and updating the per-region history
+    /// so that future tasks depend on `node` where required.
+    pub(crate) fn register(&mut self, node: &Arc<TaskNode>) -> Registration {
+        let mut preds: Vec<Arc<TaskNode>> = Vec::new();
+        let mut seen_pred_ids: Vec<crate::task::TaskId> = Vec::new();
+
+        // Pass 1: collect predecessors from every overlapping region entry.
+        for access in node.accesses.iter() {
+            let overlapping = self.overlapping_ids(&access.region);
+            for rid in overlapping {
+                let entry = match self.entries.get(&rid) {
+                    Some(e) => e,
+                    None => continue,
+                };
+                let later = access.kind;
+                // Earlier writers always order later readers and writers.
+                for w in &entry.writers {
+                    push_pred(&mut preds, &mut seen_pred_ids, w);
+                }
+                match later {
+                    AccessKind::Input => {
+                        // RAW only; concurrent accumulators count as writers.
+                        for c in &entry.concurrent {
+                            push_pred(&mut preds, &mut seen_pred_ids, c);
+                        }
+                    }
+                    AccessKind::Output | AccessKind::InOut => {
+                        for r in &entry.readers {
+                            push_pred(&mut preds, &mut seen_pred_ids, r);
+                        }
+                        for c in &entry.concurrent {
+                            push_pred(&mut preds, &mut seen_pred_ids, c);
+                        }
+                    }
+                    AccessKind::Concurrent => {
+                        // Order against plain readers, not against other
+                        // concurrent accesses.
+                        for r in &entry.readers {
+                            push_pred(&mut preds, &mut seen_pred_ids, r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: add the edges.
+        let mut edges = 0usize;
+        for pred in &preds {
+            if pred.id == node.id {
+                continue;
+            }
+            if add_edge(pred, node) {
+                edges += 1;
+            }
+        }
+        node.in_edges.store(edges, Ordering::Relaxed);
+
+        // Pass 3: update the history on the *exact* region entries.
+        for access in node.accesses.iter() {
+            let rid = access.region.id;
+            self.by_alloc
+                .entry(rid.alloc)
+                .or_default()
+                .retain(|r| *r != rid);
+            self.by_alloc.entry(rid.alloc).or_default().push(rid);
+            let entry = self.entries.entry(rid).or_default();
+            if entry.region.is_none() {
+                entry.region = Some(access.region.clone());
+            }
+            match access.kind {
+                AccessKind::Input => entry.readers.push(node.clone()),
+                AccessKind::Output | AccessKind::InOut => {
+                    entry.writers.clear();
+                    entry.writers.push(node.clone());
+                    entry.readers.clear();
+                    entry.concurrent.clear();
+                }
+                AccessKind::Concurrent => entry.concurrent.push(node.clone()),
+            }
+        }
+
+        Registration {
+            edges,
+            predecessors_seen: preds.len(),
+        }
+    }
+
+    /// All in-flight tasks that currently access a region overlapping
+    /// `region` (used by `taskwait on`).
+    pub(crate) fn tasks_touching(&self, region: &Region) -> Vec<Arc<TaskNode>> {
+        let mut out: Vec<Arc<TaskNode>> = Vec::new();
+        let mut seen: Vec<crate::task::TaskId> = Vec::new();
+        for rid in self.overlapping_ids(region) {
+            if let Some(entry) = self.entries.get(&rid) {
+                for t in entry
+                    .writers
+                    .iter()
+                    .chain(entry.readers.iter())
+                    .chain(entry.concurrent.iter())
+                {
+                    if !t.is_completed() {
+                        push_pred(&mut out, &mut seen, t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop history entries whose every referenced task has completed.
+    /// Called opportunistically to bound memory on long-running programs.
+    pub(crate) fn garbage_collect(&mut self) {
+        self.entries.retain(|_, e| {
+            e.writers.retain(|t| !t.is_completed());
+            e.readers.retain(|t| !t.is_completed());
+            e.concurrent.retain(|t| !t.is_completed());
+            !(e.writers.is_empty() && e.readers.is_empty() && e.concurrent.is_empty())
+        });
+        let live: Vec<RegionId> = self.entries.keys().copied().collect();
+        for (_, ids) in self.by_alloc.iter_mut() {
+            ids.retain(|r| live.contains(r));
+        }
+        self.by_alloc.retain(|_, ids| !ids.is_empty());
+    }
+
+    /// Number of regions currently tracked (diagnostics; exercised by unit
+    /// tests).
+    #[allow(dead_code)]
+    pub(crate) fn tracked_regions(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn overlapping_ids(&self, region: &Region) -> Vec<RegionId> {
+        let mut out = Vec::new();
+        if let Some(ids) = self.by_alloc.get(&region.id.alloc) {
+            for rid in ids {
+                if let Some(entry) = self.entries.get(rid) {
+                    if let Some(r) = &entry.region {
+                        if r.overlaps(region) {
+                            out.push(*rid);
+                        }
+                    }
+                }
+            }
+        }
+        // The exact region id may not be recorded yet; that is fine — no
+        // history means no predecessors.
+        out
+    }
+}
+
+fn push_pred(
+    preds: &mut Vec<Arc<TaskNode>>,
+    seen: &mut Vec<crate::task::TaskId>,
+    t: &Arc<TaskNode>,
+) {
+    if !seen.contains(&t.id) {
+        seen.push(t.id);
+        preds.push(t.clone());
+    }
+}
+
+/// Add a dependence edge `pred -> succ`. Returns `false` (and adds nothing)
+/// if `pred` already completed.
+pub(crate) fn add_edge(pred: &Arc<TaskNode>, succ: &Arc<TaskNode>) -> bool {
+    let mut links = pred.links.lock();
+    if links.completed {
+        return false;
+    }
+    links.successors.push(succ.clone());
+    succ.pending.fetch_add(1, Ordering::SeqCst);
+    true
+}
+
+/// Release the registration sentinel of a freshly registered task. Returns
+/// `true` if the task became ready (no unresolved predecessors).
+pub(crate) fn finish_registration(node: &Arc<TaskNode>) -> bool {
+    let prev = node.pending.fetch_sub(1, Ordering::SeqCst);
+    debug_assert!(prev >= 1);
+    let ready = prev == 1;
+    if ready {
+        node.set_state(TaskState::Ready);
+    }
+    ready
+}
+
+/// Mark `node` completed and notify its successors. Returns the successors
+/// that became ready as a result.
+pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
+    node.set_state(TaskState::Completed);
+    let successors = {
+        let mut links = node.links.lock();
+        links.completed = true;
+        std::mem::take(&mut links.successors)
+    };
+    let mut ready = Vec::new();
+    for succ in successors {
+        let prev = succ.pending.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev >= 1);
+        if prev == 1 {
+            succ.set_state(TaskState::Ready);
+            ready.push(succ);
+        }
+    }
+    ready
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, AccessKind};
+    use crate::region::AllocId;
+    use crate::task::{ChildTracker, TaskPriority};
+    use proptest::prelude::*;
+
+    fn node_with(accesses: Vec<Access>) -> Arc<TaskNode> {
+        TaskNode::new(
+            None,
+            TaskPriority::default(),
+            Arc::from(accesses.into_boxed_slice()),
+            Box::new(|_ctx| {}),
+            ChildTracker::new(),
+        )
+    }
+
+    fn region(alloc: u64, chunk: u32, range: std::ops::Range<usize>) -> Region {
+        Region::new(AllocId(alloc), chunk, range)
+    }
+
+    fn acc(alloc: u64, chunk: u32, range: std::ops::Range<usize>, kind: AccessKind) -> Access {
+        Access::new(region(alloc, chunk, range), kind)
+    }
+
+    /// Drain a node as if it executed (without a runtime).
+    fn finish(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
+        complete(node)
+    }
+
+    #[test]
+    fn raw_dependence_creates_edge() {
+        let mut tr = DependencyTracker::new();
+        let producer = node_with(vec![acc(1, 0, 0..100, AccessKind::Output)]);
+        let consumer = node_with(vec![acc(1, 0, 0..100, AccessKind::Input)]);
+
+        let r1 = tr.register(&producer);
+        assert_eq!(r1.edges, 0);
+        assert!(finish_registration(&producer));
+
+        let r2 = tr.register(&consumer);
+        assert_eq!(r2.edges, 1);
+        assert!(!finish_registration(&consumer));
+        assert_eq!(consumer.task_state(), TaskState::WaitingDeps);
+
+        let ready = finish(&producer);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].id, consumer.id);
+        assert_eq!(consumer.task_state(), TaskState::Ready);
+    }
+
+    #[test]
+    fn war_and_waw_serialise_without_renaming() {
+        let mut tr = DependencyTracker::new();
+        let reader = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        let writer1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let writer2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+
+        tr.register(&reader);
+        finish_registration(&reader);
+        let r_w1 = tr.register(&writer1);
+        // WAR edge from reader.
+        assert_eq!(r_w1.edges, 1);
+        finish_registration(&writer1);
+        let r_w2 = tr.register(&writer2);
+        // WAW edge from writer1 only (reader history cleared by writer1).
+        assert_eq!(r_w2.edges, 1);
+        finish_registration(&writer2);
+
+        assert!(finish(&reader).iter().any(|t| t.id == writer1.id));
+        assert!(finish(&writer1).iter().any(|t| t.id == writer2.id));
+    }
+
+    #[test]
+    fn independent_regions_do_not_serialise() {
+        let mut tr = DependencyTracker::new();
+        let a = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let b = node_with(vec![acc(1, 1, 10..20, AccessKind::Output)]);
+        let c = node_with(vec![acc(2, 0, 0..10, AccessKind::Output)]);
+        tr.register(&a);
+        tr.register(&b);
+        tr.register(&c);
+        assert!(finish_registration(&a));
+        assert!(finish_registration(&b));
+        assert!(finish_registration(&c));
+    }
+
+    #[test]
+    fn readers_do_not_serialise_with_each_other() {
+        let mut tr = DependencyTracker::new();
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let r1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        let r2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        tr.register(&w);
+        finish_registration(&w);
+        let e1 = tr.register(&r1);
+        let e2 = tr.register(&r2);
+        assert_eq!(e1.edges, 1);
+        assert_eq!(e2.edges, 1);
+        finish_registration(&r1);
+        finish_registration(&r2);
+        let ready = finish(&w);
+        assert_eq!(ready.len(), 2, "both readers become ready together");
+    }
+
+    #[test]
+    fn concurrent_accesses_commute_but_order_against_writers() {
+        let mut tr = DependencyTracker::new();
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let c1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Concurrent)]);
+        let c2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Concurrent)]);
+        let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+
+        tr.register(&w);
+        finish_registration(&w);
+        let e1 = tr.register(&c1);
+        let e2 = tr.register(&c2);
+        assert_eq!(e1.edges, 1, "concurrent waits for plain writer");
+        assert_eq!(e2.edges, 1, "concurrent does not wait for other concurrent");
+        let er = tr.register(&r);
+        assert_eq!(er.edges, 3, "reader waits for writer and both accumulators");
+        finish_registration(&c1);
+        finish_registration(&c2);
+        finish_registration(&r);
+    }
+
+    #[test]
+    fn overlapping_chunk_and_whole_regions_serialise() {
+        let mut tr = DependencyTracker::new();
+        // Whole-array write, then chunk write, then whole read.
+        let whole_w = node_with(vec![acc(1, 0, 0..100, AccessKind::Output)]);
+        let chunk_w = node_with(vec![acc(1, 3, 20..30, AccessKind::Output)]);
+        let whole_r = node_with(vec![acc(1, 0, 0..100, AccessKind::Input)]);
+        tr.register(&whole_w);
+        finish_registration(&whole_w);
+        let e_chunk = tr.register(&chunk_w);
+        assert_eq!(e_chunk.edges, 1, "chunk write depends on whole write (WAW)");
+        finish_registration(&chunk_w);
+        let e_read = tr.register(&whole_r);
+        assert_eq!(
+            e_read.edges, 2,
+            "whole read depends on both the whole write and the chunk write"
+        );
+        finish_registration(&whole_r);
+    }
+
+    #[test]
+    fn disjoint_chunk_writes_to_same_alloc_run_in_parallel() {
+        let mut tr = DependencyTracker::new();
+        let chunks: Vec<_> = (0..8u32)
+            .map(|i| {
+                node_with(vec![acc(
+                    5,
+                    i + 1,
+                    (i as usize) * 10..(i as usize + 1) * 10,
+                    AccessKind::Output,
+                )])
+            })
+            .collect();
+        for c in &chunks {
+            tr.register(c);
+            assert!(finish_registration(c), "chunk writes must be independent");
+        }
+    }
+
+    #[test]
+    fn completed_predecessors_do_not_create_edges() {
+        let mut tr = DependencyTracker::new();
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w);
+        finish_registration(&w);
+        finish(&w); // completes before the consumer is spawned
+        let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        let reg = tr.register(&r);
+        assert_eq!(reg.edges, 0);
+        assert_eq!(reg.predecessors_seen, 1);
+        assert!(finish_registration(&r));
+    }
+
+    #[test]
+    fn taskwait_on_lists_only_incomplete_tasks() {
+        let mut tr = DependencyTracker::new();
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        tr.register(&w);
+        finish_registration(&w);
+        tr.register(&r);
+        finish_registration(&r);
+        let touching = tr.tasks_touching(&region(1, 9, 0..5));
+        assert_eq!(touching.len(), 2);
+        finish(&w);
+        let touching = tr.tasks_touching(&region(1, 9, 0..5));
+        assert_eq!(touching.len(), 1);
+        assert_eq!(touching[0].id, r.id);
+        // A non-overlapping range sees nothing.
+        assert!(tr.tasks_touching(&region(1, 9, 50..60)).is_empty());
+        assert!(tr.tasks_touching(&region(2, 0, 0..10)).is_empty());
+    }
+
+    #[test]
+    fn garbage_collect_drops_dead_entries() {
+        let mut tr = DependencyTracker::new();
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let w2 = node_with(vec![acc(2, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w);
+        tr.register(&w2);
+        finish_registration(&w);
+        finish_registration(&w2);
+        assert_eq!(tr.tracked_regions(), 2);
+        finish(&w);
+        tr.garbage_collect();
+        assert_eq!(tr.tracked_regions(), 1);
+        finish(&w2);
+        tr.garbage_collect();
+        assert_eq!(tr.tracked_regions(), 0);
+    }
+
+    #[test]
+    fn self_dependence_is_ignored() {
+        let mut tr = DependencyTracker::new();
+        // A task that both reads and writes the same region through two
+        // accesses must not depend on itself.
+        let n = node_with(vec![
+            acc(1, 0, 0..10, AccessKind::Input),
+            acc(1, 0, 0..10, AccessKind::Output),
+        ]);
+        let reg = tr.register(&n);
+        assert_eq!(reg.edges, 0);
+        assert!(finish_registration(&n));
+    }
+
+    #[test]
+    fn add_edge_refuses_completed_pred() {
+        let a = node_with(vec![]);
+        let b = node_with(vec![]);
+        finish_registration(&a);
+        complete(&a);
+        assert!(!add_edge(&a, &b));
+        assert!(finish_registration(&b));
+    }
+
+    /// Simulate executing every registered task in dependence order and check
+    /// liveness: every task eventually becomes ready and runs exactly once.
+    fn run_to_completion(nodes: Vec<Arc<TaskNode>>, initially_ready: Vec<Arc<TaskNode>>) {
+        use std::collections::VecDeque;
+        let mut ready: VecDeque<_> = initially_ready.into();
+        let mut executed = 0usize;
+        while let Some(n) = ready.pop_front() {
+            executed += 1;
+            for r in complete(&n) {
+                ready.push_back(r);
+            }
+        }
+        assert_eq!(executed, nodes.len(), "every task must execute exactly once");
+        for n in &nodes {
+            assert!(n.is_completed());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random access patterns over a handful of regions always produce an
+        /// acyclic graph in which every task eventually runs (liveness), and
+        /// tasks writing the same region are totally ordered.
+        #[test]
+        fn prop_random_graphs_are_live(
+            specs in proptest::collection::vec(
+                (0u32..4, prop_oneof![
+                    Just(AccessKind::Input),
+                    Just(AccessKind::Output),
+                    Just(AccessKind::InOut),
+                    Just(AccessKind::Concurrent),
+                ]),
+                1..40,
+            )
+        ) {
+            let mut tr = DependencyTracker::new();
+            let mut nodes = Vec::new();
+            let mut ready = Vec::new();
+            for (chunk, kind) in specs {
+                let n = node_with(vec![acc(9, chunk, (chunk as usize) * 10..(chunk as usize + 1) * 10, kind)]);
+                tr.register(&n);
+                if finish_registration(&n) {
+                    ready.push(n.clone());
+                }
+                nodes.push(n);
+            }
+            run_to_completion(nodes, ready);
+        }
+
+        /// Multi-access tasks over overlapping regions also stay live.
+        #[test]
+        fn prop_multi_access_graphs_are_live(
+            specs in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0usize..50, 1usize..30, prop_oneof![
+                        Just(AccessKind::Input),
+                        Just(AccessKind::Output),
+                        Just(AccessKind::InOut),
+                    ]),
+                    1..3,
+                ),
+                1..25,
+            )
+        ) {
+            let mut tr = DependencyTracker::new();
+            let mut nodes = Vec::new();
+            let mut ready = Vec::new();
+            for (i, accesses) in specs.into_iter().enumerate() {
+                let accs: Vec<Access> = accesses
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, (start, len, kind))| acc(7, (i * 4 + j) as u32 + 1, start..start + len, kind))
+                    .collect();
+                let n = node_with(accs);
+                tr.register(&n);
+                if finish_registration(&n) {
+                    ready.push(n.clone());
+                }
+                nodes.push(n);
+            }
+            run_to_completion(nodes, ready);
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! Data handles: the objects named in `input` / `output` / `inout` clauses.
+//!
+//! OmpSs clauses name C pointers; here, tasks declare accesses on *handles*:
+//!
+//! * [`Data<T>`] — a single shared object (one region covering the whole
+//!   allocation).
+//! * [`PartitionedData<T>`] — a `Vec<T>` split into fixed, disjoint chunks;
+//!   every chunk is its own region so that one task per chunk (scanline,
+//!   block, macroblock row, …) runs in parallel, while whole-array accesses
+//!   still conflict with every chunk.
+//!
+//! The handles themselves never hand out references. Inside a task body,
+//! [`TaskContext::read`](crate::runtime::TaskContext::read) /
+//! [`TaskContext::write`](crate::runtime::TaskContext::write) (and the chunk
+//! equivalents) validate the requested access against the task's declared
+//! access list and only then produce a guard. Conflicting declared accesses
+//! are serialised by the dependence graph, which is what makes handing out
+//! `&mut` sound.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::region::{AllocId, Region};
+
+/// Trait of everything that can appear in an access clause.
+pub trait Accessible {
+    /// The memory region this handle stands for.
+    fn region(&self) -> Region;
+}
+
+// ---------------------------------------------------------------------------
+// Data<T>
+// ---------------------------------------------------------------------------
+
+pub(crate) struct DataInner<T: ?Sized> {
+    pub(crate) region: Region,
+    pub(crate) cell: UnsafeCell<T>,
+}
+
+// Safety: access to `cell` is mediated by the runtime: a mutable guard is
+// only produced for a task that declared a write access, and tasks with
+// conflicting declared accesses are ordered by the dependence graph, so no
+// two threads ever hold conflicting references simultaneously.
+unsafe impl<T: Send + ?Sized> Send for DataInner<T> {}
+unsafe impl<T: Send + ?Sized> Sync for DataInner<T> {}
+
+/// A handle to a single shared object managed by the runtime.
+///
+/// Cloning the handle is cheap (it is reference counted); all clones refer to
+/// the same object and the same dependence region.
+pub struct Data<T> {
+    pub(crate) inner: Arc<DataInner<T>>,
+}
+
+impl<T> Clone for Data<T> {
+    fn clone(&self) -> Self {
+        Data {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Data<T> {
+    /// Wrap `value` in a new handle with its own fresh region.
+    ///
+    /// Normally constructed through [`Runtime::data`](crate::Runtime::data);
+    /// exposed for tests and for building handles before a runtime exists.
+    pub fn new(value: T) -> Self {
+        let alloc = AllocId::fresh();
+        let size = std::mem::size_of::<T>().max(1);
+        Data {
+            inner: Arc::new(DataInner {
+                region: Region::new(alloc, 0, 0..size),
+                cell: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// Recover the inner value if this is the last handle.
+    pub fn try_into_inner(self) -> Result<T, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.cell.into_inner()),
+            Err(arc) => Err(Data { inner: arc }),
+        }
+    }
+
+    /// Number of live handles to this object (diagnostics).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    pub(crate) fn ptr(&self) -> *mut T {
+        self.inner.cell.get()
+    }
+}
+
+impl<T> Accessible for Data<T> {
+    fn region(&self) -> Region {
+        self.inner.region.clone()
+    }
+}
+
+impl<T> std::fmt::Debug for Data<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Data({})", self.inner.region.id)
+    }
+}
+
+/// Shared read guard produced by [`TaskContext::read`](crate::runtime::TaskContext::read).
+pub struct ReadGuard<'a, T> {
+    pub(crate) value: &'a T,
+}
+
+impl<T> std::ops::Deref for ReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+/// Exclusive write guard produced by [`TaskContext::write`](crate::runtime::TaskContext::write).
+pub struct WriteGuard<'a, T> {
+    pub(crate) value: &'a mut T,
+}
+
+impl<T> std::ops::Deref for WriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedData<T>
+// ---------------------------------------------------------------------------
+
+pub(crate) struct PartInner<T> {
+    pub(crate) alloc: AllocId,
+    pub(crate) cell: UnsafeCell<Vec<T>>,
+    /// Element ranges of each chunk (disjoint, covering `0..len`).
+    pub(crate) chunks: Vec<std::ops::Range<usize>>,
+    pub(crate) elem_size: usize,
+    pub(crate) len: usize,
+}
+
+unsafe impl<T: Send> Send for PartInner<T> {}
+unsafe impl<T: Send> Sync for PartInner<T> {}
+
+/// A `Vec<T>` partitioned into disjoint chunks, each chunk being an
+/// independent dependence region.
+///
+/// Chunk `i` covers elements `chunk_ranges()[i]`; chunk regions use byte
+/// ranges derived from element indices so that a whole-array handle
+/// ([`PartitionedData::whole`]) overlaps every chunk.
+pub struct PartitionedData<T> {
+    pub(crate) inner: Arc<PartInner<T>>,
+}
+
+impl<T> Clone for PartitionedData<T> {
+    fn clone(&self) -> Self {
+        PartitionedData {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> PartitionedData<T> {
+    /// Partition `data` into chunks of at most `chunk_len` elements.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn new(data: Vec<T>, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let len = data.len();
+        let elem_size = std::mem::size_of::<T>().max(1);
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk_len).min(len);
+            chunks.push(start..end);
+            start = end;
+        }
+        if chunks.is_empty() {
+            chunks.push(0..0);
+        }
+        PartitionedData {
+            inner: Arc::new(PartInner {
+                alloc: AllocId::fresh(),
+                cell: UnsafeCell::new(data),
+                chunks,
+                elem_size,
+                len,
+            }),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.inner.chunks.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the partitioned vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Element range of chunk `i`.
+    pub fn chunk_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.inner.chunks[i].clone()
+    }
+
+    /// Handle naming chunk `i` in access clauses.
+    pub fn chunk(&self, i: usize) -> Chunk<T> {
+        assert!(i < self.num_chunks(), "chunk index out of range");
+        Chunk {
+            inner: self.inner.clone(),
+            index: i,
+        }
+    }
+
+    /// Handle naming the whole array in access clauses (conflicts with every
+    /// chunk).
+    pub fn whole(&self) -> Whole<T> {
+        Whole {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Iterate over all chunk handles.
+    pub fn chunk_handles(&self) -> impl Iterator<Item = Chunk<T>> + '_ {
+        (0..self.num_chunks()).map(move |i| self.chunk(i))
+    }
+
+    /// Recover the inner vector if this is the last handle.
+    pub fn try_into_vec(self) -> Result<Vec<T>, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.cell.into_inner()),
+            Err(arc) => Err(PartitionedData { inner: arc }),
+        }
+    }
+}
+
+impl<T> Accessible for PartitionedData<T> {
+    fn region(&self) -> Region {
+        Region::new(
+            self.inner.alloc,
+            0,
+            0..self.inner.len.max(1) * self.inner.elem_size,
+        )
+    }
+}
+
+impl<T> std::fmt::Debug for PartitionedData<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PartitionedData(alloc {}, {} chunks)",
+            self.inner.alloc.raw(),
+            self.inner.chunks.len()
+        )
+    }
+}
+
+/// Handle to one chunk of a [`PartitionedData`].
+pub struct Chunk<T> {
+    pub(crate) inner: Arc<PartInner<T>>,
+    pub(crate) index: usize,
+}
+
+impl<T> Clone for Chunk<T> {
+    fn clone(&self) -> Self {
+        Chunk {
+            inner: self.inner.clone(),
+            index: self.index,
+        }
+    }
+}
+
+impl<T> Chunk<T> {
+    /// Chunk index within the partition.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Element range covered by this chunk.
+    pub fn elem_range(&self) -> std::ops::Range<usize> {
+        self.inner.chunks[self.index].clone()
+    }
+
+    /// Number of elements in the chunk.
+    pub fn len(&self) -> usize {
+        let r = self.elem_range();
+        r.end - r.start
+    }
+
+    /// Whether the chunk holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn slice_ptr(&self) -> (*mut T, usize) {
+        let range = self.elem_range();
+        // Safety: we only manufacture the pointer here; dereferencing is
+        // gated by the runtime (see module docs).
+        let vec = self.inner.cell.get();
+        let base = unsafe { (*vec).as_mut_ptr() };
+        (unsafe { base.add(range.start) }, range.end - range.start)
+    }
+}
+
+impl<T> Accessible for Chunk<T> {
+    fn region(&self) -> Region {
+        let r = self.elem_range();
+        Region::new(
+            self.inner.alloc,
+            self.index as u32 + 1,
+            r.start * self.inner.elem_size..r.end * self.inner.elem_size,
+        )
+    }
+}
+
+impl<T> std::fmt::Debug for Chunk<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Chunk(alloc {}, #{} [{:?}])",
+            self.inner.alloc.raw(),
+            self.index,
+            self.elem_range()
+        )
+    }
+}
+
+/// Handle to the whole array of a [`PartitionedData`].
+pub struct Whole<T> {
+    pub(crate) inner: Arc<PartInner<T>>,
+}
+
+impl<T> Clone for Whole<T> {
+    fn clone(&self) -> Self {
+        Whole {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Whole<T> {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    pub(crate) fn slice_ptr(&self) -> (*mut T, usize) {
+        let vec = self.inner.cell.get();
+        let base = unsafe { (*vec).as_mut_ptr() };
+        (base, self.inner.len)
+    }
+}
+
+impl<T> Accessible for Whole<T> {
+    fn region(&self) -> Region {
+        Region::new(
+            self.inner.alloc,
+            0,
+            0..self.inner.len.max(1) * self.inner.elem_size,
+        )
+    }
+}
+
+impl<T> std::fmt::Debug for Whole<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Whole(alloc {})", self.inner.alloc.raw())
+    }
+}
+
+/// Read guard over a slice (chunk or whole array).
+pub struct SliceReadGuard<'a, T> {
+    pub(crate) slice: &'a [T],
+}
+
+impl<T> std::ops::Deref for SliceReadGuard<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.slice
+    }
+}
+
+/// Write guard over a slice (chunk or whole array).
+pub struct SliceWriteGuard<'a, T> {
+    pub(crate) slice: &'a mut [T],
+}
+
+impl<T> std::ops::Deref for SliceWriteGuard<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.slice
+    }
+}
+
+impl<T> std::ops::DerefMut for SliceWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.slice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let d = Data::new(41u64);
+        assert_eq!(d.handle_count(), 1);
+        let d2 = d.clone();
+        assert_eq!(d.handle_count(), 2);
+        assert!(d2.region().overlaps(&d.region()));
+        drop(d2);
+        assert_eq!(d.try_into_inner().unwrap(), 41);
+    }
+
+    #[test]
+    fn data_try_into_inner_fails_while_shared() {
+        let d = Data::new(1u8);
+        let d2 = d.clone();
+        let d = d.try_into_inner().unwrap_err();
+        drop(d2);
+        assert_eq!(d.try_into_inner().unwrap(), 1);
+    }
+
+    #[test]
+    fn distinct_data_handles_never_overlap() {
+        let a = Data::new([0u8; 16]);
+        let b = Data::new([0u8; 16]);
+        assert!(!a.region().overlaps(&b.region()));
+    }
+
+    #[test]
+    fn zero_sized_data_still_has_nonempty_region() {
+        let d = Data::new(());
+        assert!(!d.region().is_empty());
+        assert!(d.region().overlaps(&d.region()));
+    }
+
+    #[test]
+    fn partition_chunk_layout() {
+        let p = PartitionedData::new((0..10u32).collect::<Vec<_>>(), 4);
+        assert_eq!(p.num_chunks(), 3);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.chunk_range(0), 0..4);
+        assert_eq!(p.chunk_range(1), 4..8);
+        assert_eq!(p.chunk_range(2), 8..10);
+        assert_eq!(p.chunk(2).len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn partition_of_empty_vec() {
+        let p = PartitionedData::new(Vec::<u8>::new(), 4);
+        assert_eq!(p.num_chunks(), 1);
+        assert!(p.is_empty());
+        assert!(p.chunk(0).is_empty());
+        assert_eq!(p.try_into_vec().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn partition_zero_chunk_len_panics() {
+        let _ = PartitionedData::new(vec![1u8, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk index out of range")]
+    fn chunk_out_of_range_panics() {
+        let p = PartitionedData::new(vec![1u8, 2, 3], 2);
+        let _ = p.chunk(5);
+    }
+
+    #[test]
+    fn chunk_regions_are_disjoint_and_within_whole() {
+        let p = PartitionedData::new(vec![0f64; 100], 7);
+        let whole = p.whole().region();
+        for i in 0..p.num_chunks() {
+            let ri = p.chunk(i).region();
+            assert!(whole.contains(&ri), "whole must contain chunk {i}");
+            assert!(whole.overlaps(&ri));
+            for j in 0..p.num_chunks() {
+                if i != j {
+                    assert!(
+                        !ri.overlaps(&p.chunk(j).region()),
+                        "chunks {i} and {j} must not overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_and_partitioned_data_share_region() {
+        let p = PartitionedData::new(vec![0u8; 10], 3);
+        assert_eq!(p.region(), p.whole().region());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let d = Data::new(3u8);
+        let p = PartitionedData::new(vec![1u8, 2, 3], 2);
+        assert!(format!("{d:?}").starts_with("Data("));
+        assert!(format!("{p:?}").contains("chunks"));
+        assert!(format!("{:?}", p.chunk(0)).contains("Chunk"));
+        assert!(format!("{:?}", p.whole()).contains("Whole"));
+    }
+
+    proptest! {
+        /// Chunk ranges tile the vector exactly: disjoint, ordered, covering.
+        #[test]
+        fn prop_chunks_tile_vector(len in 0usize..500, chunk_len in 1usize..64) {
+            let p = PartitionedData::new(vec![0u8; len], chunk_len);
+            let mut covered = 0usize;
+            for i in 0..p.num_chunks() {
+                let r = p.chunk_range(i);
+                prop_assert_eq!(r.start, covered);
+                prop_assert!(r.end >= r.start);
+                covered = r.end;
+                if len > 0 {
+                    prop_assert!(r.end - r.start <= chunk_len);
+                }
+            }
+            prop_assert_eq!(covered, len);
+        }
+
+        /// Chunk byte regions never overlap each other.
+        #[test]
+        fn prop_chunk_regions_disjoint(len in 1usize..300, chunk_len in 1usize..50) {
+            let p = PartitionedData::new(vec![0u32; len], chunk_len);
+            for i in 0..p.num_chunks() {
+                for j in (i + 1)..p.num_chunks() {
+                    prop_assert!(!p.chunk(i).region().overlaps(&p.chunk(j).region()));
+                }
+            }
+        }
+    }
+}

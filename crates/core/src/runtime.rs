@@ -1,0 +1,670 @@
+//! The runtime: task spawning, dependence registration, synchronisation.
+//!
+//! [`Runtime`] owns the worker threads and the shared state (scheduler,
+//! dependence tracker, statistics, trace). Tasks are spawned through
+//! [`TaskBuilder`] which mirrors the OmpSs pragma clauses; inside a task body
+//! a [`TaskContext`] gives checked access to the declared data and allows
+//! nested task creation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::Worker as WorkerDeque;
+use parking_lot::{Condvar, Mutex};
+
+use crate::access::{Access, AccessKind};
+use crate::critical::CriticalSections;
+use crate::error::{Error, Result};
+use crate::graph::{self, DependencyTracker};
+use crate::handle::{
+    Accessible, Chunk, Data, PartitionedData, ReadGuard, SliceReadGuard, SliceWriteGuard, Whole,
+    WriteGuard,
+};
+use crate::scheduler::{IdlePolicy, SchedState, SchedulerPolicy};
+use crate::stats::{RuntimeStats, StatCounters, StatField};
+use crate::task::{ChildTracker, TaskId, TaskNode, TaskPriority};
+use crate::trace::{TraceEvent, TraceRecorder};
+use crate::worker;
+
+/// How often (in spawned tasks) the dependence tracker is garbage collected.
+const GC_PERIOD: u64 = 512;
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads executing tasks. The main (spawning) thread
+    /// does not execute tasks, mirroring a dedicated-master configuration.
+    pub workers: usize,
+    /// Ready-task scheduling policy.
+    pub policy: SchedulerPolicy,
+    /// Behaviour of idle workers.
+    pub idle: IdlePolicy,
+    /// Whether to record an execution trace.
+    pub tracing: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RuntimeConfig {
+            workers,
+            policy: SchedulerPolicy::default(),
+            idle: IdlePolicy::default(),
+            tracing: false,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Set the number of worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the idle-worker behaviour.
+    pub fn with_idle(mut self, idle: IdlePolicy) -> Self {
+        self.idle = idle;
+        self
+    }
+
+    /// Enable or disable execution tracing.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+}
+
+pub(crate) struct RuntimeInner {
+    pub(crate) config: RuntimeConfig,
+    pub(crate) sched: SchedState,
+    pub(crate) tracker: Mutex<DependencyTracker>,
+    pub(crate) root_children: Arc<ChildTracker>,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) stats: StatCounters,
+    pub(crate) trace: TraceRecorder,
+    pub(crate) critical: CriticalSections,
+    pub(crate) panics: Mutex<Vec<Error>>,
+    spawn_count: AtomicU64,
+}
+
+impl RuntimeInner {
+    fn spawn_node(
+        &self,
+        node: Arc<TaskNode>,
+        local: Option<&WorkerDeque<Arc<TaskNode>>>,
+    ) -> TaskId {
+        let id = node.id;
+        self.stats.add(StatField::TasksSpawned, 1);
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        node.parent_children.add_child();
+
+        let registration = {
+            let mut tracker = self.tracker.lock();
+            let reg = tracker.register(&node);
+            let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if count % GC_PERIOD == 0 {
+                tracker.garbage_collect();
+            }
+            reg
+        };
+        self.stats
+            .add(StatField::EdgesAdded, registration.edges as u64);
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent::Spawned {
+                task: id,
+                name: node.name.clone(),
+                at_ns: self.trace.now_ns(),
+                deps: registration.edges,
+            });
+        }
+        if graph::finish_registration(&node) {
+            self.stats.add(StatField::ImmediatelyReady, 1);
+            if self.trace.is_enabled() {
+                self.trace.record(TraceEvent::Ready {
+                    task: id,
+                    at_ns: self.trace.now_ns(),
+                });
+            }
+            self.sched.push_spawn(node, local);
+        }
+        id
+    }
+
+    pub(crate) fn record_panic(&self, err: Error) {
+        self.stats.add(StatField::TasksPanicked, 1);
+        self.panics.lock().push(err);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The OmpSs-style task runtime.
+///
+/// Dropping the runtime shuts the workers down after waiting for all
+/// in-flight tasks to finish.
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Create a runtime, panicking on invalid configuration.
+    ///
+    /// See [`Runtime::try_new`] for the fallible variant.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::try_new(config).expect("invalid runtime configuration")
+    }
+
+    /// Create a runtime with the given configuration.
+    pub fn try_new(config: RuntimeConfig) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(Error::InvalidConfig(
+                "at least one worker thread is required".into(),
+            ));
+        }
+        let deques: Vec<WorkerDeque<Arc<TaskNode>>> = (0..config.workers)
+            .map(|_| WorkerDeque::new_lifo())
+            .collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let sched = SchedState::new(config.policy, config.idle, stealers);
+        let inner = Arc::new(RuntimeInner {
+            sched,
+            tracker: Mutex::new(DependencyTracker::new()),
+            root_children: ChildTracker::new(),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            stats: StatCounters::default(),
+            trace: TraceRecorder::new(config.tracing),
+            critical: CriticalSections::new(),
+            panics: Mutex::new(Vec::new()),
+            spawn_count: AtomicU64::new(0),
+            config,
+        });
+        let mut threads = Vec::with_capacity(inner.config.workers);
+        for (id, deque) in deques.into_iter().enumerate() {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ompss-worker-{id}"))
+                    .spawn(move || worker::worker_loop(inner, deque, id))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Ok(Runtime { inner, threads })
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// The scheduling policy in use.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.inner.config.policy
+    }
+
+    /// Register a value with the runtime, obtaining a dependence handle.
+    pub fn data<T: Send + 'static>(&self, value: T) -> Data<T> {
+        Data::new(value)
+    }
+
+    /// Register a vector partitioned into chunks of `chunk_len` elements.
+    pub fn partitioned<T: Send + 'static>(
+        &self,
+        data: Vec<T>,
+        chunk_len: usize,
+    ) -> PartitionedData<T> {
+        PartitionedData::new(data, chunk_len)
+    }
+
+    /// Begin building a task spawned from the main program context.
+    pub fn task(&self) -> TaskBuilder<'_> {
+        TaskBuilder {
+            inner: &self.inner,
+            parent_children: self.inner.root_children.clone(),
+            deque: None,
+            name: None,
+            priority: TaskPriority::default(),
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Wait until every task spawned from the main context (and transitively
+    /// every task those spawned, since children always finish before their
+    /// parents' counters drop) has completed.
+    ///
+    /// This is the polling "task barrier" of the paper: the calling thread
+    /// spins (with `yield`) rather than blocking in the kernel.
+    pub fn taskwait(&self) {
+        self.inner.stats.add(StatField::Taskwaits, 1);
+        let mut spins = 0u32;
+        while self.inner.root_children.live_children() > 0
+            || self.inner.in_flight.load(Ordering::SeqCst) > 0
+        {
+            backoff(&mut spins);
+        }
+    }
+
+    /// Wait only for the in-flight tasks that access (a region overlapping)
+    /// `handle` — the `#pragma omp taskwait on (x)` of Listing 1.
+    pub fn taskwait_on(&self, handle: &impl Accessible) {
+        self.inner.stats.add(StatField::TaskwaitOns, 1);
+        let region = handle.region();
+        let touching = self.inner.tracker.lock().tasks_touching(&region);
+        for task in touching {
+            let mut spins = 0u32;
+            while !task.is_completed() {
+                backoff(&mut spins);
+            }
+        }
+    }
+
+    /// Full task barrier: wait for global quiescence (all in-flight tasks,
+    /// regardless of spawning context).
+    pub fn barrier(&self) {
+        self.inner.stats.add(StatField::Taskwaits, 1);
+        let mut spins = 0u32;
+        while !self.inner.quiescent() {
+            backoff(&mut spins);
+        }
+    }
+
+    /// Execute `f` under the named critical section (the `#pragma omp
+    /// critical(name)` used to protect the hidden DPB/PIB buffers in the
+    /// paper's H.264 decoder).
+    pub fn critical<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.inner.critical.enter(name, f)
+    }
+
+    /// Read back a copy of the value behind `data`, respecting dependences:
+    /// the copy observes every task spawned before this call that writes
+    /// `data`.
+    pub fn fetch<T: Clone + Send + 'static>(&self, data: &Data<T>) -> T {
+        let slot: Arc<(Mutex<Option<T>>, Condvar)> = Arc::new((Mutex::new(None), Condvar::new()));
+        {
+            let slot = slot.clone();
+            let data = data.clone();
+            self.task()
+                .name("ompss::fetch")
+                .input(&data)
+                .spawn(move |ctx| {
+                    let value = ctx.read(&data).clone();
+                    let (lock, cv) = &*slot;
+                    *lock.lock() = Some(value);
+                    cv.notify_all();
+                });
+        }
+        let (lock, cv) = &*slot;
+        let mut guard = lock.lock();
+        while guard.is_none() {
+            cv.wait(&mut guard);
+        }
+        guard.take().expect("fetch task stored a value")
+    }
+
+    /// Wait for all tasks touching `data`, then unwrap the value. Panics if
+    /// other clones of the handle are still alive.
+    pub fn into_inner<T: Send + 'static>(&self, data: Data<T>) -> T {
+        self.taskwait_on(&data);
+        match data.try_into_inner() {
+            Ok(v) => v,
+            Err(_) => panic!("Data handle is still shared; drop the other clones first"),
+        }
+    }
+
+    /// Wait for all tasks touching the partitioned vector, then unwrap it.
+    /// Panics if other clones of the handle (or of any chunk) are alive.
+    pub fn into_vec<T: Send + 'static>(&self, data: PartitionedData<T>) -> Vec<T> {
+        self.taskwait_on(&data.whole());
+        match data.try_into_vec() {
+            Ok(v) => v,
+            Err(_) => panic!("PartitionedData handle is still shared; drop the other clones first"),
+        }
+    }
+
+    /// Snapshot of the runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let c = &self.inner.stats;
+        let s = &self.inner.sched.counters;
+        RuntimeStats {
+            workers: self.inner.config.workers,
+            tasks_spawned: c.get(StatField::TasksSpawned),
+            tasks_executed: c.get(StatField::TasksExecuted),
+            tasks_panicked: c.get(StatField::TasksPanicked),
+            edges_added: c.get(StatField::EdgesAdded),
+            immediately_ready: c.get(StatField::ImmediatelyReady),
+            taskwaits: c.get(StatField::Taskwaits),
+            taskwait_ons: c.get(StatField::TaskwaitOns),
+            sched_local_pops: s.local_pops.load(Ordering::Relaxed),
+            sched_global_pops: s.global_pops.load(Ordering::Relaxed),
+            sched_steals: s.steals.load(Ordering::Relaxed),
+            sched_local_wakeups: s.local_wakeups.load(Ordering::Relaxed),
+            sched_global_wakeups: s.global_wakeups.load(Ordering::Relaxed),
+            sched_priority_pops: s.priority_pops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the execution trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.inner.trace.snapshot()
+    }
+
+    /// Busy nanoseconds per worker derived from the trace.
+    pub fn busy_ns_per_worker(&self) -> Vec<u64> {
+        self.inner.trace.busy_ns_per_worker()
+    }
+
+    /// Export the execution trace in Chrome-tracing JSON format (empty array
+    /// unless tracing was enabled). Load the string into `chrome://tracing`
+    /// or Perfetto to get the per-worker Gantt view the OmpSs toolchain
+    /// produces with Paraver.
+    pub fn chrome_trace(&self) -> String {
+        self.inner.trace.to_chrome_trace()
+    }
+
+    /// Errors recorded from panicking task bodies since the last call.
+    pub fn take_panics(&self) -> Vec<Error> {
+        std::mem::take(&mut *self.inner.panics.lock())
+    }
+
+    /// Shut the runtime down explicitly (also happens on drop): waits for all
+    /// in-flight tasks and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.barrier();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.sched.wake_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.inner.config.workers)
+            .field("policy", &self.inner.config.policy)
+            .field("in_flight", &self.inner.in_flight.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskBuilder
+// ---------------------------------------------------------------------------
+
+/// Builder for a task, mirroring the clauses of `#pragma omp task`.
+pub struct TaskBuilder<'r> {
+    inner: &'r Arc<RuntimeInner>,
+    parent_children: Arc<ChildTracker>,
+    deque: Option<&'r WorkerDeque<Arc<TaskNode>>>,
+    name: Option<Arc<str>>,
+    priority: TaskPriority,
+    accesses: Vec<Access>,
+}
+
+impl<'r> TaskBuilder<'r> {
+    /// Give the task a name (shown in traces and panic reports).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(Arc::from(name));
+        self
+    }
+
+    /// Set the scheduling priority (higher runs earlier among ready tasks).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = TaskPriority(priority);
+        self
+    }
+
+    /// Declare a read access (`input(x)`).
+    pub fn input(mut self, handle: &impl Accessible) -> Self {
+        self.accesses
+            .push(Access::new(handle.region(), AccessKind::Input));
+        self
+    }
+
+    /// Declare a write access (`output(x)`).
+    pub fn output(mut self, handle: &impl Accessible) -> Self {
+        self.accesses
+            .push(Access::new(handle.region(), AccessKind::Output));
+        self
+    }
+
+    /// Declare a read-write access (`inout(x)`).
+    pub fn inout(mut self, handle: &impl Accessible) -> Self {
+        self.accesses
+            .push(Access::new(handle.region(), AccessKind::InOut));
+        self
+    }
+
+    /// Declare a commutative-update access (`concurrent(x)`).
+    pub fn concurrent(mut self, handle: &impl Accessible) -> Self {
+        self.accesses
+            .push(Access::new(handle.region(), AccessKind::Concurrent));
+        self
+    }
+
+    /// Declare an access with an explicit kind.
+    pub fn access(mut self, kind: AccessKind, handle: &impl Accessible) -> Self {
+        self.accesses.push(Access::new(handle.region(), kind));
+        self
+    }
+
+    /// Spawn the task. The closure receives a [`TaskContext`] through which
+    /// it obtains guarded access to the declared data.
+    pub fn spawn<F>(self, body: F) -> TaskId
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        let node = TaskNode::new(
+            self.name,
+            self.priority,
+            Arc::from(self.accesses.into_boxed_slice()),
+            Box::new(body),
+            self.parent_children,
+        );
+        self.inner.spawn_node(node, self.deque)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskContext
+// ---------------------------------------------------------------------------
+
+/// Handed to every task body; provides checked access to declared data,
+/// nested task creation and synchronisation.
+pub struct TaskContext<'a> {
+    pub(crate) inner: &'a Arc<RuntimeInner>,
+    pub(crate) node: &'a Arc<TaskNode>,
+    pub(crate) worker: Option<usize>,
+    pub(crate) deque: Option<&'a WorkerDeque<Arc<TaskNode>>>,
+}
+
+impl<'a> TaskContext<'a> {
+    /// Id of the executing task.
+    pub fn task_id(&self) -> TaskId {
+        self.node.id
+    }
+
+    /// Index of the worker executing this task, if known.
+    pub fn worker_id(&self) -> Option<usize> {
+        self.worker
+    }
+
+    /// Name of the executing task, if it was given one.
+    pub fn task_name(&self) -> Option<&str> {
+        self.node.name.as_deref()
+    }
+
+    fn check_access(&self, region: &crate::region::Region, write: bool, what: &str) {
+        let ok = self.node.accesses.iter().any(|a| {
+            a.region.contains(region) && (!write || a.kind.allows_mutation())
+        });
+        if !ok {
+            panic!(
+                "task `{}` accessed {what} {} ({}) without declaring a matching {} access",
+                self.node.display_name(),
+                region.id,
+                if write { "mutably" } else { "for reading" },
+                if write { "output/inout/concurrent" } else { "input/inout" },
+            );
+        }
+    }
+
+    /// Obtain shared access to `data`; the task must have declared any access
+    /// on it.
+    pub fn read<'d, T: Send + 'static>(&self, data: &'d Data<T>) -> ReadGuard<'d, T> {
+        self.check_access(&data.region(), false, "data");
+        ReadGuard {
+            value: unsafe { &*data.ptr() },
+        }
+    }
+
+    /// Obtain exclusive access to `data`; the task must have declared an
+    /// `output`, `inout` or `concurrent` access on it.
+    pub fn write<'d, T: Send + 'static>(&self, data: &'d Data<T>) -> WriteGuard<'d, T> {
+        self.check_access(&data.region(), true, "data");
+        WriteGuard {
+            value: unsafe { &mut *data.ptr() },
+        }
+    }
+
+    /// Obtain shared access to one chunk of a partitioned vector.
+    pub fn read_chunk<'d, T: Send + 'static>(&self, chunk: &'d Chunk<T>) -> SliceReadGuard<'d, T> {
+        self.check_access(&chunk.region(), false, "chunk");
+        let (ptr, len) = chunk.slice_ptr();
+        SliceReadGuard {
+            slice: unsafe { std::slice::from_raw_parts(ptr, len) },
+        }
+    }
+
+    /// Obtain exclusive access to one chunk of a partitioned vector.
+    pub fn write_chunk<'d, T: Send + 'static>(
+        &self,
+        chunk: &'d Chunk<T>,
+    ) -> SliceWriteGuard<'d, T> {
+        self.check_access(&chunk.region(), true, "chunk");
+        let (ptr, len) = chunk.slice_ptr();
+        SliceWriteGuard {
+            slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
+        }
+    }
+
+    /// Obtain shared access to the whole partitioned vector.
+    pub fn read_whole<'d, T: Send + 'static>(&self, whole: &'d Whole<T>) -> SliceReadGuard<'d, T> {
+        self.check_access(&whole.region(), false, "array");
+        let (ptr, len) = whole.slice_ptr();
+        SliceReadGuard {
+            slice: unsafe { std::slice::from_raw_parts(ptr, len) },
+        }
+    }
+
+    /// Obtain exclusive access to the whole partitioned vector.
+    pub fn write_whole<'d, T: Send + 'static>(
+        &self,
+        whole: &'d Whole<T>,
+    ) -> SliceWriteGuard<'d, T> {
+        self.check_access(&whole.region(), true, "array");
+        let (ptr, len) = whole.slice_ptr();
+        SliceWriteGuard {
+            slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
+        }
+    }
+
+    /// Begin building a nested task (child of the current task).
+    pub fn task(&self) -> TaskBuilder<'a> {
+        TaskBuilder {
+            inner: self.inner,
+            parent_children: self.node.children.clone(),
+            deque: self.deque,
+            name: None,
+            priority: TaskPriority::default(),
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Wait for the direct children of the current task. While waiting, the
+    /// calling worker helps execute ready tasks so that nested `taskwait`
+    /// never deadlocks the pool.
+    pub fn taskwait(&self) {
+        self.inner.stats.add(StatField::Taskwaits, 1);
+        let mut spins = 0u32;
+        while self.node.children.live_children() > 0 {
+            let helper_id = self.worker.unwrap_or(0);
+            if let Some(task) = self.inner.sched.pop(helper_id, None) {
+                worker::execute_task(self.inner, task, self.worker, None);
+                spins = 0;
+            } else {
+                backoff(&mut spins);
+            }
+        }
+    }
+
+    /// Wait for the in-flight tasks accessing `handle` (helping execute ready
+    /// tasks meanwhile).
+    pub fn taskwait_on(&self, handle: &impl Accessible) {
+        self.inner.stats.add(StatField::TaskwaitOns, 1);
+        let region = handle.region();
+        let touching = self.inner.tracker.lock().tasks_touching(&region);
+        let helper_id = self.worker.unwrap_or(0);
+        for task in touching {
+            let mut spins = 0u32;
+            while !task.is_completed() {
+                if let Some(t) = self.inner.sched.pop(helper_id, None) {
+                    worker::execute_task(self.inner, t, self.worker, None);
+                    spins = 0;
+                } else {
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Execute `f` under the named critical section.
+    pub fn critical<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.inner.critical.enter(name, f)
+    }
+}
+
+impl std::fmt::Debug for TaskContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskContext")
+            .field("task", &self.node.id)
+            .field("worker", &self.worker)
+            .finish()
+    }
+}

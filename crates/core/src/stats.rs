@@ -1,0 +1,151 @@
+//! Aggregated runtime statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters, updated by workers and the spawn path.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub tasks_spawned: AtomicU64,
+    pub tasks_executed: AtomicU64,
+    pub tasks_panicked: AtomicU64,
+    pub edges_added: AtomicU64,
+    pub taskwaits: AtomicU64,
+    pub taskwait_ons: AtomicU64,
+    pub immediately_ready: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn add(&self, field: StatField, n: u64) {
+        self.counter(field).fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self, field: StatField) -> u64 {
+        self.counter(field).load(Ordering::Relaxed)
+    }
+
+    fn counter(&self, field: StatField) -> &AtomicU64 {
+        match field {
+            StatField::TasksSpawned => &self.tasks_spawned,
+            StatField::TasksExecuted => &self.tasks_executed,
+            StatField::TasksPanicked => &self.tasks_panicked,
+            StatField::EdgesAdded => &self.edges_added,
+            StatField::Taskwaits => &self.taskwaits,
+            StatField::TaskwaitOns => &self.taskwait_ons,
+            StatField::ImmediatelyReady => &self.immediately_ready,
+        }
+    }
+}
+
+/// Names of the counters tracked by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StatField {
+    TasksSpawned,
+    TasksExecuted,
+    TasksPanicked,
+    EdgesAdded,
+    Taskwaits,
+    TaskwaitOns,
+    ImmediatelyReady,
+}
+
+/// A point-in-time snapshot of runtime statistics, obtained from
+/// [`Runtime::stats`](crate::Runtime::stats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Tasks spawned since the runtime was created.
+    pub tasks_spawned: u64,
+    /// Tasks that finished executing.
+    pub tasks_executed: u64,
+    /// Tasks whose body panicked.
+    pub tasks_panicked: u64,
+    /// Dependence edges inserted into the task graph.
+    pub edges_added: u64,
+    /// Tasks that were ready at spawn time (no unresolved dependences).
+    pub immediately_ready: u64,
+    /// Number of `taskwait` calls.
+    pub taskwaits: u64,
+    /// Number of `taskwait_on` calls.
+    pub taskwait_ons: u64,
+    /// Tasks popped from a worker's own deque.
+    pub sched_local_pops: u64,
+    /// Tasks popped from the global queue.
+    pub sched_global_pops: u64,
+    /// Tasks stolen from another worker.
+    pub sched_steals: u64,
+    /// Successor tasks pushed onto the waking worker's deque (locality hits).
+    pub sched_local_wakeups: u64,
+    /// Successor tasks pushed onto the global queue.
+    pub sched_global_wakeups: u64,
+    /// Tasks that went through the priority heap.
+    pub sched_priority_pops: u64,
+}
+
+impl RuntimeStats {
+    /// Fraction of dependent-task wakeups that stayed on the waking worker
+    /// (the locality mechanism the paper credits for `ray-rot`). Returns
+    /// `None` when no wakeups happened.
+    pub fn locality_hit_rate(&self) -> Option<f64> {
+        let total = self.sched_local_wakeups + self.sched_global_wakeups;
+        if total == 0 {
+            None
+        } else {
+            Some(self.sched_local_wakeups as f64 / total as f64)
+        }
+    }
+
+    /// Average number of dependence edges per spawned task.
+    pub fn mean_edges_per_task(&self) -> f64 {
+        if self.tasks_spawned == 0 {
+            0.0
+        } else {
+            self.edges_added as f64 / self.tasks_spawned as f64
+        }
+    }
+
+    /// Tasks still in flight (spawned but not yet executed).
+    pub fn tasks_in_flight(&self) -> u64 {
+        self.tasks_spawned.saturating_sub(self.tasks_executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_get() {
+        let c = StatCounters::default();
+        c.add(StatField::TasksSpawned, 3);
+        c.add(StatField::TasksSpawned, 2);
+        c.add(StatField::EdgesAdded, 7);
+        assert_eq!(c.get(StatField::TasksSpawned), 5);
+        assert_eq!(c.get(StatField::EdgesAdded), 7);
+        assert_eq!(c.get(StatField::TasksExecuted), 0);
+    }
+
+    #[test]
+    fn locality_hit_rate() {
+        let mut s = RuntimeStats::default();
+        assert_eq!(s.locality_hit_rate(), None);
+        s.sched_local_wakeups = 3;
+        s.sched_global_wakeups = 1;
+        assert!((s.locality_hit_rate().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = RuntimeStats {
+            tasks_spawned: 10,
+            tasks_executed: 7,
+            edges_added: 25,
+            ..Default::default()
+        };
+        assert_eq!(s.tasks_in_flight(), 3);
+        assert!((s.mean_edges_per_task() - 2.5).abs() < 1e-12);
+        let empty = RuntimeStats::default();
+        assert_eq!(empty.mean_edges_per_task(), 0.0);
+        assert_eq!(empty.tasks_in_flight(), 0);
+    }
+}

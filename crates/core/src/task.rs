@@ -1,0 +1,278 @@
+//! Task descriptors and their lifecycle.
+//!
+//! A *task* in OmpSs is a deferred function call annotated with the data
+//! accesses it performs. Internally every spawned task is represented by a
+//! [`TaskNode`] that carries the closure to run, the declared accesses, a
+//! count of unresolved predecessors, and the list of successors to wake up on
+//! completion.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::access::Access;
+use crate::runtime::TaskContext;
+
+/// Globally unique task identifier (monotonically increasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+static NEXT_TASK_ID: AtomicU64 = AtomicU64::new(1);
+
+impl TaskId {
+    pub(crate) fn fresh() -> Self {
+        TaskId(NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Raw numeric value of the id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Scheduling priority of a task. Higher values are scheduled before lower
+/// values when both are ready (the OmpSs `priority` clause). The default is
+/// `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct TaskPriority(pub i32);
+
+/// Observable states of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TaskState {
+    /// Spawned, still waiting for at least one predecessor.
+    WaitingDeps = 0,
+    /// All dependencies satisfied; queued for execution.
+    Ready = 1,
+    /// Currently executing on a worker.
+    Running = 2,
+    /// Finished executing (successfully or by panicking).
+    Completed = 3,
+}
+
+impl TaskState {
+    fn from_u8(v: u8) -> TaskState {
+        match v {
+            0 => TaskState::WaitingDeps,
+            1 => TaskState::Ready,
+            2 => TaskState::Running,
+            _ => TaskState::Completed,
+        }
+    }
+}
+
+/// The closure type stored in a task node.
+pub(crate) type TaskBody = Box<dyn FnOnce(&TaskContext<'_>) + Send + 'static>;
+
+/// Tracks the number of live direct children of a task (or of the main
+/// program context). `taskwait` waits for this to reach zero.
+#[derive(Debug, Default)]
+pub(crate) struct ChildTracker {
+    live: AtomicUsize,
+}
+
+impl ChildTracker {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ChildTracker::default())
+    }
+
+    pub(crate) fn add_child(&self) {
+        self.live.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn child_done(&self) {
+        let prev = self.live.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "child_done without matching add_child");
+    }
+
+    pub(crate) fn live_children(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+}
+
+/// Successor bookkeeping, protected by a mutex so that edge insertion and
+/// completion cannot race.
+#[derive(Default)]
+pub(crate) struct NodeLinks {
+    /// Set once the task has finished executing and its successors have been
+    /// notified. Edges may no longer be added afterwards.
+    pub completed: bool,
+    /// Tasks that must be notified when this task completes.
+    pub successors: Vec<Arc<TaskNode>>,
+}
+
+/// Internal representation of a spawned task.
+pub(crate) struct TaskNode {
+    /// Unique id.
+    pub id: TaskId,
+    /// Optional human-readable name (used in traces and panics).
+    pub name: Option<Arc<str>>,
+    /// Scheduling priority.
+    pub priority: TaskPriority,
+    /// Declared data accesses (immutable after creation).
+    pub accesses: Arc<[Access]>,
+    /// The closure to execute; taken (and dropped) exactly once.
+    pub body: Mutex<Option<TaskBody>>,
+    /// Number of unresolved predecessors plus one registration sentinel.
+    pub pending: AtomicUsize,
+    /// Successor list + completion flag.
+    pub links: Mutex<NodeLinks>,
+    /// Live direct children of this task (for nested `taskwait`).
+    pub children: Arc<ChildTracker>,
+    /// The child tracker of whoever spawned this task; decremented on
+    /// completion.
+    pub parent_children: Arc<ChildTracker>,
+    /// Coarse state for introspection / assertions.
+    pub state: AtomicU8,
+    /// Number of predecessor edges that were actually registered (stats).
+    pub in_edges: AtomicUsize,
+}
+
+impl TaskNode {
+    /// Create a node with the registration sentinel held (pending = 1).
+    pub(crate) fn new(
+        name: Option<Arc<str>>,
+        priority: TaskPriority,
+        accesses: Arc<[Access]>,
+        body: TaskBody,
+        parent_children: Arc<ChildTracker>,
+    ) -> Arc<Self> {
+        Arc::new(TaskNode {
+            id: TaskId::fresh(),
+            name,
+            priority,
+            accesses,
+            body: Mutex::new(Some(body)),
+            pending: AtomicUsize::new(1),
+            links: Mutex::new(NodeLinks::default()),
+            children: ChildTracker::new(),
+            parent_children,
+            state: AtomicU8::new(TaskState::WaitingDeps as u8),
+            in_edges: AtomicUsize::new(0),
+        })
+    }
+
+    /// Current coarse state.
+    pub(crate) fn task_state(&self) -> TaskState {
+        TaskState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_state(&self, s: TaskState) {
+        self.state.store(s as u8, Ordering::SeqCst);
+    }
+
+    /// Whether the task has finished executing.
+    pub(crate) fn is_completed(&self) -> bool {
+        self.task_state() == TaskState::Completed
+    }
+
+    /// Name for diagnostics.
+    pub(crate) fn display_name(&self) -> String {
+        match &self.name {
+            Some(n) => n.to_string(),
+            None => format!("{}", self.id),
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskNode")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("pending", &self.pending.load(Ordering::SeqCst))
+            .field("state", &self.task_state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_node() -> Arc<TaskNode> {
+        TaskNode::new(
+            Some("dummy".into()),
+            TaskPriority(2),
+            Arc::from(Vec::new().into_boxed_slice()),
+            Box::new(|_ctx| {}),
+            ChildTracker::new(),
+        )
+    }
+
+    #[test]
+    fn task_ids_are_unique_and_increasing() {
+        let a = TaskId::fresh();
+        let b = TaskId::fresh();
+        assert!(b.raw() > a.raw());
+        assert_eq!(format!("{a}"), format!("t{}", a.raw()));
+    }
+
+    #[test]
+    fn new_node_starts_waiting_with_sentinel() {
+        let n = dummy_node();
+        assert_eq!(n.task_state(), TaskState::WaitingDeps);
+        assert_eq!(n.pending.load(Ordering::SeqCst), 1);
+        assert!(!n.is_completed());
+        assert_eq!(n.display_name(), "dummy");
+        assert_eq!(n.priority, TaskPriority(2));
+    }
+
+    #[test]
+    fn unnamed_node_displays_id() {
+        let n = TaskNode::new(
+            None,
+            TaskPriority::default(),
+            Arc::from(Vec::new().into_boxed_slice()),
+            Box::new(|_ctx| {}),
+            ChildTracker::new(),
+        );
+        assert_eq!(n.display_name(), format!("{}", n.id));
+    }
+
+    #[test]
+    fn state_transitions() {
+        let n = dummy_node();
+        n.set_state(TaskState::Ready);
+        assert_eq!(n.task_state(), TaskState::Ready);
+        n.set_state(TaskState::Running);
+        assert_eq!(n.task_state(), TaskState::Running);
+        n.set_state(TaskState::Completed);
+        assert!(n.is_completed());
+    }
+
+    #[test]
+    fn child_tracker_counts() {
+        let c = ChildTracker::new();
+        assert_eq!(c.live_children(), 0);
+        c.add_child();
+        c.add_child();
+        assert_eq!(c.live_children(), 2);
+        c.child_done();
+        assert_eq!(c.live_children(), 1);
+        c.child_done();
+        assert_eq!(c.live_children(), 0);
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(TaskPriority(3) > TaskPriority(0));
+        assert!(TaskPriority(-1) < TaskPriority::default());
+    }
+
+    #[test]
+    fn debug_format_includes_id_and_state() {
+        let n = dummy_node();
+        let s = format!("{n:?}");
+        assert!(s.contains("TaskNode"));
+        assert!(s.contains("WaitingDeps"));
+    }
+}

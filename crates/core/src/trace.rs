@@ -1,0 +1,361 @@
+//! Execution tracing.
+//!
+//! When enabled in [`RuntimeConfig`](crate::RuntimeConfig), the runtime
+//! records one event per task state change, timestamped relative to runtime
+//! start. Traces are the raw material for the utilisation and locality
+//! analyses in the benchmark harness (and loosely correspond to the
+//! Paraver/Extrae traces the OmpSs toolchain produces).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::task::TaskId;
+
+/// A single trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task was spawned (inserted into the graph).
+    Spawned {
+        /// Task id.
+        task: TaskId,
+        /// Task name if one was given.
+        name: Option<Arc<str>>,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+        /// Number of dependence edges the task was created with.
+        deps: usize,
+    },
+    /// A task became ready (all dependencies satisfied).
+    Ready {
+        /// Task id.
+        task: TaskId,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
+    /// A worker started executing a task.
+    Started {
+        /// Task id.
+        task: TaskId,
+        /// Executing worker index.
+        worker: usize,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
+    /// A worker finished executing a task.
+    Finished {
+        /// Task id.
+        task: TaskId,
+        /// Executing worker index.
+        worker: usize,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+        /// Whether the task body panicked.
+        panicked: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The task this event refers to.
+    pub fn task(&self) -> TaskId {
+        match self {
+            TraceEvent::Spawned { task, .. }
+            | TraceEvent::Ready { task, .. }
+            | TraceEvent::Started { task, .. }
+            | TraceEvent::Finished { task, .. } => *task,
+        }
+    }
+
+    /// Timestamp of the event in nanoseconds since runtime start.
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Spawned { at_ns, .. }
+            | TraceEvent::Ready { at_ns, .. }
+            | TraceEvent::Started { at_ns, .. }
+            | TraceEvent::Finished { at_ns, .. } => *at_ns,
+        }
+    }
+}
+
+/// Collects trace events from all workers.
+pub struct TraceRecorder {
+    enabled: bool,
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    /// Create a recorder; when `enabled` is false all recording calls are
+    /// no-ops (and cost one branch).
+    pub fn new(enabled: bool) -> Self {
+        TraceRecorder {
+            enabled,
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds elapsed since the recorder was created.
+    pub fn now_ns(&self) -> u64 {
+        duration_to_ns(self.epoch.elapsed())
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&self, event: TraceEvent) {
+        if self.enabled {
+            self.events.lock().push(event);
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events recorded so far, in recording order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Total busy time (sum of task execution intervals) per worker, derived
+    /// from Started/Finished pairs. The returned vector is indexed by worker
+    /// id and sized to the largest worker index seen.
+    pub fn busy_ns_per_worker(&self) -> Vec<u64> {
+        let events = self.events.lock();
+        let mut start_of: std::collections::HashMap<(usize, TaskId), u64> =
+            std::collections::HashMap::new();
+        let mut busy: Vec<u64> = Vec::new();
+        for ev in events.iter() {
+            match ev {
+                TraceEvent::Started { task, worker, at_ns } => {
+                    start_of.insert((*worker, *task), *at_ns);
+                }
+                TraceEvent::Finished {
+                    task,
+                    worker,
+                    at_ns,
+                    ..
+                } => {
+                    if let Some(s) = start_of.remove(&(*worker, *task)) {
+                        if busy.len() <= *worker {
+                            busy.resize(worker + 1, 0);
+                        }
+                        busy[*worker] += at_ns.saturating_sub(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+        busy
+    }
+
+    /// Count of tasks executed per worker.
+    pub fn tasks_per_worker(&self) -> Vec<u64> {
+        let events = self.events.lock();
+        let mut counts: Vec<u64> = Vec::new();
+        for ev in events.iter() {
+            if let TraceEvent::Finished { worker, .. } = ev {
+                if counts.len() <= *worker {
+                    counts.resize(worker + 1, 0);
+                }
+                counts[*worker] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Export the execution intervals as a Chrome-tracing (`chrome://tracing`
+    /// / Perfetto) JSON array: one complete ("X") event per executed task,
+    /// with the worker index as the thread id. The output plays the role the
+    /// Paraver traces play in the original OmpSs toolchain.
+    pub fn to_chrome_trace(&self) -> String {
+        let events = self.events.lock();
+        let mut start_of: std::collections::HashMap<(usize, TaskId), (u64, Option<Arc<str>>)> =
+            std::collections::HashMap::new();
+        let mut names: std::collections::HashMap<TaskId, Option<Arc<str>>> =
+            std::collections::HashMap::new();
+        let mut out = String::from("[");
+        let mut first = true;
+        for ev in events.iter() {
+            match ev {
+                TraceEvent::Spawned { task, name, .. } => {
+                    names.insert(*task, name.clone());
+                }
+                TraceEvent::Started { task, worker, at_ns } => {
+                    let name = names.get(task).cloned().flatten();
+                    start_of.insert((*worker, *task), (*at_ns, name));
+                }
+                TraceEvent::Finished {
+                    task,
+                    worker,
+                    at_ns,
+                    panicked,
+                } => {
+                    if let Some((start, name)) = start_of.remove(&(*worker, *task)) {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        let label = name
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| format!("task {}", task.raw()));
+                        out.push_str(&format!(
+                            "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"panicked\":{}}}}}",
+                            label.replace('"', "'"),
+                            start as f64 / 1_000.0,
+                            at_ns.saturating_sub(start) as f64 / 1_000.0,
+                            worker,
+                            panicked
+                        ));
+                    }
+                }
+                TraceEvent::Ready { .. } => {}
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn duration_to_ns(d: Duration) -> u64 {
+    d.as_secs()
+        .saturating_mul(1_000_000_000)
+        .saturating_add(u64::from(d.subsec_nanos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u64) -> TaskId {
+        TaskId(n)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = TraceRecorder::new(false);
+        r.record(TraceEvent::Ready {
+            task: tid(1),
+            at_ns: 5,
+        });
+        assert!(r.is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_order() {
+        let r = TraceRecorder::new(true);
+        r.record(TraceEvent::Spawned {
+            task: tid(1),
+            name: Some("a".into()),
+            at_ns: 1,
+            deps: 0,
+        });
+        r.record(TraceEvent::Ready {
+            task: tid(1),
+            at_ns: 2,
+        });
+        assert_eq!(r.len(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].task(), tid(1));
+        assert_eq!(snap[0].at_ns(), 1);
+        assert_eq!(snap[1].at_ns(), 2);
+    }
+
+    #[test]
+    fn busy_time_accounts_started_finished_pairs() {
+        let r = TraceRecorder::new(true);
+        r.record(TraceEvent::Started {
+            task: tid(1),
+            worker: 0,
+            at_ns: 100,
+        });
+        r.record(TraceEvent::Started {
+            task: tid(2),
+            worker: 1,
+            at_ns: 150,
+        });
+        r.record(TraceEvent::Finished {
+            task: tid(1),
+            worker: 0,
+            at_ns: 300,
+            panicked: false,
+        });
+        r.record(TraceEvent::Finished {
+            task: tid(2),
+            worker: 1,
+            at_ns: 250,
+            panicked: false,
+        });
+        let busy = r.busy_ns_per_worker();
+        assert_eq!(busy, vec![200, 100]);
+        assert_eq!(r.tasks_per_worker(), vec![1, 1]);
+    }
+
+    #[test]
+    fn unmatched_finished_is_ignored() {
+        let r = TraceRecorder::new(true);
+        r.record(TraceEvent::Finished {
+            task: tid(9),
+            worker: 3,
+            at_ns: 50,
+            panicked: false,
+        });
+        let busy = r.busy_ns_per_worker();
+        assert!(busy.iter().all(|&b| b == 0));
+        assert_eq!(r.tasks_per_worker(), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let r = TraceRecorder::new(true);
+        let a = r.now_ns();
+        let b = r.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn chrome_trace_export_contains_complete_events() {
+        let r = TraceRecorder::new(true);
+        r.record(TraceEvent::Spawned {
+            task: tid(1),
+            name: Some("render".into()),
+            at_ns: 0,
+            deps: 0,
+        });
+        r.record(TraceEvent::Started {
+            task: tid(1),
+            worker: 2,
+            at_ns: 1_000,
+        });
+        r.record(TraceEvent::Finished {
+            task: tid(1),
+            worker: 2,
+            at_ns: 4_000,
+            panicked: false,
+        });
+        let json = r.to_chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"render\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"dur\":3.000"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_recorder_is_empty_array() {
+        let r = TraceRecorder::new(true);
+        assert_eq!(r.to_chrome_trace(), "[]");
+    }
+}

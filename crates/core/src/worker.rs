@@ -1,0 +1,125 @@
+//! Worker threads: the polling execution loop and task execution.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::deque::Worker as WorkerDeque;
+
+use crate::error::Error;
+use crate::graph;
+use crate::runtime::{RuntimeInner, TaskContext};
+use crate::stats::StatField;
+use crate::task::{TaskNode, TaskState};
+use crate::trace::TraceEvent;
+
+/// Main loop of one worker thread.
+///
+/// The loop polls for ready tasks (own deque → global queue → stealing) and
+/// only terminates once the runtime has been shut down *and* no task is in
+/// flight — mirroring the always-polling Nanos++ workers described in the
+/// paper.
+pub(crate) fn worker_loop(
+    inner: Arc<RuntimeInner>,
+    deque: WorkerDeque<Arc<TaskNode>>,
+    worker_id: usize,
+) {
+    loop {
+        match inner.sched.pop(worker_id, Some(&deque)) {
+            Some(node) => {
+                execute_task(&inner, node, Some(worker_id), Some(&deque));
+            }
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst)
+                    && inner.in_flight.load(Ordering::SeqCst) == 0
+                {
+                    break;
+                }
+                inner.sched.idle_wait();
+            }
+        }
+    }
+}
+
+/// Execute one task: run the body, notify successors, update counters.
+///
+/// Also used by nested `taskwait` helpers (with `deque = None`), in which
+/// case woken successors go to the global queue instead of a local deque.
+pub(crate) fn execute_task(
+    inner: &Arc<RuntimeInner>,
+    node: Arc<TaskNode>,
+    worker: Option<usize>,
+    deque: Option<&WorkerDeque<Arc<TaskNode>>>,
+) {
+    node.set_state(TaskState::Running);
+    let trace_enabled = inner.trace.is_enabled();
+    if trace_enabled {
+        inner.trace.record(TraceEvent::Started {
+            task: node.id,
+            worker: worker.unwrap_or(usize::MAX),
+            at_ns: inner.trace.now_ns(),
+        });
+    }
+
+    let body = node
+        .body
+        .lock()
+        .take()
+        .expect("task body executed more than once");
+    let panicked = {
+        let ctx = TaskContext {
+            inner,
+            node: &node,
+            worker,
+            deque,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+        match result {
+            Ok(()) => false,
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                inner.record_panic(Error::TaskPanicked {
+                    task: node.display_name(),
+                    message,
+                });
+                true
+            }
+        }
+    };
+
+    if trace_enabled {
+        inner.trace.record(TraceEvent::Finished {
+            task: node.id,
+            worker: worker.unwrap_or(usize::MAX),
+            at_ns: inner.trace.now_ns(),
+            panicked,
+        });
+    }
+
+    // Wake successors (a panicked task still releases its dependants so the
+    // graph always drains).
+    let ready = graph::complete(&node);
+    for succ in ready {
+        if trace_enabled {
+            inner.trace.record(TraceEvent::Ready {
+                task: succ.id,
+                at_ns: inner.trace.now_ns(),
+            });
+        }
+        inner.sched.push_wakeup(succ, deque);
+    }
+
+    inner.stats.add(StatField::TasksExecuted, 1);
+    node.parent_children.child_done();
+    inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

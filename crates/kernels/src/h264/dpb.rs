@@ -1,0 +1,273 @@
+//! The Picture Info Buffer (PIB) and Decoded Picture Buffer (DPB).
+//!
+//! In the paper's decoder these two buffers are deliberately **hidden from
+//! the dependence system**: which entry a task will use is only known when
+//! the task executes, so the buffers are not named in any `input`/`output`
+//! clause. Instead, the fetch and release operations inside the task bodies
+//! are protected with `omp critical`. The types here reproduce that
+//! structure: `fetch_*` finds and claims a free entry, `release` returns it;
+//! callers are responsible for wrapping the calls in a critical section (the
+//! OmpSs benchmark variant does exactly that, and the unit tests exercise the
+//! unsynchronised single-thread behaviour).
+
+use super::model::{DecodedFrame, FrameHeader};
+
+/// One entry of the Picture Info Buffer: header metadata for an in-flight
+/// frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PictureInfo {
+    /// Header parsed for this frame.
+    pub header: FrameHeader,
+    /// Whether this entry is currently claimed.
+    pub in_use: bool,
+}
+
+/// The Picture Info Buffer: a fixed pool of picture-metadata entries.
+#[derive(Debug, Clone)]
+pub struct PictureInfoBuffer {
+    entries: Vec<Option<PictureInfo>>,
+}
+
+impl PictureInfoBuffer {
+    /// Create a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PIB capacity must be positive");
+        PictureInfoBuffer {
+            entries: vec![None; capacity],
+        }
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of claimed entries.
+    pub fn in_use(&self) -> usize {
+        self.entries.iter().flatten().filter(|e| e.in_use).count()
+    }
+
+    /// Claim a free entry for `header`, returning its index; `None` when the
+    /// pool is exhausted.
+    pub fn fetch(&mut self, header: FrameHeader) -> Option<usize> {
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            let free = slot.as_ref().map_or(true, |e| !e.in_use);
+            if free {
+                *slot = Some(PictureInfo {
+                    header,
+                    in_use: true,
+                });
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Read the entry at `index`.
+    pub fn get(&self, index: usize) -> Option<&PictureInfo> {
+        self.entries.get(index).and_then(|e| e.as_ref())
+    }
+
+    /// Release the entry at `index`.
+    ///
+    /// # Panics
+    /// Panics if the entry is not currently claimed.
+    pub fn release(&mut self, index: usize) {
+        let entry = self.entries[index]
+            .as_mut()
+            .expect("releasing an empty PIB entry");
+        assert!(entry.in_use, "releasing a PIB entry that is not in use");
+        entry.in_use = false;
+    }
+}
+
+/// One entry of the Decoded Picture Buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DpbEntry {
+    frame: DecodedFrame,
+    /// Claimed by a reconstruction in progress or still needed as a
+    /// reference / for output.
+    in_use: bool,
+}
+
+/// The Decoded Picture Buffer: a fixed pool of frame-sized pixel buffers that
+/// reconstruction allocates from and the output stage releases.
+#[derive(Debug, Clone)]
+pub struct DecodedPictureBuffer {
+    entries: Vec<Option<DpbEntry>>,
+    width: usize,
+    height: usize,
+}
+
+impl DecodedPictureBuffer {
+    /// Create a DPB of `capacity` frame buffers of the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, width: usize, height: usize) -> Self {
+        assert!(capacity > 0, "DPB capacity must be positive");
+        DecodedPictureBuffer {
+            entries: vec![None; capacity],
+            width,
+            height,
+        }
+    }
+
+    /// Number of frame buffers.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of claimed buffers.
+    pub fn in_use(&self) -> usize {
+        self.entries.iter().flatten().filter(|e| e.in_use).count()
+    }
+
+    /// Claim a free buffer for frame `frame_num`, returning its index;
+    /// `None` when the pool is exhausted.
+    pub fn fetch(&mut self, frame_num: u32) -> Option<usize> {
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            let free = slot.as_ref().map_or(true, |e| !e.in_use);
+            if free {
+                *slot = Some(DpbEntry {
+                    frame: DecodedFrame::new(frame_num, self.width, self.height),
+                    in_use: true,
+                });
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Store reconstructed pixels into the buffer at `index`.
+    ///
+    /// # Panics
+    /// Panics if the entry is not claimed or the pixel count mismatches.
+    pub fn store(&mut self, index: usize, frame: DecodedFrame) {
+        let entry = self.entries[index]
+            .as_mut()
+            .expect("storing into an empty DPB entry");
+        assert!(entry.in_use, "storing into a DPB entry that is not in use");
+        assert_eq!(
+            frame.pixels.len(),
+            self.width * self.height,
+            "pixel count mismatch"
+        );
+        entry.frame = frame;
+    }
+
+    /// Read the frame stored at `index`.
+    pub fn get(&self, index: usize) -> Option<&DecodedFrame> {
+        self.entries
+            .get(index)
+            .and_then(|e| e.as_ref())
+            .map(|e| &e.frame)
+    }
+
+    /// Find the buffer currently holding frame `frame_num` (used to locate
+    /// the reference frame of a P frame).
+    pub fn find_frame(&self, frame_num: u32) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.as_ref()
+                .map_or(false, |e| e.in_use && e.frame.frame_num == frame_num)
+        })
+    }
+
+    /// Release the buffer at `index` so it can be reused.
+    ///
+    /// # Panics
+    /// Panics if the entry is not currently claimed.
+    pub fn release(&mut self, index: usize) {
+        let entry = self.entries[index]
+            .as_mut()
+            .expect("releasing an empty DPB entry");
+        assert!(entry.in_use, "releasing a DPB entry that is not in use");
+        entry.in_use = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::h264::model::FrameType;
+
+    fn header(n: u32) -> FrameHeader {
+        FrameHeader {
+            frame_num: n,
+            frame_type: FrameType::Intra,
+            mb_cols: 2,
+            mb_rows: 2,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PIB capacity must be positive")]
+    fn zero_capacity_pib_panics() {
+        let _ = PictureInfoBuffer::new(0);
+    }
+
+    #[test]
+    fn pib_fetch_release_cycle() {
+        let mut pib = PictureInfoBuffer::new(2);
+        let a = pib.fetch(header(0)).unwrap();
+        let b = pib.fetch(header(1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pib.in_use(), 2);
+        assert!(pib.fetch(header(2)).is_none(), "pool exhausted");
+        pib.release(a);
+        assert_eq!(pib.in_use(), 1);
+        let c = pib.fetch(header(3)).unwrap();
+        assert_eq!(c, a, "released entry is reused");
+        assert_eq!(pib.get(c).unwrap().header.frame_num, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in use")]
+    fn pib_double_release_panics() {
+        let mut pib = PictureInfoBuffer::new(1);
+        let i = pib.fetch(header(0)).unwrap();
+        pib.release(i);
+        pib.release(i);
+    }
+
+    #[test]
+    fn dpb_fetch_store_find_release() {
+        let mut dpb = DecodedPictureBuffer::new(3, 16, 16);
+        assert_eq!(dpb.capacity(), 3);
+        let i0 = dpb.fetch(0).unwrap();
+        let i1 = dpb.fetch(1).unwrap();
+        assert_eq!(dpb.in_use(), 2);
+        let mut f = DecodedFrame::new(1, 16, 16);
+        f.pixels[0] = 42;
+        dpb.store(i1, f);
+        assert_eq!(dpb.get(i1).unwrap().pixels[0], 42);
+        assert_eq!(dpb.find_frame(1), Some(i1));
+        assert_eq!(dpb.find_frame(0), Some(i0));
+        assert_eq!(dpb.find_frame(9), None);
+        dpb.release(i0);
+        assert_eq!(dpb.find_frame(0), None, "released frames are not found");
+    }
+
+    #[test]
+    fn dpb_exhaustion_and_reuse() {
+        let mut dpb = DecodedPictureBuffer::new(2, 16, 16);
+        let a = dpb.fetch(0).unwrap();
+        let _b = dpb.fetch(1).unwrap();
+        assert!(dpb.fetch(2).is_none());
+        dpb.release(a);
+        let c = dpb.fetch(2).unwrap();
+        assert_eq!(c, a);
+        assert_eq!(dpb.get(c).unwrap().frame_num, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn dpb_store_wrong_size_panics() {
+        let mut dpb = DecodedPictureBuffer::new(1, 16, 16);
+        let i = dpb.fetch(0).unwrap();
+        dpb.store(i, DecodedFrame::new(0, 8, 8));
+    }
+}

@@ -1,0 +1,48 @@
+//! `h264dec`: a synthetic H.264-like video decoder with the paper's 5-stage
+//! pipeline structure.
+//!
+//! The paper's case study (Section 3, Listing 1) parallelises an H.264
+//! decoder whose main loop has five stages:
+//!
+//! 1. **read** — read the bitstream and split it into frames,
+//! 2. **parse** — parse the frame header, allocate a Picture Info entry,
+//! 3. **entropy decode (ED)** — extract the syntax elements of every
+//!    macroblock,
+//! 4. **reconstruct** — allocate a picture in the Decoded Picture Buffer and
+//!    rebuild the pixels from syntax elements and motion vectors,
+//! 5. **output** — reorder and emit decoded pictures.
+//!
+//! We cannot ship copyrighted H.264 conformance streams, so this module
+//! implements a *synthetic but faithful* codec with the same dependency
+//! structure: 16×16 macroblocks, intra (I) and motion-compensated (P)
+//! frames, exp-Golomb entropy coding of motion vectors and residuals, a
+//! decoded-picture buffer that reconstruction allocates from and output
+//! releases to, and an in-order output stage. Encoding is lossless, so
+//! `decode(encode(video)) == video` is the correctness oracle used by every
+//! benchmark variant.
+//!
+//! Submodules:
+//!
+//! * [`bitstream`] — bit-level reader/writer with exp-Golomb codes,
+//! * [`model`] — frame/macroblock types, synthetic video generation, the
+//!   encoder,
+//! * [`dpb`] — the Picture Info Buffer and Decoded Picture Buffer,
+//! * [`decoder`] — the five stage functions and the sequential reference
+//!   decoder built from them.
+
+pub mod bitstream;
+pub mod decoder;
+pub mod dpb;
+pub mod model;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use decoder::{
+    decode_sequence, entropy_decode_frame, output_frame, parse_header, read_frame,
+    reconstruct_frame, DecoderContexts, EntropyContext, NalContext, OutputContext, ReadContext,
+    ReconstructContext,
+};
+pub use dpb::{DecodedPictureBuffer, PictureInfoBuffer};
+pub use model::{
+    encode_sequence, generate_video, DecodedFrame, EncodedFrame, EncodedStream, FrameHeader,
+    FrameType, MacroblockSyntax, VideoParams, MB_SIZE,
+};

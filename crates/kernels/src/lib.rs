@@ -1,0 +1,38 @@
+//! # kernels — computational kernels of the 10 embedded/consumer benchmarks
+//!
+//! This crate holds the *pure* computational code of every benchmark in the
+//! paper's suite (Table 1), with no threading of any kind. The sequential,
+//! Pthreads-style and OmpSs-style benchmark variants in the `benchsuite`
+//! crate all call into these functions, which guarantees that the three
+//! variants of a benchmark perform exactly the same computation — the
+//! property the paper relies on when it says "the Pthreads and OmpSs variants
+//! exploit the same parallelism".
+//!
+//! | Module | Benchmark(s) | Computation |
+//! |--------|--------------|-------------|
+//! | [`cray`] | c-ray, ray-rot | sphere ray tracer |
+//! | [`rotate`] | rotate, ray-rot, rot-cc | bilinear image rotation |
+//! | [`rgbcmy`] | rgbcmy, rot-cc | RGB → CMYK colour conversion |
+//! | [`md5`] | md5 | RFC 1321 message digest over many buffers |
+//! | [`kmeans`] | kmeans | Lloyd's k-means clustering |
+//! | [`streamcluster`] | streamcluster | online k-median clustering |
+//! | [`bodytrack`] | bodytrack | annealed particle filter |
+//! | [`h264`] | h264dec | synthetic 5-stage H.264-like decoder |
+//! | [`image`] | (shared) | image containers and quality metrics |
+//! | [`workload`] | (shared) | deterministic synthetic input generators |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bodytrack;
+pub mod cray;
+pub mod h264;
+pub mod image;
+pub mod kmeans;
+pub mod md5;
+pub mod rgbcmy;
+pub mod rotate;
+pub mod streamcluster;
+pub mod workload;
+
+pub use image::{ImageCmyk, ImageGray, ImageRgb};

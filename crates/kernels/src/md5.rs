@@ -1,0 +1,238 @@
+//! `md5`: the RFC 1321 message digest, applied to many independent buffers.
+//!
+//! The benchmark hashes a large set of buffers; each buffer is an independent
+//! work unit ([`md5_digest`]), which is what both the Pthreads and OmpSs
+//! variants parallelise over.
+
+/// A 16-byte MD5 digest.
+pub type Digest = [u8; 16];
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Incremental MD5 state.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Create a fresh MD5 state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        // Fill the partial block first.
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        // Whole blocks.
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process_block(&block);
+            data = &data[64..];
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros until 56 mod 64, then the length.
+        self.update(&[0x80]);
+        // update() above also bumped total_len; the length we append was
+        // captured before padding, as RFC 1321 requires.
+        while self.buffer_len != 56 {
+            self.update(&[0]);
+        }
+        self.total_len = 0; // silence further accounting; we finish manually
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        self.process_block(&block);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let rot = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]);
+            b = b.wrapping_add(rot);
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// Digest a whole buffer in one call (the benchmark's per-buffer work unit).
+pub fn md5_digest(data: &[u8]) -> Digest {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Render a digest as the conventional 32-character lowercase hex string.
+pub fn to_hex(digest: &Digest) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Digest every buffer sequentially (the sequential reference of the
+/// benchmark).
+pub fn md5_many(buffers: &[Vec<u8>]) -> Vec<Digest> {
+    buffers.iter().map(|b| md5_digest(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// RFC 1321 appendix A.5 test vectors.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(to_hex(&md5_digest(input.as_bytes())), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = md5_digest(&data);
+        let mut h = Md5::new();
+        for chunk in data.chunks(17) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths around the 55/56/63/64 padding boundaries are the classic
+        // failure cases.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xabu8; len];
+            let d1 = md5_digest(&data);
+            let mut h = Md5::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), d1, "length {len}");
+        }
+    }
+
+    #[test]
+    fn md5_many_matches_individual() {
+        let buffers: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; i * 13 + 1]).collect();
+        let all = md5_many(&buffers);
+        for (i, buf) in buffers.iter().enumerate() {
+            assert_eq!(all[i], md5_digest(buf));
+        }
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(md5_digest(b"hello"), md5_digest(b"hellp"));
+    }
+
+    proptest! {
+        /// Splitting the input at any point gives the same digest as hashing
+        /// it in one shot.
+        #[test]
+        fn prop_incremental_split_invariant(data in proptest::collection::vec(0u8.., 0..300), split_frac in 0.0f64..1.0) {
+            let split = ((data.len() as f64) * split_frac) as usize;
+            let oneshot = md5_digest(&data);
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), oneshot);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # simsched — a discrete-event multicore scheduling simulator
+//!
+//! The paper evaluates OmpSs against Pthreads on a 32-core, 4-socket
+//! cc-NUMA machine. This reproduction runs on whatever host it is given
+//! (possibly a single core), so the 1–32-core scaling study of Table 1 is
+//! regenerated with a simulator that executes both *runtime models* in
+//! virtual time:
+//!
+//! * the **OmpSs model** ([`ompss`]) — a task-graph runtime: the master
+//!   creates tasks serially (paying a per-task creation overhead), ready
+//!   tasks are greedily scheduled onto virtual cores, dependent tasks prefer
+//!   their producer's core (earning a cache-locality bonus on the
+//!   memory-bound fraction of their work), and phases end with a cheap
+//!   polling barrier;
+//! * the **Pthreads model** ([`pthreads`]) — static SPMD threading: work
+//!   items are block-partitioned over threads, every phase ends with a
+//!   blocking barrier whose cost grows with the thread count, and pipelines
+//!   are executed with one thread per stage (plus a line-parallel
+//!   reconstruction stage for `h264dec`, mirroring the highly optimised
+//!   Pthreads decoder of the paper).
+//!
+//! The per-benchmark workload descriptors in [`workloads`] encode the
+//! *structure* of each of the 10 benchmarks (task counts, task cost
+//! distributions, memory-bound fractions, dependency patterns, phase/barrier
+//! cadence, pipeline shape), and [`table1`] combines everything into the
+//! paper's Table 1: the speedup of the OmpSs variant over the Pthreads
+//! variant per benchmark and core count.
+//!
+//! The goal is to reproduce the *shape* of the published numbers — which
+//! model wins on which benchmark at which core count and by roughly what
+//! factor — not the third decimal of the original measurements (the original
+//! hardware is not available).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dag;
+pub mod machine;
+pub mod ompss;
+pub mod pthreads;
+pub mod table1;
+pub mod workloads;
+
+pub use dag::{ScheduleResult, SimDag, SimTaskSpec};
+pub use machine::MachineParams;
+pub use table1::{paper_table1, simulate_table1, Table1, Table1Row, PAPER_CORE_COUNTS};
+pub use workloads::{benchmark_names, BenchmarkWorkload};

@@ -1,0 +1,187 @@
+//! The Pthreads execution model: static SPMD threading, blocking barriers,
+//! and the hand-optimised line-parallel H.264 decoder.
+
+use crate::machine::MachineParams;
+use crate::workloads::{BenchmarkWorkload, Phase, PipelineShape, Structure};
+
+/// Virtual execution time of `workload` under the Pthreads model on `cores`
+/// threads.
+pub fn execution_time_ns(
+    workload: &BenchmarkWorkload,
+    cores: usize,
+    machine: &MachineParams,
+) -> u64 {
+    match &workload.structure {
+        Structure::Phased(phases) => phased_time_ns(phases, cores, machine),
+        Structure::Pipeline(shape) => pipeline_time_ns(shape, cores, machine),
+    }
+}
+
+/// Phased SPMD execution: every phase is statically partitioned over the
+/// threads (cyclic distribution of work items, which is what the
+/// hand-written codes use to smooth out load imbalance), every phase ends
+/// with a blocking barrier, and the serial sections run on thread 0 while
+/// the others wait at the next barrier.
+///
+/// Producer→consumer phase pairs still need a barrier in this model: the
+/// consumer phase cannot start before all threads finished producing,
+/// because the static partitions do not line up with readiness of individual
+/// items. There is also no cache-locality bonus: by the time a thread
+/// returns to item `i` in the consumer phase, the whole partition of the
+/// producer phase has flowed through its cache.
+pub fn phased_time_ns(phases: &[Phase], cores: usize, machine: &MachineParams) -> u64 {
+    assert!(cores > 0, "need at least one thread");
+    let mut total = machine.thread_create_ns * cores.saturating_sub(1) as u64;
+    for phase in phases {
+        total += phase.serial_ns;
+        // Cyclic (round-robin) static distribution of the work items.
+        let mut thread_time = vec![0u64; cores];
+        for (i, task) in phase.tasks.iter().enumerate() {
+            thread_time[i % cores] += task.cost_ns;
+        }
+        let phase_time = thread_time.into_iter().max().unwrap_or(0);
+        total += phase_time + machine.blocking_barrier_ns(cores);
+    }
+    total
+}
+
+/// Wavefront ("line decoding") efficiency of the hand-optimised Pthreads
+/// decoder: close to ideal at low thread counts, degrading with
+/// synchronisation and dependence stalls as threads are added (cf. Chi &
+/// Juurlink, ICS'11).
+fn wavefront_efficiency(cores: usize) -> f64 {
+    1.0 / (1.0 + 0.032 * cores as f64)
+}
+
+/// Pipeline execution under the Pthreads model. The hand-written decoder
+/// does not use a stage-per-thread pipeline; it decodes entropy for several
+/// frames in flight on dedicated threads and reconstructs macroblock lines
+/// with a wavefront over all remaining threads — which is why it keeps
+/// scaling where the task-grouped OmpSs version saturates.
+pub fn pipeline_time_ns(shape: &PipelineShape, cores: usize, machine: &MachineParams) -> u64 {
+    let per_frame_serial =
+        shape.read_ns + shape.parse_ns + shape.entropy_ns + shape.reconstruct_ns + shape.output_ns;
+    if cores == 1 {
+        // Plain sequential decode.
+        return shape.frames as u64 * per_frame_serial;
+    }
+    let eff = wavefront_efficiency(cores);
+    // Wavefront parallelism within a frame is bounded by half the macroblock
+    // rows (diagonal dependences keep only every other row active).
+    let max_parallel = (shape.mb_rows as f64 / 2.0).max(1.0);
+    let usable = (cores as f64 * eff).min(max_parallel);
+    // Entropy decoding overlaps with reconstruction of other frames; it only
+    // bounds throughput when fewer than ~2 threads' worth of ED capacity is
+    // left over.
+    let ed_threads = (cores as f64 * 0.2).max(1.0);
+    let ed_bound = shape.entropy_ns as f64 / ed_threads;
+    let rec_bound = shape.reconstruct_ns as f64 / usable
+        + shape.mb_rows as f64 * 350.0 * (1.0 + 0.02 * cores as f64);
+    let small = (shape.read_ns + shape.parse_ns + shape.output_ns) as f64;
+    let per_frame = ed_bound.max(rec_bound).max(small);
+    let fill = per_frame_serial as f64; // pipeline fill/drain
+    (shape.frames as f64 * per_frame + fill) as u64
+        + machine.thread_create_ns * cores.saturating_sub(1) as u64
+        + machine.blocking_barrier_ns(cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{workload, Structure};
+
+    fn machine() -> MachineParams {
+        MachineParams::default()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = phased_time_ns(&[], 0, &machine());
+    }
+
+    #[test]
+    fn single_phase_scales_with_threads() {
+        let phases = vec![Phase::uniform(256, 1_000_000, 0.3)];
+        let t1 = phased_time_ns(&phases, 1, &machine());
+        let t8 = phased_time_ns(&phases, 8, &machine());
+        assert!(t8 < t1 / 4);
+    }
+
+    #[test]
+    fn barrier_cost_hurts_short_phases_at_scale() {
+        // Many very short phases: the per-phase blocking barrier dominates at
+        // 32 threads.
+        let phases: Vec<Phase> = (0..50).map(|_| Phase::uniform(32, 100_000, 0.2)).collect();
+        let t16 = phased_time_ns(&phases, 16, &machine());
+        let t32 = phased_time_ns(&phases, 32, &machine());
+        assert!(
+            t32 > t16,
+            "adding threads to barrier-bound phases must backfire: {t32} vs {t16}"
+        );
+    }
+
+    #[test]
+    fn cyclic_distribution_balances_bell_shaped_load() {
+        // A bell-shaped load (like c-ray scanlines) is well balanced by the
+        // cyclic distribution: phase time should be close to work / cores.
+        let w = workload("c-ray");
+        let phases = match &w.structure {
+            Structure::Phased(p) => p.clone(),
+            _ => unreachable!(),
+        };
+        let total_work: u64 = phases.iter().map(|p| p.total_work_ns()).sum();
+        let t16 = phased_time_ns(&phases, 16, &machine());
+        let ideal = total_work / 16;
+        assert!(
+            t16 < ideal + ideal / 5 + 3_000_000,
+            "cyclic partitioning should be within ~20% of ideal: {t16} vs {ideal}"
+        );
+    }
+
+    #[test]
+    fn serial_sections_are_charged() {
+        let mut p = Phase::uniform(4, 100_000, 0.0);
+        p.serial_ns = 9_000_000;
+        let with = phased_time_ns(&[p.clone()], 4, &machine());
+        p.serial_ns = 0;
+        let without = phased_time_ns(&[p], 4, &machine());
+        assert_eq!(with - without, 9_000_000);
+    }
+
+    #[test]
+    fn pipeline_scales_beyond_the_ompss_grouping_cap() {
+        let shape = match workload("h264dec").structure {
+            Structure::Pipeline(p) => p,
+            _ => unreachable!(),
+        };
+        let m = machine();
+        let t1 = pipeline_time_ns(&shape, 1, &m);
+        let t8 = pipeline_time_ns(&shape, 8, &m);
+        let t32 = pipeline_time_ns(&shape, 32, &m);
+        let s8 = t1 as f64 / t8 as f64;
+        let s32 = t1 as f64 / t32 as f64;
+        assert!(s8 > 4.0, "line decoding scales well at 8 threads: {s8:.2}");
+        assert!(
+            s32 > s8 * 1.5,
+            "line decoding keeps scaling to 32 threads: s8={s8:.2} s32={s32:.2}"
+        );
+    }
+
+    #[test]
+    fn wavefront_efficiency_decreases() {
+        assert!(wavefront_efficiency(1) > wavefront_efficiency(8));
+        assert!(wavefront_efficiency(8) > wavefront_efficiency(32));
+        assert!(wavefront_efficiency(32) > 0.3);
+    }
+
+    #[test]
+    fn all_workloads_simulate_without_panicking() {
+        for w in crate::workloads::all_workloads() {
+            for cores in [1usize, 8, 32] {
+                let t = execution_time_ns(&w, cores, &machine());
+                assert!(t > 0, "{} at {cores} cores", w.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # threadkit — a Pthreads-equivalent manual threading substrate
+//!
+//! The paper compares OmpSs against hand-written POSIX-threads
+//! implementations of every benchmark. This crate provides, in Rust, the
+//! primitives those hand-written versions are built from, so that the
+//! `benchsuite` crate can express its "Pthreads variant" of each benchmark
+//! the same way the original C code does:
+//!
+//! * [`ThreadTeam`] — a persistent SPMD team of worker threads: every call to
+//!   [`ThreadTeam::run`] executes the same closure on all members
+//!   (fork-join, like `pthread_create` once + per-phase barriers).
+//! * [`BlockingBarrier`] / [`SpinBarrier`] — the classic
+//!   `pthread_barrier_t`-style blocking barrier and a busy-waiting
+//!   alternative (the distinction Section 4 of the paper uses to explain the
+//!   `rgbcmy` results).
+//! * [`BoundedQueue`] — a mutex/condvar bounded MPMC queue, the building
+//!   block of hand-rolled pipelines.
+//! * [`Pipeline`] — a thread-per-stage pipeline connected by bounded queues
+//!   (what the Pthreads `h264dec` uses instead of task annotations).
+//! * [`partition`] — static work-partitioning helpers (block and cyclic).
+//! * [`parallel_for`] — one-shot statically-chunked data-parallel loop over
+//!   scoped threads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod partition;
+pub mod pipeline;
+pub mod pool;
+pub mod queue;
+pub mod team;
+
+pub use barrier::{BlockingBarrier, SpinBarrier};
+pub use pipeline::{Pipeline, PipelineStats};
+pub use pool::JobPool;
+pub use queue::{BoundedQueue, QueueClosed};
+pub use team::{parallel_for, TeamCtx, ThreadTeam};

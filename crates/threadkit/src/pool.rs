@@ -1,0 +1,210 @@
+//! A job-queue thread pool: the "worker threads pulling work items off a
+//! shared queue" pattern that Pthreads codes use when static partitioning
+//! would load-imbalance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<std::collections::VecDeque<Job>>,
+    available: Condvar,
+    idle: Condvar,
+    idle_lock: Mutex<()>,
+    outstanding: AtomicUsize,
+    stop: std::sync::atomic::AtomicBool,
+}
+
+/// A fixed-size pool of worker threads executing submitted jobs.
+pub struct JobPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl JobPool {
+    /// Create a pool with `num_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            available: Condvar::new(),
+            idle: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            outstanding: AtomicUsize::new(0),
+            stop: std::sync::atomic::AtomicBool::new(false),
+        });
+        let threads = (0..num_threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("threadkit-pool-{i}"))
+                    .spawn(move || pool_worker(shared))
+                    .expect("failed to spawn pool thread")
+            })
+            .collect();
+        JobPool { shared, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Submit a job for execution.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.shared.queue.lock().push_back(Box::new(job));
+        self.shared.available.notify_one();
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.outstanding.load(Ordering::SeqCst) > 0 {
+            self.shared.idle.wait(&mut guard);
+        }
+    }
+
+    /// Shut the pool down after draining the queue (also happens on drop).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.wait_idle();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for JobPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JobPool({} threads, {} outstanding)",
+            self.num_threads(),
+            self.outstanding()
+        )
+    }
+}
+
+fn pool_worker(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.available.wait(&mut queue);
+            }
+        };
+        job();
+        let left = shared.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
+        if left == 0 {
+            let _g = shared.idle_lock.lock();
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = JobPool::new(0);
+    }
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = JobPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns_immediately() {
+        let pool = JobPool::new(1);
+        pool.wait_idle();
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn jobs_submitted_after_wait_idle_still_run() {
+        let pool = JobPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = counter.clone();
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        let c = counter.clone();
+        pool.submit(move || {
+            c.fetch_add(10, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = JobPool::new(2);
+            for _ in 0..50 {
+                let c = counter.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // pool dropped here
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn debug_format() {
+        let pool = JobPool::new(2);
+        assert!(format!("{pool:?}").contains("2 threads"));
+    }
+}

@@ -1,0 +1,77 @@
+//! The Section 3 case study as a runnable example: pipelining the H.264
+//! decoder main loop with OmpSs tasks (Listing 1 of the paper).
+//!
+//! The example builds a synthetic encoded stream, then decodes it three
+//! times — sequentially, with a hand-rolled Pthreads-style pipeline, and
+//! with the Listing-1 OmpSs task pipeline — and verifies all three produce
+//! identical video.
+//!
+//! Run with `cargo run --release --example h264_pipeline [workers]`.
+
+use std::time::Instant;
+
+use benchsuite::benchmarks::h264dec::{self, Params};
+use kernels::h264::VideoParams;
+use ompss::{Runtime, RuntimeConfig};
+
+fn main() {
+    let workers = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        });
+
+    let params = Params {
+        video: VideoParams {
+            width: 160,
+            height: 96,
+            frames: 24,
+            gop: 6,
+            seed: 42,
+        },
+        window: 4,
+        pool: 8,
+    };
+    println!(
+        "decoding a synthetic {}x{} stream, {} frames, ring depth N = {}",
+        params.video.width, params.video.height, params.video.frames, params.window
+    );
+
+    let t = Instant::now();
+    let seq = h264dec::run_seq(&params);
+    println!("sequential:        {:>10.3?}", t.elapsed());
+
+    let t = Instant::now();
+    let pth = h264dec::run_pthreads(&params, workers);
+    println!("pthreads pipeline: {:>10.3?}", t.elapsed());
+
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(workers)
+            .with_tracing(true),
+    );
+    let t = Instant::now();
+    let omp = h264dec::run_ompss(&params, &rt);
+    println!("ompss tasks:       {:>10.3?}  ({} workers)", t.elapsed(), workers);
+
+    assert_eq!(seq, pth, "pthreads output differs from sequential");
+    assert_eq!(seq, omp, "ompss output differs from sequential");
+    println!("all variants decoded identical video (checksum {seq:#018x})");
+
+    let stats = rt.stats();
+    println!(
+        "\nOmpSs task graph: {} tasks, {} dependence edges ({:.2} per task), {} taskwait_on calls",
+        stats.tasks_spawned,
+        stats.edges_added,
+        stats.mean_edges_per_task(),
+        stats.taskwait_ons
+    );
+    println!(
+        "The read/parse/entropy/reconstruct/output tasks of each iteration are chained by\n\
+         their inout context arguments, and iterations are decoupled by the circular\n\
+         buffers of depth N — exactly the structure of Listing 1 in the paper."
+    );
+}

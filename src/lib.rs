@@ -1,0 +1,18 @@
+//! Umbrella crate for the OmpSs PPoPP'12 reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the workspace-level
+//! examples (`examples/`) and integration tests (`tests/`) can refer to every
+//! subsystem through a single dependency. The actual functionality lives in:
+//!
+//! * [`ompss`] — the OmpSs-style task runtime (the paper's subject),
+//! * [`threadkit`] — the Pthreads-equivalent manual threading substrate,
+//! * [`kernels`] — the computational kernels of the 10 benchmarks,
+//! * [`benchsuite`] — sequential / Pthreads / OmpSs variants of each benchmark,
+//! * [`simsched`] — the discrete-event multicore simulator used for the
+//!   1–32 core scaling study (Table 1).
+
+pub use benchsuite;
+pub use kernels;
+pub use ompss;
+pub use simsched;
+pub use threadkit;

@@ -1,0 +1,159 @@
+//! Property-based integration tests: randomly generated task programs
+//! executed on the OmpSs-style runtime must produce exactly the result of
+//! executing the same program sequentially in spawn order.
+//!
+//! This is the strongest end-to-end statement about the dependence system:
+//! whatever interleaving the scheduler picks, the observable outcome equals
+//! the sequential semantics of the annotated program.
+
+use proptest::prelude::*;
+
+use ompss::{Runtime, RuntimeConfig, SchedulerPolicy};
+
+/// One step of a random program over a fixed set of cells.
+#[derive(Debug, Clone)]
+enum Op {
+    /// cells[dst] = constant
+    Set { dst: usize, value: u64 },
+    /// cells[dst] += cells[src] (reads src, read-modify-writes dst)
+    AddFrom { dst: usize, src: usize },
+    /// cells[dst] *= 3 (read-modify-write)
+    Triple { dst: usize },
+}
+
+fn op_strategy(cells: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cells, 0u64..100).prop_map(|(dst, value)| Op::Set { dst, value }),
+        (0..cells, 0..cells).prop_map(|(dst, src)| Op::AddFrom { dst, src }),
+        (0..cells).prop_map(|dst| Op::Triple { dst }),
+    ]
+}
+
+/// Reference semantics: execute the ops in order on a plain vector.
+fn run_sequential(cells: usize, ops: &[Op]) -> Vec<u64> {
+    let mut v = vec![0u64; cells];
+    for op in ops {
+        match *op {
+            Op::Set { dst, value } => v[dst] = value,
+            Op::AddFrom { dst, src } => v[dst] = v[dst].wrapping_add(v[src]),
+            Op::Triple { dst } => v[dst] = v[dst].wrapping_mul(3),
+        }
+    }
+    v
+}
+
+/// Task semantics: one task per op, with accesses declared exactly as the op
+/// needs them; the runtime's dependence analysis must reconstruct the
+/// sequential order wherever it matters.
+fn run_tasked(cells: usize, ops: &[Op], workers: usize, policy: SchedulerPolicy) -> Vec<u64> {
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(workers)
+            .with_policy(policy),
+    );
+    let handles: Vec<_> = (0..cells).map(|_| rt.data(0u64)).collect();
+    for op in ops {
+        match *op {
+            Op::Set { dst, value } => {
+                let d = handles[dst].clone();
+                rt.task().output(&d).spawn(move |ctx| {
+                    *ctx.write(&d) = value;
+                });
+            }
+            Op::AddFrom { dst, src } if dst != src => {
+                let d = handles[dst].clone();
+                let s = handles[src].clone();
+                rt.task().inout(&d).input(&s).spawn(move |ctx| {
+                    let add = *ctx.read(&s);
+                    let mut d = ctx.write(&d);
+                    *d = d.wrapping_add(add);
+                });
+            }
+            Op::AddFrom { dst, .. } => {
+                // src == dst: a single inout access doubling the cell.
+                let d = handles[dst].clone();
+                rt.task().inout(&d).spawn(move |ctx| {
+                    let mut d = ctx.write(&d);
+                    *d = d.wrapping_add(*d);
+                });
+            }
+            Op::Triple { dst } => {
+                let d = handles[dst].clone();
+                rt.task().inout(&d).spawn(move |ctx| {
+                    let mut d = ctx.write(&d);
+                    *d = d.wrapping_mul(3);
+                });
+            }
+        }
+    }
+    rt.taskwait();
+    handles.into_iter().map(|h| rt.into_inner(h)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs over 4 cells on 3 workers match sequential semantics
+    /// under the default (locality work-stealing) policy.
+    #[test]
+    fn random_programs_match_sequential_semantics(
+        ops in proptest::collection::vec(op_strategy(4), 1..60),
+    ) {
+        let expected = run_sequential(4, &ops);
+        let got = run_tasked(4, &ops, 3, SchedulerPolicy::LocalityWorkStealing);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The result is independent of the scheduling policy.
+    #[test]
+    fn result_is_policy_independent(
+        ops in proptest::collection::vec(op_strategy(3), 1..40),
+    ) {
+        let expected = run_sequential(3, &ops);
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Lifo, SchedulerPolicy::WorkStealing] {
+            let got = run_tasked(3, &ops, 2, policy);
+            prop_assert_eq!(&got, &expected, "policy {:?}", policy);
+        }
+    }
+
+    /// The result is independent of the worker count.
+    #[test]
+    fn result_is_worker_count_independent(
+        ops in proptest::collection::vec(op_strategy(5), 1..40),
+        workers in 1usize..5,
+    ) {
+        let expected = run_sequential(5, &ops);
+        let got = run_tasked(5, &ops, workers, SchedulerPolicy::LocalityWorkStealing);
+        prop_assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn partitioned_data_random_chunk_writers() {
+    // Many tasks write random disjoint chunks, then a final task reads the
+    // whole array; the read must observe every write.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(4));
+    let data = rt.partitioned(vec![0u32; 400], 25);
+    for round in 0..3u32 {
+        for chunk in data.chunk_handles() {
+            rt.task().output(&chunk).spawn(move |ctx| {
+                for (i, v) in ctx.write_chunk(&chunk).iter_mut().enumerate() {
+                    *v = round * 1000 + i as u32;
+                }
+            });
+        }
+    }
+    let sum = rt.data(0u64);
+    {
+        let whole = data.whole();
+        let sum = sum.clone();
+        rt.task().input(&whole).inout(&sum).spawn(move |ctx| {
+            *ctx.write(&sum) = ctx.read_whole(&whole).iter().map(|&v| v as u64).sum();
+        });
+    }
+    rt.taskwait();
+    let expected: u64 = (0..16u64)
+        .flat_map(|_| (0..25u64).map(|i| 2000 + i))
+        .sum();
+    assert_eq!(rt.into_inner(sum), expected);
+}

@@ -1,0 +1,257 @@
+//! Integration tests of the OmpSs-style runtime's user-visible semantics:
+//! dependence ordering, taskwait variants, renaming rings, critical
+//! sections, panic containment, and scheduler policies — exercised through
+//! the public API only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ompss::{
+    IdlePolicy, RenameRing, Runtime, RuntimeConfig, SchedulerPolicy,
+};
+
+fn runtime(workers: usize) -> Runtime {
+    Runtime::new(RuntimeConfig::default().with_workers(workers))
+}
+
+#[test]
+fn raw_dependences_order_execution() {
+    let rt = runtime(4);
+    let data = rt.data(vec![0u32; 256]);
+    // A chain of 50 inout tasks must execute strictly in order.
+    for step in 1..=50u32 {
+        let data = data.clone();
+        rt.task().inout(&data).spawn(move |ctx| {
+            let mut d = ctx.write(&data);
+            assert_eq!(d[0], step - 1, "chain executed out of order");
+            d[0] = step;
+        });
+    }
+    rt.taskwait();
+    assert_eq!(rt.into_inner(data)[0], 50);
+}
+
+#[test]
+fn independent_tasks_all_run() {
+    let rt = runtime(4);
+    let counter = Arc::new(AtomicUsize::new(0));
+    for _ in 0..500 {
+        let c = counter.clone();
+        let d = rt.data(0u8);
+        rt.task().output(&d).spawn(move |ctx| {
+            *ctx.write(&d) = 1;
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    rt.taskwait();
+    assert_eq!(counter.load(Ordering::SeqCst), 500);
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_executed, 500);
+    assert_eq!(stats.tasks_in_flight(), 0);
+}
+
+#[test]
+fn taskwait_on_waits_only_for_the_named_data() {
+    let rt = runtime(2);
+    let fast = rt.data(0u64);
+    let slow = rt.data(0u64);
+    let slow_done = Arc::new(AtomicUsize::new(0));
+    {
+        let slow = slow.clone();
+        let slow_done = slow_done.clone();
+        rt.task().output(&slow).spawn(move |ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            *ctx.write(&slow) = 7;
+            slow_done.store(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let fast = fast.clone();
+        rt.task().output(&fast).spawn(move |ctx| {
+            *ctx.write(&fast) = 3;
+        });
+    }
+    rt.taskwait_on(&fast);
+    // The fast task is done; the slow one may or may not be.
+    assert_eq!(rt.fetch(&fast), 3);
+    rt.taskwait();
+    assert_eq!(slow_done.load(Ordering::SeqCst), 1);
+    assert_eq!(rt.fetch(&slow), 7);
+}
+
+#[test]
+fn rename_ring_removes_false_dependences() {
+    // With a ring of depth 4, iterations k and k+1 use different slots and
+    // can overlap; the per-slot chains still serialise k and k+4.
+    let rt = runtime(4);
+    let ring: RenameRing<Vec<u64>> = RenameRing::new(4, |_| Vec::new());
+    for k in 0..32usize {
+        let slot = ring.slot(k).clone();
+        rt.task().inout(&slot).spawn(move |ctx| {
+            ctx.write(&slot).push(k as u64);
+        });
+    }
+    rt.taskwait();
+    for (i, slot) in ring.into_slots().into_iter().enumerate() {
+        let values = slot.try_into_inner().expect("no other handles remain");
+        let expected: Vec<u64> = (0..32).filter(|k| (k % 4) as usize == i).map(|k| k as u64).collect();
+        assert_eq!(values, expected, "slot {i} saw writes out of order");
+    }
+}
+
+#[test]
+fn nested_tasks_and_nested_taskwait() {
+    let rt = runtime(3);
+    let total = rt.data(0u64);
+    {
+        let total = total.clone();
+        rt.task().inout(&total).spawn(move |ctx| {
+            // Spawn children that each produce a value, wait for them, then
+            // combine.
+            let slots: Vec<_> = (0..8u64).map(|_| ompss::Data::new(0u64)).collect();
+            for (i, slot) in slots.iter().enumerate() {
+                let slot = slot.clone();
+                ctx.task().output(&slot).spawn(move |cctx| {
+                    *cctx.write(&slot) = (i as u64 + 1) * 10;
+                });
+            }
+            ctx.taskwait();
+            let sum: u64 = slots
+                .into_iter()
+                .map(|s| s.try_into_inner().expect("children finished"))
+                .sum();
+            *ctx.write(&total) += sum;
+        });
+    }
+    rt.taskwait();
+    assert_eq!(rt.into_inner(total), (1..=8u64).map(|i| i * 10).sum());
+}
+
+#[test]
+fn critical_sections_protect_hidden_state() {
+    let rt = runtime(4);
+    let hidden = Arc::new(std::sync::Mutex::new(Vec::<usize>::new()));
+    for i in 0..200 {
+        let hidden = hidden.clone();
+        let d = rt.data(0u8);
+        rt.task().output(&d).spawn(move |ctx| {
+            *ctx.write(&d) = 1;
+            ctx.critical("hidden", || hidden.lock().unwrap().push(i));
+        });
+    }
+    rt.taskwait();
+    assert_eq!(hidden.lock().unwrap().len(), 200);
+}
+
+#[test]
+fn panicking_tasks_do_not_poison_the_runtime() {
+    let rt = runtime(2);
+    let data = rt.data(0u32);
+    {
+        let data = data.clone();
+        rt.task().name("boom").inout(&data).spawn(move |_ctx| {
+            panic!("injected failure");
+        });
+    }
+    // A dependent task still runs after the panicking predecessor.
+    {
+        let data = data.clone();
+        rt.task().inout(&data).spawn(move |ctx| {
+            *ctx.write(&data) = 99;
+        });
+    }
+    rt.taskwait();
+    let panics = rt.take_panics();
+    assert_eq!(panics.len(), 1);
+    match &panics[0] {
+        ompss::Error::TaskPanicked { task, message } => {
+            assert_eq!(task, "boom");
+            assert!(message.contains("injected failure"));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert_eq!(rt.into_inner(data), 99);
+    assert_eq!(rt.stats().tasks_panicked, 1);
+}
+
+#[test]
+fn all_scheduler_policies_run_the_same_program() {
+    for policy in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Lifo,
+        SchedulerPolicy::WorkStealing,
+        SchedulerPolicy::LocalityWorkStealing,
+    ] {
+        let rt = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(3)
+                .with_policy(policy),
+        );
+        let data = rt.partitioned(vec![0u64; 64], 8);
+        for chunk in data.chunk_handles() {
+            rt.task().output(&chunk).spawn(move |ctx| {
+                for v in ctx.write_chunk(&chunk).iter_mut() {
+                    *v = 5;
+                }
+            });
+        }
+        rt.taskwait();
+        let out = rt.into_vec(data);
+        assert!(out.iter().all(|&v| v == 5), "policy {policy:?} lost writes");
+    }
+}
+
+#[test]
+fn blocking_idle_policy_works() {
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_idle(IdlePolicy::Blocking),
+    );
+    let d = rt.data(0u64);
+    for _ in 0..20 {
+        let d = d.clone();
+        rt.task().inout(&d).spawn(move |ctx| {
+            *ctx.write(&d) += 1;
+        });
+    }
+    rt.taskwait();
+    assert_eq!(rt.into_inner(d), 20);
+}
+
+#[test]
+fn priorities_are_honoured_by_the_scheduler() {
+    // With a single worker and tasks spawned while the worker is busy, the
+    // high-priority task runs before the earlier-spawned low-priority ones.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(1));
+    let order = Arc::new(std::sync::Mutex::new(Vec::<&'static str>::new()));
+    let gate = rt.data(0u8);
+    {
+        // Occupy the single worker so the following spawns queue up.
+        let gate = gate.clone();
+        rt.task().inout(&gate).spawn(move |ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            *ctx.write(&gate) = 1;
+        });
+    }
+    for _ in 0..3 {
+        let order = order.clone();
+        let d = rt.data(0u8);
+        rt.task().priority(0).output(&d).spawn(move |ctx| {
+            *ctx.write(&d) = 1;
+            order.lock().unwrap().push("low");
+        });
+    }
+    {
+        let order = order.clone();
+        let d = rt.data(0u8);
+        rt.task().priority(10).output(&d).spawn(move |ctx| {
+            *ctx.write(&d) = 1;
+            order.lock().unwrap().push("high");
+        });
+    }
+    rt.taskwait();
+    let order = order.lock().unwrap();
+    assert_eq!(order.len(), 4);
+    assert_eq!(order[0], "high", "priority task must run first, got {order:?}");
+}

@@ -1,0 +1,40 @@
+//! Cross-crate integration tests: every benchmark's Pthreads and OmpSs
+//! variants must produce exactly the output of the sequential variant
+//! (the property the paper's methodology relies on).
+
+use benchsuite::{run_benchmark, verify_benchmark, Variant, WorkloadSize};
+
+#[test]
+fn every_benchmark_has_three_agreeing_variants() {
+    for name in benchsuite::benchmark_names() {
+        let checksum = verify_benchmark(name, 3);
+        assert_ne!(checksum, 0, "{name}: checksum should be non-trivial");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_any_benchmark_output() {
+    for name in benchsuite::benchmark_names() {
+        let one = run_benchmark(name, Variant::Pthreads, 1, WorkloadSize::Small).checksum;
+        let many = run_benchmark(name, Variant::Pthreads, 4, WorkloadSize::Small).checksum;
+        assert_eq!(one, many, "{name}: pthreads output depends on thread count");
+    }
+}
+
+#[test]
+fn ompss_worker_count_does_not_change_output() {
+    for name in ["c-ray", "rot-cc", "kmeans", "h264dec"] {
+        let a = run_benchmark(name, Variant::Ompss, 1, WorkloadSize::Small).checksum;
+        let b = run_benchmark(name, Variant::Ompss, 4, WorkloadSize::Small).checksum;
+        assert_eq!(a, b, "{name}: ompss output depends on worker count");
+    }
+}
+
+#[test]
+fn results_are_reproducible_across_runs() {
+    for name in ["md5", "streamcluster", "bodytrack"] {
+        let a = run_benchmark(name, Variant::Ompss, 2, WorkloadSize::Small).checksum;
+        let b = run_benchmark(name, Variant::Ompss, 2, WorkloadSize::Small).checksum;
+        assert_eq!(a, b, "{name}: non-deterministic output");
+    }
+}
