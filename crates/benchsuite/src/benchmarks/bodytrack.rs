@@ -127,7 +127,7 @@ pub fn run_pthreads(p: &Params, threads: usize) -> u64 {
                 let my_len: usize = my_ranges.iter().map(|r| r.len()).sum();
                 let (mine, tail) = rest.split_at_mut(my_len);
                 rest = tail;
-                debug_assert!(my_ranges.first().map_or(true, |r| r.start == offset));
+                debug_assert!(my_ranges.first().is_none_or(|r| r.start == offset));
                 offset += my_len;
                 scope.spawn(move || {
                     let mut local = 0usize;

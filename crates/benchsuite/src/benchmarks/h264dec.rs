@@ -2,13 +2,18 @@
 //!
 //! * The **Pthreads** variant is a hand-rolled thread-per-stage pipeline
 //!   over bounded queues (`threadkit::Pipeline`).
-//! * The **OmpSs** variant reproduces Listing 1 of the paper: one task per
-//!   stage per frame, circular buffers (`RenameRing`) of depth `N` for the
-//!   inter-stage data to remove WAR/WAW hazards, `inout` context arguments
-//!   to keep each stage in order across frames, `taskwait on` the read
-//!   context to detect end-of-stream, and `critical` sections protecting the
-//!   Picture Info Buffer and Decoded Picture Buffer, which are hidden from
-//!   the dependence system.
+//! * The **OmpSs** variant ([`run_ompss`]) uses the runtime's *automatic*
+//!   renaming: each inter-stage buffer is a single versioned handle, and
+//!   the per-iteration `output` access renames it to a fresh version, so
+//!   iterations decouple without any manual buffer management. `inout`
+//!   context arguments keep each stage in order across frames, `taskwait
+//!   on` the read context detects end-of-stream, and `critical` sections
+//!   protect the Picture Info Buffer and Decoded Picture Buffer, which are
+//!   hidden from the dependence system.
+//! * The **manual** variant ([`run_ompss_manual`]) reproduces Listing 1 of
+//!   the paper verbatim: circular buffers (`RenameRing`) of depth `N`
+//!   renamed by hand, kept as the comparison baseline for the
+//!   `rename_ablation` harness.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -174,19 +179,196 @@ struct OmpssReadState {
     eof: Arc<AtomicBool>,
 }
 
-/// OmpSs-style variant following Listing 1.
+/// OmpSs-style variant using the runtime's automatic renaming: the
+/// inter-stage buffers are versioned handles, and every iteration's
+/// `output` access renames them to fresh versions — the runtime does what
+/// Listing 1 does by hand with circular buffers. The in-flight window is
+/// bounded by the runtime's per-handle version bound
+/// (`RuntimeConfig::rename_max_versions`) rather than a ring depth.
 pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
-    let stream = p.stream();
-    let n = p.window;
+    decode_ompss(&p.stream(), p.pool, rt)
+}
+
+/// Decode-only core of [`run_ompss`], for harnesses that pre-build the
+/// stream (stream generation would otherwise dominate the measurement).
+pub fn decode_ompss(stream: &EncodedStream, pool: usize, rt: &Runtime) -> u64 {
+    let eof = Arc::new(AtomicBool::new(false));
+
+    // Contexts, exactly as in the manual variant: `inout` dependences that
+    // serialise each stage across iterations (plain handles — an in-place
+    // update chain gains nothing from versioning).
+    let rc = rt.data(OmpssReadState {
+        rc: ReadContext::new(stream),
+        eof: eof.clone(),
+    });
+    let nc = rt.data(NalContext::new(stream));
+    let ec = rt.data(EntropyContext::default());
+    let rec = rt.data((ReconstructContext::default(), None::<DecodedFrame>));
+    let oc = rt.data(OutputContext::new());
+
+    // The inter-stage buffers: one versioned handle each. `output` accesses
+    // rename them per iteration (no RenameRing, no window bookkeeping).
+    let frm = rt.versioned_data::<Option<EncodedFrame>>(None);
+    let slice = rt.versioned_data::<Option<FrameHeader>>(None);
+    let ed = rt.versioned_data(Vec::<MacroblockSyntax>::new());
+    let pic = rt.versioned_data::<Option<DecodedFrame>>(None);
+
+    // The hidden buffers, protected by critical sections inside task bodies.
+    let pib = Arc::new(Mutex::new(PictureInfoBuffer::new(pool)));
+    let dpb = Arc::new(Mutex::new(DecodedPictureBuffer::new(
+        pool,
+        stream.params.width,
+        stream.params.height,
+    )));
+
+    while !eof.load(Ordering::SeqCst) {
+        // task inout(*rc) output(*frm) — the output renames `frm`.
+        {
+            let rc = rc.clone();
+            let frm = frm.clone();
+            rt.task()
+                .name("h264_read")
+                .inout(&rc)
+                .output(&frm)
+                .spawn(move |ctx| {
+                    let mut state = ctx.write(&rc);
+                    let frame = read_frame(&mut state.rc);
+                    if frame.is_none() {
+                        state.eof.store(true, Ordering::SeqCst);
+                    }
+                    *ctx.write(&frm) = frame;
+                });
+        }
+        // task inout(*nc) input(*frm) output(*s)
+        {
+            let nc = nc.clone();
+            let frm = frm.clone();
+            let slice = slice.clone();
+            let pib = pib.clone();
+            rt.task()
+                .name("h264_parse")
+                .inout(&nc)
+                .input(&frm)
+                .output(&slice)
+                .spawn(move |ctx| {
+                    let frame = ctx.read(&frm);
+                    let Some(frame) = frame.as_ref() else {
+                        *ctx.write(&slice) = None;
+                        return;
+                    };
+                    let mut nal = ctx.write(&nc);
+                    let header = parse_header(&mut nal, frame);
+                    let idx = ctx.critical("pib", || pib.lock().fetch(header));
+                    *ctx.write(&slice) = Some(header);
+                    if let Some(idx) = idx {
+                        ctx.critical("pib", || pib.lock().release(idx));
+                    }
+                });
+        }
+        // task inout(*ec) input(*frm, *s) output(*ed_buf)
+        {
+            let ec = ec.clone();
+            let frm = frm.clone();
+            let slice = slice.clone();
+            let ed = ed.clone();
+            rt.task()
+                .name("h264_entropy")
+                .inout(&ec)
+                .input(&frm)
+                .input(&slice)
+                .output(&ed)
+                .spawn(move |ctx| {
+                    let frame = ctx.read(&frm);
+                    let header = ctx.read(&slice);
+                    let (Some(frame), Some(header)) = (frame.as_ref(), header.as_ref()) else {
+                        ctx.write(&ed).clear();
+                        return;
+                    };
+                    let mut entropy = ctx.write(&ec);
+                    *ctx.write(&ed) = entropy_decode_frame(&mut entropy, frame, header);
+                });
+        }
+        // task inout(*rec) input(*s, *ed_buf) output(*pic)
+        {
+            let rec = rec.clone();
+            let slice = slice.clone();
+            let ed = ed.clone();
+            let pic = pic.clone();
+            let dpb = dpb.clone();
+            rt.task()
+                .name("h264_reconstruct")
+                .inout(&rec)
+                .input(&slice)
+                .input(&ed)
+                .output(&pic)
+                .spawn(move |ctx| {
+                    let header = ctx.read(&slice);
+                    let Some(header) = header.as_ref() else {
+                        *ctx.write(&pic) = None;
+                        return;
+                    };
+                    let mbs = ctx.read(&ed);
+                    let mut state = ctx.write(&rec);
+                    let idx = ctx.critical("dpb", || dpb.lock().fetch(header.frame_num));
+                    let (rec_ctx, last) = &mut *state;
+                    let decoded = reconstruct_frame(rec_ctx, header, &mbs, last.as_ref());
+                    if let Some(idx) = idx {
+                        ctx.critical("dpb", || {
+                            let mut pool = dpb.lock();
+                            pool.store(idx, decoded.clone());
+                            pool.release(idx);
+                        });
+                    }
+                    *last = Some(decoded.clone());
+                    *ctx.write(&pic) = Some(decoded);
+                });
+        }
+        // task inout(*oc) input(*pic)
+        {
+            let oc = oc.clone();
+            let pic = pic.clone();
+            rt.task()
+                .name("h264_output")
+                .inout(&oc)
+                .input(&pic)
+                .spawn(move |ctx| {
+                    let pic = ctx.read(&pic);
+                    if let Some(pic) = pic.as_ref() {
+                        let mut out = ctx.write(&oc);
+                        output_frame(&mut out, pic.clone());
+                    }
+                });
+        }
+
+        // taskwait on (*rc): only the read must have finished before the
+        // EOF condition of the while loop is evaluated.
+        rt.taskwait_on(&rc);
+    }
+    rt.taskwait();
+    let emitted = rt.fetch(&oc).emitted;
+    frames_checksum(&emitted)
+}
+
+/// OmpSs-style variant following Listing 1 verbatim: manual renaming with
+/// circular buffers of depth `p.window`. Kept as the baseline the
+/// `rename_ablation` harness compares automatic renaming against.
+pub fn run_ompss_manual(p: &Params, rt: &Runtime) -> u64 {
+    decode_ompss_manual(&p.stream(), p.window, p.pool, rt)
+}
+
+/// Decode-only core of [`run_ompss_manual`], for harnesses that pre-build
+/// the stream.
+pub fn decode_ompss_manual(stream: &EncodedStream, window: usize, pool: usize, rt: &Runtime) -> u64 {
+    let n = window;
     let eof = Arc::new(AtomicBool::new(false));
 
     // Contexts (the `rc`, `nc`, `ec`, … of Listing 1), each an `inout`
     // dependence that serialises its stage across iterations.
     let rc = rt.data(OmpssReadState {
-        rc: ReadContext::new(&stream),
+        rc: ReadContext::new(stream),
         eof: eof.clone(),
     });
-    let nc = rt.data(NalContext::new(&stream));
+    let nc = rt.data(NalContext::new(stream));
     let ec = rt.data(EntropyContext::default());
     let rec = rt.data((ReconstructContext::default(), None::<DecodedFrame>));
     let oc = rt.data(OutputContext::new());
@@ -198,9 +380,9 @@ pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
     let pics: RenameRing<Option<DecodedFrame>> = RenameRing::with_default(n);
 
     // The hidden buffers, protected by critical sections inside task bodies.
-    let pib = Arc::new(Mutex::new(PictureInfoBuffer::new(p.pool)));
+    let pib = Arc::new(Mutex::new(PictureInfoBuffer::new(pool)));
     let dpb = Arc::new(Mutex::new(DecodedPictureBuffer::new(
-        p.pool,
+        pool,
         stream.params.width,
         stream.params.height,
     )));
@@ -353,6 +535,49 @@ mod tests {
         let seq = run_seq(&p);
         assert_eq!(run_pthreads(&p, 2), seq);
         let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+        assert_eq!(run_ompss(&p, &rt), seq, "automatic renaming variant");
+        assert_eq!(run_ompss_manual(&p, &rt), seq, "manual RenameRing variant");
+    }
+
+    #[test]
+    fn automatic_renaming_actually_renames() {
+        let p = Params::small();
+        let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+        let seq = run_seq(&p);
+        assert_eq!(run_ompss(&p, &rt), seq);
+        let stats = rt.stats();
+        assert!(
+            stats.renames as usize >= p.video.frames,
+            "each frame renames the inter-stage buffers, got {} renames",
+            stats.renames
+        );
+    }
+
+    #[test]
+    fn renaming_disabled_still_decodes_correctly() {
+        // With renaming off the versioned buffers serialise on WAR/WAW —
+        // slower, but the output must be identical.
+        let p = Params::small();
+        let seq = run_seq(&p);
+        let rt = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_renaming(false),
+        );
+        assert_eq!(run_ompss(&p, &rt), seq);
+        assert_eq!(rt.stats().renames, 0);
+    }
+
+    #[test]
+    fn tiny_rename_budget_falls_back_but_stays_correct() {
+        let p = Params::small();
+        let seq = run_seq(&p);
+        let rt = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_rename_memory_cap(64)
+                .with_rename_pool_depth(0),
+        );
         assert_eq!(run_ompss(&p, &rt), seq);
     }
 
@@ -363,7 +588,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::default().with_workers(3));
         for window in [1, 2, 6] {
             p.window = window;
-            assert_eq!(run_ompss(&p, &rt), seq, "window {window}");
+            assert_eq!(run_ompss_manual(&p, &rt), seq, "window {window}");
         }
     }
 

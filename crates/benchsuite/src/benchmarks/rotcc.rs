@@ -199,7 +199,10 @@ mod tests {
         let _ = run_ompss(&p, &rt);
         let stats = rt.stats();
         // Every conversion task depends on its rotate task (plus the rotate
-        // tasks' RAW edges on the source image handle).
-        assert!(stats.edges_added >= (p.height.div_ceil(p.band_rows)) as u64);
+        // tasks' RAW edges on the source image handle). `edges_added` only
+        // counts predecessors still in flight at registration and so varies
+        // with host load; `dependences_seen` counts the discovered
+        // conflicts deterministically.
+        assert!(stats.dependences_seen >= (p.height.div_ceil(p.band_rows)) as u64);
     }
 }

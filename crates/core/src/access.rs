@@ -9,12 +9,18 @@
 //! * write-after-read (**WAR**, anti dependence),
 //! * write-after-write (**WAW**, output dependence).
 //!
-//! The paper stresses that OmpSs performs *no automatic renaming*: WAR and
-//! WAW hazards serialise tasks unless the programmer renames buffers manually
-//! (the circular-buffer pattern of Listing 1, provided here by
-//! [`crate::pipeline::RenameRing`]).
+//! The paper stresses that the evaluated OmpSs implementation performs *no
+//! automatic renaming*: WAR and WAW hazards serialise tasks unless the
+//! programmer renames buffers manually (the circular-buffer pattern of
+//! Listing 1, provided here by [`crate::pipeline::RenameRing`]). This
+//! runtime goes further: *versioned* handles rename `output` accesses
+//! automatically (see [`crate::rename`]), in which case an access resolves
+//! to a concrete data **version** at task-insertion time. The version's
+//! identity is carried in [`Access::region`]; the handle it renames is
+//! recorded as the access's *root* allocation so that the task body can be
+//! routed back to the version it was bound to.
 
-use crate::region::Region;
+use crate::region::{AllocId, Region};
 
 /// The kind of access a task declares on a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,16 +60,47 @@ impl AccessKind {
 /// A single declared access: a region plus how it is accessed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Access {
-    /// The region being accessed.
+    /// The region being accessed (for a renamed access: the region of the
+    /// concrete version the task was bound to).
     pub region: Region,
     /// How the region is accessed.
     pub kind: AccessKind,
+    /// For accesses bound to a version of a versioned handle: the handle's
+    /// canonical allocation id. `None` for plain accesses.
+    root: Option<AllocId>,
 }
 
 impl Access {
     /// Construct an access.
     pub fn new(region: Region, kind: AccessKind) -> Self {
-        Access { region, kind }
+        Access {
+            region,
+            kind,
+            root: None,
+        }
+    }
+
+    /// Construct an access bound to a version of the handle whose canonical
+    /// allocation is `root`.
+    pub(crate) fn with_root(region: Region, kind: AccessKind, root: AllocId) -> Self {
+        Access {
+            region,
+            kind,
+            root: Some(root),
+        }
+    }
+
+    /// The allocation id identifying the *handle* this access refers to:
+    /// the canonical allocation for version-bound accesses, otherwise the
+    /// accessed region's own allocation.
+    pub fn root_alloc(&self) -> AllocId {
+        self.root.unwrap_or(self.region.id.alloc)
+    }
+
+    /// The canonical allocation of the versioned handle this access is
+    /// bound to, or `None` for plain accesses.
+    pub(crate) fn version_root(&self) -> Option<AllocId> {
+        self.root
     }
 }
 

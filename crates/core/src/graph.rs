@@ -17,15 +17,23 @@
 //!   **not** on earlier `concurrent` accesses (commutative updates may
 //!   reorder among themselves).
 //!
-//! There is **no automatic renaming** — WAR/WAW edges serialise tasks, which
-//! is exactly the behaviour the paper works around with circular buffers in
-//! the H.264 pipeline (Listing 1).
+//! WAR/WAW edges serialise tasks on a given data *version* — the behaviour
+//! the paper works around with circular buffers in the H.264 pipeline
+//! (Listing 1). With automatic renaming (see [`crate::rename`]), `output`
+//! accesses on versioned handles resolve to a **fresh version** (a fresh
+//! allocation identity) *before* they reach this tracker, so the WAR/WAW
+//! edges that would serialise them simply never arise here: the renamed
+//! writer overlaps nothing in flight. The tracker itself needs no renaming
+//! special-case; it classifies every edge it does insert (RAW / WAR / WAW)
+//! so the effect of renaming is visible in the statistics.
+//!
+//! [`crate::rename`]: crate::rename
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::access::AccessKind;
+use crate::access::{AccessKind, Dependence};
 use crate::region::{AllocId, Region, RegionId};
 use crate::task::{TaskNode, TaskState};
 
@@ -56,9 +64,17 @@ pub(crate) struct Registration {
     /// Number of predecessor edges actually added (predecessors that had not
     /// yet completed).
     pub edges: usize,
-    /// Number of distinct in-flight predecessors considered (completed or
-    /// not) — useful for statistics and asserted on in tests.
-    #[allow(dead_code)]
+    /// Added edges that are true (read-after-write) dependences.
+    pub raw_edges: usize,
+    /// Added edges that are anti (write-after-read) dependences.
+    pub war_edges: usize,
+    /// Added edges that are output (write-after-write) dependences.
+    pub waw_edges: usize,
+    /// Number of distinct conflicting predecessors discovered at
+    /// registration, whether or not they had already completed. Unlike
+    /// `edges` this does not depend on execution timing (until history is
+    /// garbage-collected), which makes it the right counter for tests and
+    /// comparisons that must be deterministic under load.
     pub predecessors_seen: usize,
 }
 
@@ -71,7 +87,10 @@ impl DependencyTracker {
     /// every conflicting in-flight task, and updating the per-region history
     /// so that future tasks depend on `node` where required.
     pub(crate) fn register(&mut self, node: &Arc<TaskNode>) -> Registration {
-        let mut preds: Vec<Arc<TaskNode>> = Vec::new();
+        // Each predecessor is remembered together with the dependence class
+        // of the (first) conflict that introduced it, so that added edges
+        // can be attributed to RAW / WAR / WAW in the statistics.
+        let mut preds: Vec<(Arc<TaskNode>, Dependence)> = Vec::new();
         let mut seen_pred_ids: Vec<crate::task::TaskId> = Vec::new();
 
         // Pass 1: collect predecessors from every overlapping region entry.
@@ -83,30 +102,42 @@ impl DependencyTracker {
                     None => continue,
                 };
                 let later = access.kind;
+                // Statistics classification. This deliberately diverges from
+                // `access::classify` for read-modify-writes: an `inout` (or
+                // `concurrent`) after a writer *reads* the written data, so
+                // the edge carries a genuine data flow and is counted RAW —
+                // it is not serialisation that renaming could remove. WAR and
+                // WAW are reserved for edges where the successor overwrites
+                // without reading (the renameable false dependences).
+                let vs_writer = if later.reads() {
+                    Dependence::ReadAfterWrite
+                } else {
+                    Dependence::WriteAfterWrite
+                };
                 // Earlier writers always order later readers and writers.
                 for w in &entry.writers {
-                    push_pred(&mut preds, &mut seen_pred_ids, w);
+                    push_pred(&mut preds, &mut seen_pred_ids, w, vs_writer);
                 }
                 match later {
                     AccessKind::Input => {
                         // RAW only; concurrent accumulators count as writers.
                         for c in &entry.concurrent {
-                            push_pred(&mut preds, &mut seen_pred_ids, c);
+                            push_pred(&mut preds, &mut seen_pred_ids, c, Dependence::ReadAfterWrite);
                         }
                     }
                     AccessKind::Output | AccessKind::InOut => {
                         for r in &entry.readers {
-                            push_pred(&mut preds, &mut seen_pred_ids, r);
+                            push_pred(&mut preds, &mut seen_pred_ids, r, Dependence::WriteAfterRead);
                         }
                         for c in &entry.concurrent {
-                            push_pred(&mut preds, &mut seen_pred_ids, c);
+                            push_pred(&mut preds, &mut seen_pred_ids, c, vs_writer);
                         }
                     }
                     AccessKind::Concurrent => {
                         // Order against plain readers, not against other
                         // concurrent accesses.
                         for r in &entry.readers {
-                            push_pred(&mut preds, &mut seen_pred_ids, r);
+                            push_pred(&mut preds, &mut seen_pred_ids, r, Dependence::WriteAfterRead);
                         }
                     }
                 }
@@ -115,12 +146,19 @@ impl DependencyTracker {
 
         // Pass 2: add the edges.
         let mut edges = 0usize;
-        for pred in &preds {
+        let (mut raw_edges, mut war_edges, mut waw_edges) = (0usize, 0usize, 0usize);
+        for (pred, dependence) in &preds {
             if pred.id == node.id {
                 continue;
             }
             if add_edge(pred, node) {
                 edges += 1;
+                match dependence {
+                    Dependence::ReadAfterWrite => raw_edges += 1,
+                    Dependence::WriteAfterRead => war_edges += 1,
+                    Dependence::WriteAfterWrite => waw_edges += 1,
+                    Dependence::None => {}
+                }
             }
         }
         node.in_edges.store(edges, Ordering::Relaxed);
@@ -151,6 +189,9 @@ impl DependencyTracker {
 
         Registration {
             edges,
+            raw_edges,
+            war_edges,
+            waw_edges,
             predecessors_seen: preds.len(),
         }
     }
@@ -168,8 +209,9 @@ impl DependencyTracker {
                     .chain(entry.readers.iter())
                     .chain(entry.concurrent.iter())
                 {
-                    if !t.is_completed() {
-                        push_pred(&mut out, &mut seen, t);
+                    if !t.is_completed() && !seen.contains(&t.id) {
+                        seen.push(t.id);
+                        out.push(t.clone());
                     }
                 }
             }
@@ -220,13 +262,14 @@ impl DependencyTracker {
 }
 
 fn push_pred(
-    preds: &mut Vec<Arc<TaskNode>>,
+    preds: &mut Vec<(Arc<TaskNode>, Dependence)>,
     seen: &mut Vec<crate::task::TaskId>,
     t: &Arc<TaskNode>,
+    dependence: Dependence,
 ) {
     if !seen.contains(&t.id) {
         seen.push(t.id);
-        preds.push(t.clone());
+        preds.push((t.clone(), dependence));
     }
 }
 

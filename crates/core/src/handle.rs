@@ -16,33 +16,178 @@
 //! access list and only then produce a guard. Conflicting declared accesses
 //! are serialised by the dependence graph, which is what makes handing out
 //! `&mut` sound.
+//!
+//! A [`Data<T>`] handle can additionally be **versioned**
+//! ([`Data::versioned`] / [`Runtime::versioned_data`]): it is then backed by
+//! a chain of storage versions, and an `output` access allocates a fresh
+//! version instead of inheriting WAR/WAW dependences — the automatic
+//! renaming of [`crate::rename`].
+//!
+//! [`Runtime::versioned_data`]: crate::Runtime::versioned_data
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
+use crate::access::{Access, AccessKind};
 use crate::region::{AllocId, Region};
+use crate::rename::{
+    RenameCommit, RenameCx, RenameEvent, Reservation, ResolvedAccess, VersionTicket,
+};
 
 /// Trait of everything that can appear in an access clause.
 pub trait Accessible {
-    /// The memory region this handle stands for.
+    /// The memory region this handle stands for. For a versioned handle this
+    /// is the region of the *current* version.
     fn region(&self) -> Region;
+
+    /// Every region a synchronisation on this handle must cover. Plain
+    /// handles have exactly one; a versioned handle reports the region of
+    /// every version still referenced by in-flight tasks, so that
+    /// `taskwait_on` waits for tasks bound to superseded versions too.
+    fn sync_regions(&self) -> Vec<Region> {
+        vec![self.region()]
+    }
+
+    /// Resolve a declared access to a concrete region (and, for versioned
+    /// handles, a concrete data version) at task-insertion time. The default
+    /// implementation performs no renaming.
+    fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
+        let _ = cx;
+        ResolvedAccess::plain(Access::new(self.region(), kind))
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Data<T>
 // ---------------------------------------------------------------------------
 
-pub(crate) struct DataInner<T: ?Sized> {
+pub(crate) struct DataInner<T> {
+    /// Canonical region: its allocation id is the stable identity ("root")
+    /// of the handle, and — for plain storage — the region used in clauses.
     pub(crate) region: Region,
-    pub(crate) cell: UnsafeCell<T>,
+    storage: Storage<T>,
 }
 
-// Safety: access to `cell` is mediated by the runtime: a mutable guard is
-// only produced for a task that declared a write access, and tasks with
-// conflicting declared accesses are ordered by the dependence graph, so no
-// two threads ever hold conflicting references simultaneously.
-unsafe impl<T: Send + ?Sized> Send for DataInner<T> {}
-unsafe impl<T: Send + ?Sized> Sync for DataInner<T> {}
+enum Storage<T> {
+    /// A single cell; accesses always resolve to the canonical region.
+    Plain(UnsafeCell<T>),
+    /// A chain of versions; `output` accesses may rename (see
+    /// [`crate::rename`]).
+    Versioned(Chain<T>),
+}
+
+struct Chain<T> {
+    /// Produces the value a freshly allocated version starts from.
+    make: Box<dyn Fn() -> T + Send + Sync>,
+    state: Mutex<ChainState<T>>,
+}
+
+struct ChainState<T> {
+    /// Live versions. Slot cells are boxed so their addresses survive the
+    /// vector reallocating.
+    slots: Vec<Slot<T>>,
+    /// Recycled storage (bounded by the runtime's rename pool depth).
+    free: Vec<FreeSlot<T>>,
+    /// Index into `slots` of the current (program-order latest) version.
+    current: usize,
+}
+
+struct Slot<T> {
+    alloc: AllocId,
+    cell: Box<UnsafeCell<T>>,
+    /// In-flight tasks bound to this version.
+    refs: usize,
+    /// Budget share of this version; `None` for the canonical first slot
+    /// (which exists whether or not renaming ever happens).
+    reservation: Option<Reservation>,
+}
+
+struct FreeSlot<T> {
+    cell: Box<UnsafeCell<T>>,
+    reservation: Option<Reservation>,
+}
+
+impl<T> ChainState<T> {
+    fn slot_index(&self, alloc: AllocId) -> Option<usize> {
+        self.slots.iter().position(|s| s.alloc == alloc)
+    }
+
+    /// Recycle slot `idx` if it is superseded and unreferenced. The storage
+    /// goes back to the free pool when there is room, otherwise it is
+    /// dropped (returning its bytes to the rename budget).
+    fn reclaim(&mut self, idx: usize, pool_depth: usize) {
+        if idx == self.current || self.slots[idx].refs != 0 {
+            return;
+        }
+        let slot = self.slots.swap_remove(idx);
+        if self.current == self.slots.len() {
+            // `current` pointed at the slot that was swapped into `idx`.
+            self.current = idx;
+        }
+        if self.free.len() < pool_depth {
+            self.free.push(FreeSlot {
+                cell: slot.cell,
+                reservation: slot.reservation,
+            });
+        }
+    }
+}
+
+// Safety: access to the cells is mediated by the runtime: a mutable guard is
+// only produced for a task that declared a write access, tasks with
+// conflicting declared accesses on the same version are ordered by the
+// dependence graph, and distinct versions are distinct storage. All other
+// chain state is behind a mutex.
+unsafe impl<T: Send> Send for DataInner<T> {}
+unsafe impl<T: Send> Sync for DataInner<T> {}
+
+/// Release hook for one (task, version) binding of a versioned handle;
+/// doubles as the commit hook for renames (same slot identity).
+struct SlotTicket<T> {
+    inner: Arc<DataInner<T>>,
+    alloc: AllocId,
+    pool_depth: usize,
+}
+
+impl<T> Clone for SlotTicket<T> {
+    fn clone(&self) -> Self {
+        SlotTicket {
+            inner: self.inner.clone(),
+            alloc: self.alloc,
+            pool_depth: self.pool_depth,
+        }
+    }
+}
+
+impl<T: Send> VersionTicket for SlotTicket<T> {
+    fn release(&self) {
+        if let Storage::Versioned(chain) = &self.inner.storage {
+            let mut st = chain.state.lock();
+            if let Some(idx) = st.slot_index(self.alloc) {
+                debug_assert!(st.slots[idx].refs > 0, "ticket released twice");
+                st.slots[idx].refs -= 1;
+                st.reclaim(idx, self.pool_depth);
+            }
+        }
+    }
+}
+
+impl<T: Send> RenameCommit for SlotTicket<T> {
+    fn commit(&self) {
+        if let Storage::Versioned(chain) = &self.inner.storage {
+            let mut st = chain.state.lock();
+            if let Some(idx) = st.slot_index(self.alloc) {
+                if idx != st.current {
+                    let superseded = st.current;
+                    st.current = idx;
+                    st.reclaim(superseded, self.pool_depth);
+                }
+            }
+        }
+    }
+}
 
 /// A handle to a single shared object managed by the runtime.
 ///
@@ -71,15 +216,75 @@ impl<T: Send + 'static> Data<T> {
         Data {
             inner: Arc::new(DataInner {
                 region: Region::new(alloc, 0, 0..size),
-                cell: UnsafeCell::new(value),
+                storage: Storage::Plain(UnsafeCell::new(value)),
             }),
         }
     }
 
-    /// Recover the inner value if this is the last handle.
+    /// Wrap `value` in a *versioned* handle: `output` accesses rename to a
+    /// fresh version (initialised with `T::default()`) instead of inheriting
+    /// WAR/WAW dependences. See [`crate::rename`] for the full model.
+    ///
+    /// Normally constructed through
+    /// [`Runtime::versioned_data`](crate::Runtime::versioned_data).
+    pub fn versioned(value: T) -> Self
+    where
+        T: Default,
+    {
+        Self::versioned_with(value, T::default)
+    }
+
+    /// Like [`Data::versioned`], but fresh versions are initialised with
+    /// `make()` instead of `T::default()`.
+    pub fn versioned_with(value: T, make: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        let alloc = AllocId::fresh();
+        let size = std::mem::size_of::<T>().max(1);
+        Data {
+            inner: Arc::new(DataInner {
+                region: Region::new(alloc, 0, 0..size),
+                storage: Storage::Versioned(Chain {
+                    make: Box::new(make),
+                    state: Mutex::new(ChainState {
+                        slots: vec![Slot {
+                            alloc,
+                            cell: Box::new(UnsafeCell::new(value)),
+                            refs: 0,
+                            reservation: None,
+                        }],
+                        free: Vec::new(),
+                        current: 0,
+                    }),
+                }),
+            }),
+        }
+    }
+
+    /// Whether this handle carries a version chain (renaming-capable).
+    pub fn is_versioned(&self) -> bool {
+        matches!(self.inner.storage, Storage::Versioned(_))
+    }
+
+    /// Number of live versions (1 for plain handles; diagnostics).
+    pub fn live_versions(&self) -> usize {
+        match &self.inner.storage {
+            Storage::Plain(_) => 1,
+            Storage::Versioned(chain) => chain.state.lock().slots.len(),
+        }
+    }
+
+    /// Recover the inner value if this is the last handle. For a versioned
+    /// handle this is the value of the **current** version — the final
+    /// version of the program, "committed back" once all tasks finished.
     pub fn try_into_inner(self) -> Result<T, Self> {
         match Arc::try_unwrap(self.inner) {
-            Ok(inner) => Ok(inner.cell.into_inner()),
+            Ok(inner) => match inner.storage {
+                Storage::Plain(cell) => Ok(cell.into_inner()),
+                Storage::Versioned(chain) => {
+                    let mut st = chain.state.into_inner();
+                    let current = st.current;
+                    Ok(st.slots.swap_remove(current).cell.into_inner())
+                }
+            },
             Err(arc) => Err(Data { inner: arc }),
         }
     }
@@ -89,20 +294,162 @@ impl<T: Send + 'static> Data<T> {
         Arc::strong_count(&self.inner)
     }
 
-    pub(crate) fn ptr(&self) -> *mut T {
-        self.inner.cell.get()
+    /// Stable identity of the handle across versions.
+    pub(crate) fn root_alloc(&self) -> AllocId {
+        self.inner.region.id.alloc
+    }
+
+    /// Pointer to the storage of the version with allocation id `alloc`.
+    /// Returns `None` when no live version has that id.
+    pub(crate) fn ptr_for_alloc(&self, alloc: AllocId) -> Option<*mut T> {
+        match &self.inner.storage {
+            Storage::Plain(cell) => (alloc == self.inner.region.id.alloc).then(|| cell.get()),
+            Storage::Versioned(chain) => {
+                let st = chain.state.lock();
+                st.slot_index(alloc).map(|i| st.slots[i].cell.get())
+            }
+        }
+    }
+
+    fn version_region(&self, alloc: AllocId) -> Region {
+        Region::new(alloc, 0, self.inner.region.bytes.clone())
+    }
+
+    /// Bind the current version: bump its refcount and build the access.
+    fn bind_current(
+        &self,
+        kind: AccessKind,
+        cx: &RenameCx<'_>,
+        st: &mut ChainState<T>,
+    ) -> ResolvedAccess {
+        let current = st.current;
+        st.slots[current].refs += 1;
+        let alloc = st.slots[current].alloc;
+        ResolvedAccess::bound(
+            Access::with_root(self.version_region(alloc), kind, self.root_alloc()),
+            Box::new(SlotTicket {
+                inner: self.inner.clone(),
+                alloc,
+                pool_depth: cx.pool_depth(),
+            }),
+            None,
+            None,
+        )
     }
 }
 
-impl<T> Accessible for Data<T> {
+impl<T: Send + 'static> Accessible for Data<T> {
     fn region(&self) -> Region {
-        self.inner.region.clone()
+        match &self.inner.storage {
+            Storage::Plain(_) => self.inner.region.clone(),
+            Storage::Versioned(chain) => {
+                let st = chain.state.lock();
+                self.version_region(st.slots[st.current].alloc)
+            }
+        }
+    }
+
+    fn sync_regions(&self) -> Vec<Region> {
+        match &self.inner.storage {
+            Storage::Plain(_) => vec![self.inner.region.clone()],
+            Storage::Versioned(chain) => chain
+                .state
+                .lock()
+                .slots
+                .iter()
+                .map(|s| self.version_region(s.alloc))
+                .collect(),
+        }
+    }
+
+    fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
+        let chain = match &self.inner.storage {
+            Storage::Plain(_) => {
+                return ResolvedAccess::plain(Access::new(self.inner.region.clone(), kind))
+            }
+            Storage::Versioned(chain) => chain,
+        };
+        let mut st = chain.state.lock();
+        if kind != AccessKind::Output || !cx.renaming_enabled() {
+            // Reads (and in-place updates) bind the latest version: true
+            // dependences are preserved, `inout` chains still serialise.
+            return self.bind_current(kind, cx, &mut st);
+        }
+        // Version-count backpressure: the byte budget below is shallow
+        // (`size_of::<T>()`), so this is the bound that actually limits
+        // heap-backed types — no more than `max_versions` live versions of
+        // one handle, however large each version's owned storage is.
+        if st.slots.len() >= cx.max_versions() {
+            cx.pool().note_fallback();
+            return self.bind_current(kind, cx, &mut st);
+        }
+        // `output`: rename. Prefer recycled storage (no new memory), else
+        // draw on the budget; if the budget is exhausted fall back to the
+        // current version, serialising like the non-renaming runtime.
+        let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
+            (free.cell, free.reservation, true)
+        } else {
+            let bytes = self.inner.region.len();
+            match cx.pool().try_reserve(bytes) {
+                Some(res) => (
+                    Box::new(UnsafeCell::new((chain.make)())),
+                    Some(res),
+                    false,
+                ),
+                None => {
+                    cx.pool().note_fallback();
+                    return self.bind_current(kind, cx, &mut st);
+                }
+            }
+        };
+        let alloc = AllocId::fresh();
+        let from = st.slots[st.current].alloc;
+        st.slots.push(Slot {
+            alloc,
+            cell,
+            refs: 1,
+            reservation,
+        });
+        // The new version is allocated (and this task bound to it) but NOT
+        // yet current: it becomes the handle's value only when the task is
+        // actually inserted (`TaskBuilder::spawn` runs the commit hook). A
+        // builder abandoned before spawn releases its ticket, reclaiming
+        // the never-current version without disturbing the handle.
+        cx.pool().note_rename(recycled);
+        let ticket = SlotTicket {
+            inner: self.inner.clone(),
+            alloc,
+            pool_depth: cx.pool_depth(),
+        };
+        let commit = ticket.clone();
+        ResolvedAccess::bound(
+            Access::with_root(self.version_region(alloc), kind, self.root_alloc()),
+            Box::new(ticket),
+            Some(RenameEvent {
+                from,
+                to: alloc,
+                recycled,
+            }),
+            Some(Box::new(commit)),
+        )
     }
 }
 
 impl<T> std::fmt::Debug for Data<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Data({})", self.inner.region.id)
+        match &self.inner.storage {
+            Storage::Plain(_) => write!(f, "Data({})", self.inner.region.id),
+            Storage::Versioned(chain) => {
+                let st = chain.state.lock();
+                write!(
+                    f,
+                    "Data({}, {} versions, current {})",
+                    self.inner.region.id,
+                    st.slots.len(),
+                    st.slots[st.current].alloc.raw()
+                )
+            }
+        }
     }
 }
 
@@ -525,6 +872,182 @@ mod tests {
         assert!(format!("{p:?}").contains("chunks"));
         assert!(format!("{:?}", p.chunk(0)).contains("Chunk"));
         assert!(format!("{:?}", p.whole()).contains("Whole"));
+    }
+
+    mod versioned {
+        use super::*;
+        use crate::access::AccessKind;
+        use crate::rename::{RenameCx, RenamePool, ResolvedAccess};
+        use std::sync::Arc;
+
+        /// Run the deferred rename commit, as `TaskBuilder::spawn` does.
+        fn commit(r: &mut ResolvedAccess) {
+            r.commit.take().expect("resolution renamed").commit();
+        }
+
+        fn cx(pool: &Arc<RenamePool>, enabled: bool) -> RenameCx<'_> {
+            RenameCx {
+                enabled,
+                pool,
+                pool_depth: 4,
+                max_versions: 16,
+            }
+        }
+
+        #[test]
+        fn plain_handles_are_not_versioned() {
+            let d = Data::new(1u32);
+            assert!(!d.is_versioned());
+            assert_eq!(d.live_versions(), 1);
+        }
+
+        #[test]
+        fn output_renames_to_a_fresh_region() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(0u64);
+            let before = d.region();
+            let mut resolved = d.resolve(AccessKind::Output, &cx(&pool, true));
+            // The new version exists but is not current until the spawning
+            // point commits it (abandoned builders never do).
+            assert_eq!(d.region(), before, "uncommitted rename is invisible");
+            commit(&mut resolved);
+            let after = d.region();
+            assert_ne!(before.id.alloc, after.id.alloc, "rename advanced the current version");
+            assert_eq!(resolved.access.region, after, "output bound the fresh version");
+            assert_eq!(resolved.access.root_alloc(), d.root_alloc());
+            assert!(!before.overlaps(&after), "versions never conflict");
+            assert_eq!(pool.renames(), 1);
+            // The superseded version had no in-flight tasks bound to it, so
+            // it was recycled at commit: only the fresh version is live.
+            assert_eq!(d.live_versions(), 1);
+        }
+
+        #[test]
+        fn uncommitted_rename_leaves_the_value_untouched() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(42u64);
+            let r = d.resolve(AccessKind::Output, &cx(&pool, true));
+            // Abandon: release the binding without committing (what
+            // dropping an unspawned TaskBuilder does).
+            drop(r.commit);
+            r.ticket.unwrap().release();
+            assert_eq!(d.live_versions(), 1);
+            assert_eq!(d.try_into_inner().unwrap(), 42, "value must survive");
+        }
+
+        #[test]
+        fn reads_bind_the_current_version() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(7u64);
+            let r = d.resolve(AccessKind::Input, &cx(&pool, true));
+            assert_eq!(r.access.region, d.region());
+            assert!(r.renamed.is_none());
+            assert_eq!(pool.renames(), 0);
+        }
+
+        #[test]
+        fn ticket_release_recycles_superseded_versions() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(0u64);
+            let cx = cx(&pool, true);
+            // Reader pins version 0; writer renames to version 1.
+            let reader = d.resolve(AccessKind::Input, &cx);
+            let mut writer = d.resolve(AccessKind::Output, &cx);
+            commit(&mut writer);
+            assert_eq!(d.live_versions(), 2);
+            // Reader done: version 0 is superseded and unreferenced -> recycled.
+            reader.ticket.unwrap().release();
+            assert_eq!(d.live_versions(), 1);
+            // Next rename reuses the pooled storage.
+            let _w2 = d.resolve(AccessKind::Output, &cx);
+            assert_eq!(pool.recycled(), 1);
+            writer.ticket.unwrap().release();
+        }
+
+        #[test]
+        fn renaming_disabled_keeps_one_version() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(0u64);
+            let cx = cx(&pool, false);
+            let a = d.resolve(AccessKind::Output, &cx);
+            let b = d.resolve(AccessKind::Output, &cx);
+            assert_eq!(a.access.region, b.access.region, "no renaming: same version");
+            assert_eq!(d.live_versions(), 1);
+            assert_eq!(pool.renames(), 0);
+        }
+
+        #[test]
+        fn version_count_bound_falls_back_to_serialising() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let cx = RenameCx {
+                enabled: true,
+                pool: &pool,
+                pool_depth: 0,
+                max_versions: 3,
+            };
+            let d = Data::versioned(0u64);
+            // Hold every version in flight so none can be reclaimed.
+            let mut held = Vec::new();
+            for _ in 0..8 {
+                held.push(d.resolve(AccessKind::Output, &cx));
+            }
+            // The canonical version stays current (nothing commits), so two
+            // uncommitted versions fill the bound of 3.
+            assert_eq!(d.live_versions(), 3, "live versions capped");
+            assert_eq!(pool.renames(), 2);
+            assert_eq!(pool.fallbacks(), 6, "the rest serialised");
+            for r in held {
+                r.ticket.unwrap().release();
+            }
+            assert_eq!(d.live_versions(), 1, "superseded versions reclaimed");
+        }
+
+        #[test]
+        fn exhausted_budget_falls_back_to_serialising() {
+            let pool = Arc::new(RenamePool::new(0));
+            let d = Data::versioned(0u64);
+            let cx = cx(&pool, true);
+            // size_of::<u64>() > 0-byte budget: no rename possible.
+            let r = d.resolve(AccessKind::Output, &cx);
+            assert!(r.renamed.is_none());
+            assert_eq!(r.access.region, d.region());
+            assert_eq!(pool.fallbacks(), 1);
+        }
+
+        #[test]
+        fn into_inner_returns_the_final_version() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(1u64);
+            let cx = cx(&pool, true);
+            let mut w = d.resolve(AccessKind::Output, &cx);
+            commit(&mut w);
+            // Write through the bound version as a task body would.
+            let ptr = d.ptr_for_alloc(w.access.region.id.alloc).unwrap();
+            unsafe { *ptr = 42 };
+            w.ticket.unwrap().release();
+            assert_eq!(d.try_into_inner().unwrap(), 42);
+        }
+
+        #[test]
+        fn versioned_with_initialises_fresh_versions() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned_with(5u32, || 99);
+            let cx = cx(&pool, true);
+            let w = d.resolve(AccessKind::Output, &cx);
+            let ptr = d.ptr_for_alloc(w.access.region.id.alloc).unwrap();
+            assert_eq!(unsafe { *ptr }, 99, "fresh version starts from make()");
+        }
+
+        #[test]
+        fn sync_regions_cover_all_live_versions() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(0u64);
+            let cx = cx(&pool, true);
+            let _r = d.resolve(AccessKind::Input, &cx);
+            let _w = d.resolve(AccessKind::Output, &cx);
+            assert_eq!(d.sync_regions().len(), 2);
+            assert_eq!(Data::new(0u8).sync_regions().len(), 1);
+        }
     }
 
     proptest! {

@@ -23,6 +23,7 @@
 //! | `#pragma omp critical`                     | [`critical::CriticalSections`]               |
 //! | task barrier (polling)                     | [`barrier::TaskBarrier`]                     |
 //! | circular-buffer manual renaming (Listing 1)| [`pipeline::RenameRing`]                     |
+//! | automatic renaming (superscalar-style)     | [`Runtime::versioned_data`] + [`rename`]     |
 //!
 //! ## Quick start
 //!
@@ -89,6 +90,7 @@ pub mod graph;
 pub mod handle;
 pub mod pipeline;
 pub mod region;
+pub mod rename;
 pub mod runtime;
 pub mod scheduler;
 pub mod stats;
@@ -107,6 +109,7 @@ pub use handle::{
 };
 pub use pipeline::RenameRing;
 pub use region::{Region, RegionId};
+pub use rename::{RenameEvent, RenamePool};
 pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskContext};
 pub use scheduler::{IdlePolicy, SchedulerPolicy};
 pub use stats::RuntimeStats;

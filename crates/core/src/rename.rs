@@ -1,0 +1,345 @@
+//! Automatic data renaming: runtime-managed version chains that eliminate
+//! WAR/WAW serialisation.
+//!
+//! ## The problem
+//!
+//! The dependence rules of the OmpSs model (see [`crate::graph`]) serialise a
+//! later writer behind every earlier reader (WAR, anti dependence) and every
+//! earlier writer (WAW, output dependence) of the same data. The paper's
+//! H.264 pipeline (Listing 1) would therefore serialise completely — every
+//! iteration overwrites the same stage buffers — and the programmer has to
+//! break the false dependences *manually* with circular buffers
+//! ([`crate::pipeline::RenameRing`]).
+//!
+//! ## The model
+//!
+//! This module brings the superscalar analogy to its conclusion: exactly as
+//! an out-of-order core renames architectural registers onto a larger
+//! physical register file, a *versioned* [`Data`](crate::handle::Data)
+//! handle is backed by a **chain of storage versions**. Accesses resolve to
+//! a concrete version at task-insertion time:
+//!
+//! * `input` / `inout` / `concurrent` accesses bind to the **current**
+//!   version — true (RAW) dependences are preserved, and `inout` chains
+//!   still serialise (an in-place update genuinely needs the previous
+//!   value).
+//! * An `output` access **allocates a fresh version** (or recycles one from
+//!   a bounded per-handle pool) and makes it current. Because every version
+//!   has its own allocation identity, the new writer conflicts with nothing
+//!   in flight: the WAR/WAW edges simply never arise.
+//!
+//! The chain always has a well-defined *current* version, which is what
+//! later tasks, [`Runtime::fetch`](crate::Runtime::fetch) and
+//! [`Data::try_into_inner`](crate::handle::Data::try_into_inner) observe; a
+//! `taskwait` therefore sees the final version "committed back" as the value
+//! of the handle. Superseded versions are reclaimed as soon as their last
+//! in-flight task completes: the storage returns to the handle's recycle
+//! pool (bounded by [`RuntimeConfig::rename_pool_depth`]) or is dropped.
+//!
+//! ## Fresh versions hold fresh values
+//!
+//! A renamed `output` version is produced by the handle's *initialiser*
+//! (`T::default()` for [`Runtime::versioned_data`](crate::Runtime::versioned_data),
+//! or the closure given to
+//! [`Data::versioned_with`](crate::handle::Data::versioned_with)) — or, when
+//! storage is recycled, it simply keeps the superseded version's leftover
+//! contents. It is never a copy of the current version. This is precisely
+//! the `output` contract: the task declares that it overwrites the data
+//! without reading it, so the pre-existing contents are unobservable to a
+//! correct program. A task that wants to read the previous value must
+//! declare `inout`, which binds (and serialises on) the current version.
+//!
+//! ## Backpressure: version-count bound and memory cap
+//!
+//! Every version beyond a handle's canonical first one consumes memory, and
+//! a producer far ahead of its consumers could allocate without bound. Two
+//! bounds apply; hitting either makes an `output` access **fall back to
+//! binding the current version**, serialising behind the in-flight readers
+//! and writers exactly as without renaming. The program stays correct —
+//! renaming is purely a scheduling optimisation — and the fallback is
+//! counted in [`RuntimeStats::rename_fallbacks`](crate::RuntimeStats).
+//!
+//! * **Per-handle version count** ([`RuntimeConfig::rename_max_versions`],
+//!   default 16): at most this many versions of one handle may be live at
+//!   once. This is the bound that matters for heap-backed types — it limits
+//!   a handle's footprint to `max_versions` deep copies, playing the role
+//!   of Listing 1's ring depth `N`.
+//! * **Global byte budget** ([`RuntimeConfig::rename_memory_cap`], default
+//!   256 MiB): all extra versions are accounted against it. The accounting
+//!   is **shallow** — `size_of::<T>()` per version, the only size the
+//!   runtime can know without a per-type estimator — so for types that own
+//!   heap storage (`Vec`, `String`, frames) the byte budget undercounts and
+//!   the version-count bound is the effective limit.
+//!
+//! Disabling renaming entirely ([`RuntimeConfig::with_renaming(false)`]
+//! [`crate::RuntimeConfig::with_renaming`]) makes every versioned handle
+//! behave like a plain one: all accesses bind the single current version and
+//! WAR/WAW edges serialise tasks, which is the configuration the
+//! `rename_ablation` harness compares against.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::region::AllocId;
+
+/// Default global memory budget for renamed versions (bytes).
+pub const DEFAULT_RENAME_MEMORY_CAP: usize = 256 * 1024 * 1024;
+
+/// Default bound on each handle's pool of recycled version slots.
+pub const DEFAULT_RENAME_POOL_DEPTH: usize = 8;
+
+/// Default bound on the number of live versions per handle.
+pub const DEFAULT_RENAME_MAX_VERSIONS: usize = 16;
+
+/// Global accounting of the memory held by renamed versions, shared by every
+/// versioned handle used with one runtime.
+///
+/// The pool does not own any storage; it is a budget. Version storage is
+/// owned by the handles, each extra version holding a [`Reservation`] that
+/// returns its bytes to the budget when the storage is dropped.
+#[derive(Debug)]
+pub struct RenamePool {
+    cap: usize,
+    held: AtomicUsize,
+    renames: AtomicU64,
+    recycled: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl RenamePool {
+    /// Create a pool with the given byte budget.
+    pub fn new(cap: usize) -> Self {
+        RenamePool {
+            cap,
+            held: AtomicUsize::new(0),
+            renames: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes currently held by renamed versions (live and pooled).
+    pub fn bytes_held(&self) -> usize {
+        self.held.load(Ordering::Relaxed)
+    }
+
+    /// Renames performed (fresh or recycled versions).
+    pub fn renames(&self) -> u64 {
+        self.renames.load(Ordering::Relaxed)
+    }
+
+    /// Renames served from a handle's recycle pool.
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// `output` accesses that fell back to serialising because either the
+    /// byte budget was exhausted or the handle was already at its
+    /// live-version bound.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Try to reserve `bytes` for a new version. Returns the reservation, or
+    /// `None` when the budget would be exceeded (backpressure).
+    pub fn try_reserve(self: &Arc<Self>, bytes: usize) -> Option<Reservation> {
+        let mut held = self.held.load(Ordering::Relaxed);
+        loop {
+            if held.saturating_add(bytes) > self.cap {
+                return None;
+            }
+            match self.held.compare_exchange_weak(
+                held,
+                held + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(Reservation {
+                        pool: self.clone(),
+                        bytes,
+                    })
+                }
+                Err(actual) => held = actual,
+            }
+        }
+    }
+
+    pub(crate) fn note_rename(&self, recycled: bool) {
+        self.renames.fetch_add(1, Ordering::Relaxed);
+        if recycled {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII share of the rename budget: created by [`RenamePool::try_reserve`],
+/// returns its bytes on drop.
+#[derive(Debug)]
+pub struct Reservation {
+    pool: Arc<RenamePool>,
+    bytes: usize,
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.pool.held.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Context a handle needs to resolve an access to a concrete version:
+/// whether renaming is enabled and which budget to draw from. Built by the
+/// runtime for every [`TaskBuilder`](crate::TaskBuilder) access clause.
+#[derive(Clone)]
+pub struct RenameCx<'a> {
+    pub(crate) enabled: bool,
+    pub(crate) pool: &'a Arc<RenamePool>,
+    pub(crate) pool_depth: usize,
+    pub(crate) max_versions: usize,
+}
+
+impl<'a> RenameCx<'a> {
+    /// Whether `output` accesses should rename.
+    pub fn renaming_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The budget renamed versions are accounted against.
+    pub fn pool(&self) -> &'a Arc<RenamePool> {
+        self.pool
+    }
+
+    /// Bound on each handle's recycle pool.
+    pub fn pool_depth(&self) -> usize {
+        self.pool_depth
+    }
+
+    /// Bound on the number of live versions per handle.
+    pub fn max_versions(&self) -> usize {
+        self.max_versions
+    }
+}
+
+/// What happened when an access clause was resolved against a handle.
+///
+/// Returned by [`Accessible::resolve`](crate::handle::Accessible::resolve);
+/// consumed by the task builder, which stores the binding on the task and
+/// records rename statistics.
+pub struct ResolvedAccess {
+    /// The concrete access (region of the bound version + access kind).
+    pub(crate) access: crate::access::Access,
+    /// Release hook decrementing the bound version's in-flight count when
+    /// the task completes (`None` for unversioned handles).
+    pub(crate) ticket: Option<Box<dyn VersionTicket>>,
+    /// Present when the resolution renamed the handle to a new version.
+    pub(crate) renamed: Option<RenameEvent>,
+    /// Hook making the renamed version *current*, run at `spawn()` — see
+    /// [`RenameCommit`]. `None` when the resolution did not rename.
+    pub(crate) commit: Option<Box<dyn RenameCommit>>,
+}
+
+impl ResolvedAccess {
+    /// An access on an unversioned handle: no binding, no rename.
+    pub fn plain(access: crate::access::Access) -> Self {
+        ResolvedAccess {
+            access,
+            ticket: None,
+            renamed: None,
+            commit: None,
+        }
+    }
+
+    /// An access bound to a version of a versioned handle.
+    pub(crate) fn bound(
+        access: crate::access::Access,
+        ticket: Box<dyn VersionTicket>,
+        renamed: Option<RenameEvent>,
+        commit: Option<Box<dyn RenameCommit>>,
+    ) -> Self {
+        ResolvedAccess {
+            access,
+            ticket: Some(ticket),
+            renamed,
+            commit,
+        }
+    }
+}
+
+/// Record of one rename, reported through the trace as
+/// [`TraceEvent::Renamed`](crate::trace::TraceEvent::Renamed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenameEvent {
+    /// Allocation id of the superseded version.
+    pub from: AllocId,
+    /// Allocation id of the new current version.
+    pub to: AllocId,
+    /// Whether the new version reused pooled storage.
+    pub recycled: bool,
+}
+
+/// Release hook held by a task for every version it is bound to; invoked
+/// exactly once when the task completes.
+pub(crate) trait VersionTicket: Send {
+    /// Decrement the bound version's in-flight count (recycling the version
+    /// if it became unreferenced and is no longer current).
+    fn release(&self);
+}
+
+/// Deferred half of a rename. `resolve` *allocates* the new version (so the
+/// renaming task is bound to it), but the version only becomes the handle's
+/// **current** one when the task is actually inserted — `TaskBuilder::spawn`
+/// runs this hook. A builder dropped without spawning never commits: its
+/// ticket release reclaims the never-current version and the handle's value
+/// is untouched, exactly as if the task had never been written.
+pub(crate) trait RenameCommit: Send {
+    /// Make the allocated version current, superseding (and possibly
+    /// reclaiming) the previous one.
+    fn commit(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let pool = Arc::new(RenamePool::new(100));
+        let a = pool.try_reserve(60).expect("fits");
+        assert_eq!(pool.bytes_held(), 60);
+        assert!(pool.try_reserve(50).is_none(), "over budget");
+        let b = pool.try_reserve(40).expect("exactly fits");
+        assert_eq!(pool.bytes_held(), 100);
+        drop(a);
+        assert_eq!(pool.bytes_held(), 40);
+        drop(b);
+        assert_eq!(pool.bytes_held(), 0);
+    }
+
+    #[test]
+    fn zero_cap_refuses_everything_but_zero() {
+        let pool = Arc::new(RenamePool::new(0));
+        assert!(pool.try_reserve(1).is_none());
+        assert!(pool.try_reserve(0).is_some());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let pool = Arc::new(RenamePool::new(10));
+        pool.note_rename(false);
+        pool.note_rename(true);
+        pool.note_fallback();
+        assert_eq!(pool.renames(), 2);
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(pool.fallbacks(), 1);
+        assert_eq!(pool.cap(), 10);
+    }
+}

@@ -21,6 +21,10 @@ use crate::handle::{
     Accessible, Chunk, Data, PartitionedData, ReadGuard, SliceReadGuard, SliceWriteGuard, Whole,
     WriteGuard,
 };
+use crate::rename::{
+    RenameCx, RenameEvent, RenamePool, DEFAULT_RENAME_MAX_VERSIONS, DEFAULT_RENAME_MEMORY_CAP,
+    DEFAULT_RENAME_POOL_DEPTH,
+};
 use crate::scheduler::{IdlePolicy, SchedState, SchedulerPolicy};
 use crate::stats::{RuntimeStats, StatCounters, StatField};
 use crate::task::{ChildTracker, TaskId, TaskNode, TaskPriority};
@@ -42,6 +46,19 @@ pub struct RuntimeConfig {
     pub idle: IdlePolicy,
     /// Whether to record an execution trace.
     pub tracing: bool,
+    /// Whether `output` accesses on versioned handles rename automatically
+    /// (see [`crate::rename`]). Enabled by default; plain handles are never
+    /// affected.
+    pub renaming: bool,
+    /// Global byte budget for renamed versions; when exhausted, `output`
+    /// accesses fall back to serialising (backpressure). The accounting is
+    /// shallow (`size_of::<T>()` per version) — see [`crate::rename`].
+    pub rename_memory_cap: usize,
+    /// Bound on each versioned handle's pool of recycled version slots.
+    pub rename_pool_depth: usize,
+    /// Bound on the number of live versions per handle; the effective
+    /// in-flight window for heap-backed types (Listing 1's ring depth `N`).
+    pub rename_max_versions: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +71,10 @@ impl Default for RuntimeConfig {
             policy: SchedulerPolicy::default(),
             idle: IdlePolicy::default(),
             tracing: false,
+            renaming: true,
+            rename_memory_cap: DEFAULT_RENAME_MEMORY_CAP,
+            rename_pool_depth: DEFAULT_RENAME_POOL_DEPTH,
+            rename_max_versions: DEFAULT_RENAME_MAX_VERSIONS,
         }
     }
 }
@@ -82,6 +103,34 @@ impl RuntimeConfig {
         self.tracing = tracing;
         self
     }
+
+    /// Enable or disable automatic renaming of `output` accesses on
+    /// versioned handles. With renaming off, versioned handles keep a
+    /// single version and WAR/WAW edges serialise tasks — the behaviour of
+    /// the OmpSs implementation evaluated in the paper.
+    pub fn with_renaming(mut self, renaming: bool) -> Self {
+        self.renaming = renaming;
+        self
+    }
+
+    /// Set the global byte budget for renamed versions.
+    pub fn with_rename_memory_cap(mut self, bytes: usize) -> Self {
+        self.rename_memory_cap = bytes;
+        self
+    }
+
+    /// Set the bound on each versioned handle's recycled-slot pool.
+    pub fn with_rename_pool_depth(mut self, depth: usize) -> Self {
+        self.rename_pool_depth = depth;
+        self
+    }
+
+    /// Set the bound on live versions per handle (must be at least 1; the
+    /// canonical version always exists).
+    pub fn with_rename_max_versions(mut self, max_versions: usize) -> Self {
+        self.rename_max_versions = max_versions.max(1);
+        self
+    }
 }
 
 pub(crate) struct RuntimeInner {
@@ -95,6 +144,7 @@ pub(crate) struct RuntimeInner {
     pub(crate) trace: TraceRecorder,
     pub(crate) critical: CriticalSections,
     pub(crate) panics: Mutex<Vec<Error>>,
+    pub(crate) rename: Arc<RenamePool>,
     spawn_count: AtomicU64,
 }
 
@@ -103,6 +153,7 @@ impl RuntimeInner {
         &self,
         node: Arc<TaskNode>,
         local: Option<&WorkerDeque<Arc<TaskNode>>>,
+        renames: Vec<RenameEvent>,
     ) -> TaskId {
         let id = node.id;
         self.stats.add(StatField::TasksSpawned, 1);
@@ -113,13 +164,23 @@ impl RuntimeInner {
             let mut tracker = self.tracker.lock();
             let reg = tracker.register(&node);
             let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
-            if count % GC_PERIOD == 0 {
+            if count.is_multiple_of(GC_PERIOD) {
                 tracker.garbage_collect();
             }
             reg
         };
         self.stats
             .add(StatField::EdgesAdded, registration.edges as u64);
+        self.stats
+            .add(StatField::EdgesRaw, registration.raw_edges as u64);
+        self.stats
+            .add(StatField::EdgesWar, registration.war_edges as u64);
+        self.stats
+            .add(StatField::EdgesWaw, registration.waw_edges as u64);
+        self.stats.add(
+            StatField::DependencesSeen,
+            registration.predecessors_seen as u64,
+        );
         if self.trace.is_enabled() {
             self.trace.record(TraceEvent::Spawned {
                 task: id,
@@ -127,6 +188,15 @@ impl RuntimeInner {
                 at_ns: self.trace.now_ns(),
                 deps: registration.edges,
             });
+            for ev in &renames {
+                self.trace.record(TraceEvent::Renamed {
+                    task: id,
+                    from_alloc: ev.from.raw(),
+                    to_alloc: ev.to.raw(),
+                    recycled: ev.recycled,
+                    at_ns: self.trace.now_ns(),
+                });
+            }
         }
         if graph::finish_registration(&node) {
             self.stats.add(StatField::ImmediatelyReady, 1);
@@ -190,6 +260,7 @@ impl Runtime {
             trace: TraceRecorder::new(config.tracing),
             critical: CriticalSections::new(),
             panics: Mutex::new(Vec::new()),
+            rename: Arc::new(RenamePool::new(config.rename_memory_cap)),
             spawn_count: AtomicU64::new(0),
             config,
         });
@@ -221,6 +292,23 @@ impl Runtime {
         Data::new(value)
     }
 
+    /// Register a value behind a **versioned** handle: `output` accesses
+    /// rename to a fresh version (initialised with `T::default()`) instead
+    /// of serialising on WAR/WAW hazards. See [`crate::rename`].
+    pub fn versioned_data<T: Send + Default + 'static>(&self, value: T) -> Data<T> {
+        Data::versioned(value)
+    }
+
+    /// Like [`Runtime::versioned_data`] with an explicit initialiser for
+    /// fresh versions (for types without a useful `Default`).
+    pub fn versioned_data_with<T: Send + 'static>(
+        &self,
+        value: T,
+        make: impl Fn() -> T + Send + Sync + 'static,
+    ) -> Data<T> {
+        Data::versioned_with(value, make)
+    }
+
     /// Register a vector partitioned into chunks of `chunk_len` elements.
     pub fn partitioned<T: Send + 'static>(
         &self,
@@ -232,14 +320,7 @@ impl Runtime {
 
     /// Begin building a task spawned from the main program context.
     pub fn task(&self) -> TaskBuilder<'_> {
-        TaskBuilder {
-            inner: &self.inner,
-            parent_children: self.inner.root_children.clone(),
-            deque: None,
-            name: None,
-            priority: TaskPriority::default(),
-            accesses: Vec::new(),
-        }
+        TaskBuilder::new(&self.inner, self.inner.root_children.clone(), None)
     }
 
     /// Wait until every task spawned from the main context (and transitively
@@ -259,15 +340,17 @@ impl Runtime {
     }
 
     /// Wait only for the in-flight tasks that access (a region overlapping)
-    /// `handle` — the `#pragma omp taskwait on (x)` of Listing 1.
+    /// `handle` — the `#pragma omp taskwait on (x)` of Listing 1. For a
+    /// versioned handle this covers every version still in flight.
     pub fn taskwait_on(&self, handle: &impl Accessible) {
         self.inner.stats.add(StatField::TaskwaitOns, 1);
-        let region = handle.region();
-        let touching = self.inner.tracker.lock().tasks_touching(&region);
-        for task in touching {
-            let mut spins = 0u32;
-            while !task.is_completed() {
-                backoff(&mut spins);
+        for region in handle.sync_regions() {
+            let touching = self.inner.tracker.lock().tasks_touching(&region);
+            for task in touching {
+                let mut spins = 0u32;
+                while !task.is_completed() {
+                    backoff(&mut spins);
+                }
             }
         }
     }
@@ -339,12 +422,21 @@ impl Runtime {
     pub fn stats(&self) -> RuntimeStats {
         let c = &self.inner.stats;
         let s = &self.inner.sched.counters;
+        let rename = &self.inner.rename;
         RuntimeStats {
             workers: self.inner.config.workers,
             tasks_spawned: c.get(StatField::TasksSpawned),
             tasks_executed: c.get(StatField::TasksExecuted),
             tasks_panicked: c.get(StatField::TasksPanicked),
             edges_added: c.get(StatField::EdgesAdded),
+            raw_edges: c.get(StatField::EdgesRaw),
+            war_edges: c.get(StatField::EdgesWar),
+            waw_edges: c.get(StatField::EdgesWaw),
+            dependences_seen: c.get(StatField::DependencesSeen),
+            renames: rename.renames(),
+            renames_recycled: rename.recycled(),
+            rename_fallbacks: rename.fallbacks(),
+            rename_bytes_held: rename.bytes_held() as u64,
             immediately_ready: c.get(StatField::ImmediatelyReady),
             taskwaits: c.get(StatField::Taskwaits),
             taskwait_ons: c.get(StatField::TaskwaitOns),
@@ -428,6 +520,11 @@ fn backoff(spins: &mut u32) {
 // ---------------------------------------------------------------------------
 
 /// Builder for a task, mirroring the clauses of `#pragma omp task`.
+///
+/// Access clauses resolve to a concrete data version *at declaration time*
+/// (in program order on the spawning thread): an `output` clause on a
+/// versioned handle renames it to a fresh version, and every later clause —
+/// of this task or of later tasks — binds the renamed version.
 pub struct TaskBuilder<'r> {
     inner: &'r Arc<RuntimeInner>,
     parent_children: Arc<ChildTracker>,
@@ -435,9 +532,30 @@ pub struct TaskBuilder<'r> {
     name: Option<Arc<str>>,
     priority: TaskPriority,
     accesses: Vec<Access>,
+    tickets: Vec<Box<dyn crate::rename::VersionTicket>>,
+    commits: Vec<Box<dyn crate::rename::RenameCommit>>,
+    renames: Vec<RenameEvent>,
 }
 
 impl<'r> TaskBuilder<'r> {
+    pub(crate) fn new(
+        inner: &'r Arc<RuntimeInner>,
+        parent_children: Arc<ChildTracker>,
+        deque: Option<&'r WorkerDeque<Arc<TaskNode>>>,
+    ) -> Self {
+        TaskBuilder {
+            inner,
+            parent_children,
+            deque,
+            name: None,
+            priority: TaskPriority::default(),
+            accesses: Vec::new(),
+            tickets: Vec::new(),
+            commits: Vec::new(),
+            renames: Vec::new(),
+        }
+    }
+
     /// Give the task a name (shown in traces and panic reports).
     pub fn name(mut self, name: &str) -> Self {
         self.name = Some(Arc::from(name));
@@ -450,54 +568,120 @@ impl<'r> TaskBuilder<'r> {
         self
     }
 
-    /// Declare a read access (`input(x)`).
-    pub fn input(mut self, handle: &impl Accessible) -> Self {
-        self.accesses
-            .push(Access::new(handle.region(), AccessKind::Input));
+    fn declare(mut self, kind: AccessKind, handle: &impl Accessible) -> Self {
+        let cx = RenameCx {
+            enabled: self.inner.config.renaming,
+            pool: &self.inner.rename,
+            pool_depth: self.inner.config.rename_pool_depth,
+            max_versions: self.inner.config.rename_max_versions,
+        };
+        let mut resolved = handle.resolve(kind, &cx);
+        // Two writing clauses on the same *versioned* handle are ill-formed
+        // (as `inout(x) output(x)` is in OmpSs): each clause binds its own
+        // version, so the task body's write would target one version while
+        // the rename commit makes another current — a silent lost write.
+        // Reject at declaration instead. (`input` + `output` is fine: the
+        // read binds the previous version, the write the fresh one.)
+        if let Some(root) = resolved.access.version_root() {
+            if resolved.access.kind.allows_mutation()
+                && self.accesses.iter().any(|a| {
+                    a.version_root() == Some(root) && a.kind.allows_mutation()
+                })
+            {
+                // Unbind the just-created version before unwinding (its
+                // rename was never committed, so the handle is untouched).
+                if let Some(ticket) = resolved.ticket.take() {
+                    ticket.release();
+                }
+                panic!(
+                    "task declares more than one writing access (output/inout/concurrent) \
+                     on the same versioned handle (allocation {}); declare a single inout \
+                     (to update in place) or a single output (to rename)",
+                    root.raw()
+                );
+            }
+        }
+        self.accesses.push(resolved.access);
+        if let Some(ticket) = resolved.ticket {
+            self.tickets.push(ticket);
+        }
+        if let Some(commit) = resolved.commit {
+            self.commits.push(commit);
+        }
+        if let Some(event) = resolved.renamed {
+            self.renames.push(event);
+        }
         self
     }
 
-    /// Declare a write access (`output(x)`).
-    pub fn output(mut self, handle: &impl Accessible) -> Self {
-        self.accesses
-            .push(Access::new(handle.region(), AccessKind::Output));
-        self
+    /// Declare a read access (`input(x)`).
+    pub fn input(self, handle: &impl Accessible) -> Self {
+        self.declare(AccessKind::Input, handle)
+    }
+
+    /// Declare a write access (`output(x)`). On a versioned handle this
+    /// renames to a fresh version (when renaming is enabled), eliminating
+    /// WAR/WAW serialisation.
+    pub fn output(self, handle: &impl Accessible) -> Self {
+        self.declare(AccessKind::Output, handle)
     }
 
     /// Declare a read-write access (`inout(x)`).
-    pub fn inout(mut self, handle: &impl Accessible) -> Self {
-        self.accesses
-            .push(Access::new(handle.region(), AccessKind::InOut));
-        self
+    pub fn inout(self, handle: &impl Accessible) -> Self {
+        self.declare(AccessKind::InOut, handle)
     }
 
     /// Declare a commutative-update access (`concurrent(x)`).
-    pub fn concurrent(mut self, handle: &impl Accessible) -> Self {
-        self.accesses
-            .push(Access::new(handle.region(), AccessKind::Concurrent));
-        self
+    pub fn concurrent(self, handle: &impl Accessible) -> Self {
+        self.declare(AccessKind::Concurrent, handle)
     }
 
     /// Declare an access with an explicit kind.
-    pub fn access(mut self, kind: AccessKind, handle: &impl Accessible) -> Self {
-        self.accesses.push(Access::new(handle.region(), kind));
-        self
+    pub fn access(self, kind: AccessKind, handle: &impl Accessible) -> Self {
+        self.declare(kind, handle)
     }
 
     /// Spawn the task. The closure receives a [`TaskContext`] through which
     /// it obtains guarded access to the declared data.
-    pub fn spawn<F>(self, body: F) -> TaskId
+    pub fn spawn<F>(mut self, body: F) -> TaskId
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
+        // The task is being inserted: this is the point in program order
+        // where its renames take effect. Committing here (not at clause
+        // declaration) means an abandoned builder never changes the
+        // handle's value.
+        for commit in std::mem::take(&mut self.commits) {
+            commit.commit();
+        }
+        let accesses = std::mem::take(&mut self.accesses);
+        let tickets = std::mem::take(&mut self.tickets);
+        let renames = std::mem::take(&mut self.renames);
         let node = TaskNode::new(
-            self.name,
+            self.name.take(),
             self.priority,
-            Arc::from(self.accesses.into_boxed_slice()),
+            Arc::from(accesses.into_boxed_slice()),
             Box::new(body),
-            self.parent_children,
+            self.parent_children.clone(),
         );
-        self.inner.spawn_node(node, self.deque)
+        *node.tickets.lock() = tickets;
+        self.inner.spawn_node(node, self.deque, renames)
+    }
+}
+
+impl Drop for TaskBuilder<'_> {
+    /// A builder abandoned without [`TaskBuilder::spawn`] must release the
+    /// version bindings its access clauses created, or the bound versions
+    /// (and their share of the rename budget) would be pinned forever. Its
+    /// uncommitted renames are simply dropped — the never-current versions
+    /// are reclaimed by the ticket release and the handle's value is
+    /// untouched. After a successful `spawn` the tickets and commits have
+    /// been moved out and this is a no-op.
+    fn drop(&mut self) {
+        self.commits.clear();
+        for ticket in self.tickets.drain(..) {
+            ticket.release();
+        }
     }
 }
 
@@ -545,21 +729,55 @@ impl<'a> TaskContext<'a> {
         }
     }
 
+    /// Locate the declared access binding this task to (a version of)
+    /// `data`, preferring the appropriate kind, and return the bound
+    /// version's storage pointer.
+    fn data_binding<T: Send + 'static>(&self, data: &Data<T>, write: bool) -> *mut T {
+        let root = data.root_alloc();
+        let viable = |a: &&Access| a.root_alloc() == root && (!write || a.kind.allows_mutation());
+        // For reads on a handle declared with several accesses (e.g. input +
+        // output under renaming), prefer the access that *reads*: it is
+        // bound to the version holding the value this task may observe.
+        let access = if write {
+            self.node.accesses.iter().find(viable)
+        } else {
+            self.node
+                .accesses
+                .iter()
+                .filter(viable)
+                .max_by_key(|a| a.kind.reads())
+        };
+        let Some(access) = access else {
+            panic!(
+                "task `{}` accessed data {} {} without declaring a matching {} access",
+                self.node.display_name(),
+                data.root_alloc().raw(),
+                if write { "mutably" } else { "for reading" },
+                if write { "output/inout/concurrent" } else { "input/inout" },
+            );
+        };
+        data.ptr_for_alloc(access.region.id.alloc)
+            .expect("bound version is alive while the task is in flight")
+    }
+
     /// Obtain shared access to `data`; the task must have declared any access
-    /// on it.
+    /// on it. For a versioned handle the guard refers to the version this
+    /// task was bound to at spawn time.
     pub fn read<'d, T: Send + 'static>(&self, data: &'d Data<T>) -> ReadGuard<'d, T> {
-        self.check_access(&data.region(), false, "data");
+        let ptr = self.data_binding(data, false);
         ReadGuard {
-            value: unsafe { &*data.ptr() },
+            value: unsafe { &*ptr },
         }
     }
 
     /// Obtain exclusive access to `data`; the task must have declared an
-    /// `output`, `inout` or `concurrent` access on it.
+    /// `output`, `inout` or `concurrent` access on it. For a versioned
+    /// handle the guard refers to the version this task was bound to at
+    /// spawn time (for a renamed `output`: the fresh version).
     pub fn write<'d, T: Send + 'static>(&self, data: &'d Data<T>) -> WriteGuard<'d, T> {
-        self.check_access(&data.region(), true, "data");
+        let ptr = self.data_binding(data, true);
         WriteGuard {
-            value: unsafe { &mut *data.ptr() },
+            value: unsafe { &mut *ptr },
         }
     }
 
@@ -607,14 +825,7 @@ impl<'a> TaskContext<'a> {
 
     /// Begin building a nested task (child of the current task).
     pub fn task(&self) -> TaskBuilder<'a> {
-        TaskBuilder {
-            inner: self.inner,
-            parent_children: self.node.children.clone(),
-            deque: self.deque,
-            name: None,
-            priority: TaskPriority::default(),
-            accesses: Vec::new(),
-        }
+        TaskBuilder::new(self.inner, self.node.children.clone(), self.deque)
     }
 
     /// Wait for the direct children of the current task. While waiting, the
@@ -635,20 +846,22 @@ impl<'a> TaskContext<'a> {
     }
 
     /// Wait for the in-flight tasks accessing `handle` (helping execute ready
-    /// tasks meanwhile).
+    /// tasks meanwhile). For a versioned handle this covers every version
+    /// still in flight.
     pub fn taskwait_on(&self, handle: &impl Accessible) {
         self.inner.stats.add(StatField::TaskwaitOns, 1);
-        let region = handle.region();
-        let touching = self.inner.tracker.lock().tasks_touching(&region);
         let helper_id = self.worker.unwrap_or(0);
-        for task in touching {
-            let mut spins = 0u32;
-            while !task.is_completed() {
-                if let Some(t) = self.inner.sched.pop(helper_id, None) {
-                    worker::execute_task(self.inner, t, self.worker, None);
-                    spins = 0;
-                } else {
-                    backoff(&mut spins);
+        for region in handle.sync_regions() {
+            let touching = self.inner.tracker.lock().tasks_touching(&region);
+            for task in touching {
+                let mut spins = 0u32;
+                while !task.is_completed() {
+                    if let Some(t) = self.inner.sched.pop(helper_id, None) {
+                        worker::execute_task(self.inner, t, self.worker, None);
+                        spins = 0;
+                    } else {
+                        backoff(&mut spins);
+                    }
                 }
             }
         }

@@ -9,6 +9,10 @@ pub(crate) struct StatCounters {
     pub tasks_executed: AtomicU64,
     pub tasks_panicked: AtomicU64,
     pub edges_added: AtomicU64,
+    pub edges_raw: AtomicU64,
+    pub edges_war: AtomicU64,
+    pub edges_waw: AtomicU64,
+    pub dependences_seen: AtomicU64,
     pub taskwaits: AtomicU64,
     pub taskwait_ons: AtomicU64,
     pub immediately_ready: AtomicU64,
@@ -29,6 +33,10 @@ impl StatCounters {
             StatField::TasksExecuted => &self.tasks_executed,
             StatField::TasksPanicked => &self.tasks_panicked,
             StatField::EdgesAdded => &self.edges_added,
+            StatField::EdgesRaw => &self.edges_raw,
+            StatField::EdgesWar => &self.edges_war,
+            StatField::EdgesWaw => &self.edges_waw,
+            StatField::DependencesSeen => &self.dependences_seen,
             StatField::Taskwaits => &self.taskwaits,
             StatField::TaskwaitOns => &self.taskwait_ons,
             StatField::ImmediatelyReady => &self.immediately_ready,
@@ -43,6 +51,10 @@ pub(crate) enum StatField {
     TasksExecuted,
     TasksPanicked,
     EdgesAdded,
+    EdgesRaw,
+    EdgesWar,
+    EdgesWaw,
+    DependencesSeen,
     Taskwaits,
     TaskwaitOns,
     ImmediatelyReady,
@@ -60,8 +72,39 @@ pub struct RuntimeStats {
     pub tasks_executed: u64,
     /// Tasks whose body panicked.
     pub tasks_panicked: u64,
-    /// Dependence edges inserted into the task graph.
+    /// Dependence edges inserted into the task graph. Only predecessors
+    /// still in flight at registration produce an edge, so this count (and
+    /// its RAW/WAR/WAW split) depends on execution timing; use
+    /// [`RuntimeStats::dependences_seen`] for a timing-independent count.
     pub edges_added: u64,
+    /// Edges carrying a true data flow: the successor reads data the
+    /// predecessor wrote, including read-modify-write (`inout` /
+    /// `concurrent`) chains. Renaming preserves these.
+    pub raw_edges: u64,
+    /// Edges that are anti (write-after-read) dependences: an `output`
+    /// overwrites data an earlier task reads — false dependences that
+    /// automatic renaming removes.
+    pub war_edges: u64,
+    /// Edges that are output (write-after-write) dependences: an `output`
+    /// overwrites data an earlier task wrote, without reading it — false
+    /// dependences that automatic renaming removes.
+    pub waw_edges: u64,
+    /// Conflicting predecessor accesses discovered at registration, whether
+    /// or not the predecessor had already completed. Independent of
+    /// execution timing (deterministic for a fixed program, until history is
+    /// garbage-collected), unlike `edges_added`.
+    pub dependences_seen: u64,
+    /// Versions allocated by automatic renaming (`output` accesses on
+    /// versioned handles).
+    pub renames: u64,
+    /// Renames that reused pooled storage instead of allocating.
+    pub renames_recycled: u64,
+    /// `output` accesses that wanted to rename but serialised instead,
+    /// either because the rename memory budget was exhausted or because the
+    /// handle already had `rename_max_versions` live versions.
+    pub rename_fallbacks: u64,
+    /// Bytes currently held by renamed versions (live and pooled).
+    pub rename_bytes_held: u64,
     /// Tasks that were ready at spawn time (no unresolved dependences).
     pub immediately_ready: u64,
     /// Number of `taskwait` calls.
@@ -101,6 +144,18 @@ impl RuntimeStats {
             0.0
         } else {
             self.edges_added as f64 / self.tasks_spawned as f64
+        }
+    }
+
+    /// Fraction of added graph edges that are false (WAR + WAW)
+    /// dependences — overwrites that do not read the data they replace, the
+    /// serialisation automatic renaming targets. `None` when no edges were
+    /// added.
+    pub fn false_dependence_fraction(&self) -> Option<f64> {
+        if self.edges_added == 0 {
+            None
+        } else {
+            Some((self.war_edges + self.waw_edges) as f64 / self.edges_added as f64)
         }
     }
 

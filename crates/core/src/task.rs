@@ -12,6 +12,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::access::Access;
+use crate::rename::VersionTicket;
 use crate::runtime::TaskContext;
 
 /// Globally unique task identifier (monotonically increasing).
@@ -133,6 +134,10 @@ pub(crate) struct TaskNode {
     pub state: AtomicU8,
     /// Number of predecessor edges that were actually registered (stats).
     pub in_edges: AtomicUsize,
+    /// Release hooks for the data versions this task is bound to (one per
+    /// access that resolved against a versioned handle); drained exactly
+    /// once on completion.
+    pub tickets: Mutex<Vec<Box<dyn VersionTicket>>>,
 }
 
 impl TaskNode {
@@ -156,7 +161,13 @@ impl TaskNode {
             parent_children,
             state: AtomicU8::new(TaskState::WaitingDeps as u8),
             in_edges: AtomicUsize::new(0),
+            tickets: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Drain the version-release hooks (called once, at completion).
+    pub(crate) fn take_tickets(&self) -> Vec<Box<dyn VersionTicket>> {
+        std::mem::take(&mut *self.tickets.lock())
     }
 
     /// Current coarse state.

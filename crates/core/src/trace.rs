@@ -34,6 +34,20 @@ pub enum TraceEvent {
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },
+    /// An `output` access of a task renamed a versioned handle to a fresh
+    /// data version (see [`crate::rename`]).
+    Renamed {
+        /// The task whose access triggered the rename.
+        task: TaskId,
+        /// Raw allocation id of the superseded version.
+        from_alloc: u64,
+        /// Raw allocation id of the new current version.
+        to_alloc: u64,
+        /// Whether pooled storage was reused.
+        recycled: bool,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
     /// A worker started executing a task.
     Started {
         /// Task id.
@@ -62,6 +76,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Spawned { task, .. }
             | TraceEvent::Ready { task, .. }
+            | TraceEvent::Renamed { task, .. }
             | TraceEvent::Started { task, .. }
             | TraceEvent::Finished { task, .. } => *task,
         }
@@ -72,6 +87,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Spawned { at_ns, .. }
             | TraceEvent::Ready { at_ns, .. }
+            | TraceEvent::Renamed { at_ns, .. }
             | TraceEvent::Started { at_ns, .. }
             | TraceEvent::Finished { at_ns, .. } => *at_ns,
         }
@@ -180,8 +196,9 @@ impl TraceRecorder {
     /// with the worker index as the thread id. The output plays the role the
     /// Paraver traces play in the original OmpSs toolchain.
     pub fn to_chrome_trace(&self) -> String {
+        type StartInfo = (u64, Option<Arc<str>>);
         let events = self.events.lock();
-        let mut start_of: std::collections::HashMap<(usize, TaskId), (u64, Option<Arc<str>>)> =
+        let mut start_of: std::collections::HashMap<(usize, TaskId), StartInfo> =
             std::collections::HashMap::new();
         let mut names: std::collections::HashMap<TaskId, Option<Arc<str>>> =
             std::collections::HashMap::new();
@@ -220,7 +237,7 @@ impl TraceRecorder {
                         ));
                     }
                 }
-                TraceEvent::Ready { .. } => {}
+                TraceEvent::Ready { .. } | TraceEvent::Renamed { .. } => {}
             }
         }
         out.push(']');

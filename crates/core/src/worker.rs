@@ -96,6 +96,13 @@ pub(crate) fn execute_task(
         });
     }
 
+    // The body is done with its data: release the version bindings so
+    // superseded versions can be recycled (see rename.rs). Successors bound
+    // to the same versions hold their own tickets.
+    for ticket in node.take_tickets() {
+        ticket.release();
+    }
+
     // Wake successors (a panicked task still releases its dependants so the
     // graph always drains).
     let ready = graph::complete(&node);

@@ -27,11 +27,13 @@ impl Vec3 {
     pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
 
     /// Vector addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
     }
 
     /// Vector subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
@@ -182,7 +184,7 @@ fn trace(scene: &Scene, origin: Vec3, dir: Vec3, depth: u32) -> Vec3 {
     let mut nearest: Option<(f64, &Sphere)> = None;
     for s in &scene.spheres {
         if let Some(t) = intersect(origin, dir, s) {
-            if nearest.map_or(true, |(tn, _)| t < tn) {
+            if nearest.is_none_or(|(tn, _)| t < tn) {
                 nearest = Some((t, s));
             }
         }

@@ -128,11 +128,8 @@ impl<'a> BitReader<'a> {
     /// Read an unsigned exp-Golomb code.
     pub fn get_ue(&mut self) -> Option<u32> {
         let mut zeros = 0u8;
-        loop {
-            match self.get_bit()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !self.get_bit()? {
+            zeros += 1;
             if zeros > 32 {
                 return None;
             }
@@ -150,7 +147,7 @@ impl<'a> BitReader<'a> {
         Some(if mapped % 2 == 0 {
             -((mapped / 2) as i32)
         } else {
-            ((mapped + 1) / 2) as i32
+            mapped.div_ceil(2) as i32
         })
     }
 }

@@ -54,7 +54,7 @@ impl PictureInfoBuffer {
     /// pool is exhausted.
     pub fn fetch(&mut self, header: FrameHeader) -> Option<usize> {
         for (i, slot) in self.entries.iter_mut().enumerate() {
-            let free = slot.as_ref().map_or(true, |e| !e.in_use);
+            let free = slot.as_ref().is_none_or(|e| !e.in_use);
             if free {
                 *slot = Some(PictureInfo {
                     header,
@@ -130,7 +130,7 @@ impl DecodedPictureBuffer {
     /// `None` when the pool is exhausted.
     pub fn fetch(&mut self, frame_num: u32) -> Option<usize> {
         for (i, slot) in self.entries.iter_mut().enumerate() {
-            let free = slot.as_ref().map_or(true, |e| !e.in_use);
+            let free = slot.as_ref().is_none_or(|e| !e.in_use);
             if free {
                 *slot = Some(DpbEntry {
                     frame: DecodedFrame::new(frame_num, self.width, self.height),
@@ -172,7 +172,7 @@ impl DecodedPictureBuffer {
     pub fn find_frame(&self, frame_num: u32) -> Option<usize> {
         self.entries.iter().position(|e| {
             e.as_ref()
-                .map_or(false, |e| e.in_use && e.frame.frame_num == frame_num)
+                .is_some_and(|e| e.in_use && e.frame.frame_num == frame_num)
         })
     }
 

@@ -71,7 +71,7 @@ impl VideoParams {
     /// are requested.
     pub fn validate(&self) {
         assert!(
-            self.width % MB_SIZE == 0 && self.height % MB_SIZE == 0,
+            self.width.is_multiple_of(MB_SIZE) && self.height.is_multiple_of(MB_SIZE),
             "dimensions must be multiples of {MB_SIZE}"
         );
         assert!(self.width > 0 && self.height > 0, "empty frame");

@@ -67,10 +67,10 @@ pub fn clustered_points(n: usize, dim: usize, k_hint: usize, seed: u64) -> Vec<f
     let mut out = Vec::with_capacity(n * dim);
     for i in 0..n {
         let c = &centers[i % centers.len()];
-        for d in 0..dim {
+        for &center in c.iter().take(dim) {
             // Sum of three uniforms approximates a Gaussian well enough.
             let noise: f32 = (0..3).map(|_| r.gen_range(-0.5f32..0.5)).sum();
-            out.push(c[d] + noise);
+            out.push(center + noise);
         }
     }
     out
@@ -138,8 +138,8 @@ mod tests {
         // Consecutive frames stay close (it is a random walk with small
         // steps).
         for w in obs.windows(2) {
-            for j in 0..6 {
-                assert!((w[0][j] - w[1][j]).abs() < 0.5);
+            for (a, b) in w[0].iter().zip(w[1].iter()) {
+                assert!((a - b).abs() < 0.5);
             }
         }
     }

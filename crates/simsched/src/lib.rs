@@ -30,6 +30,15 @@
 //! model wins on which benchmark at which core count and by roughly what
 //! factor — not the third decimal of the original measurements (the original
 //! hardware is not available).
+//!
+//! ## Workspace role
+//!
+//! `simsched` is deliberately independent of the real runtimes: it consumes
+//! only workload *descriptors*, so the Table 1 scaling study can run on any
+//! host (including single-core CI machines) in milliseconds. The `table1`
+//! binary in `bench-harness` combines the simulated study with measured
+//! numbers from the `ompss` runtime and `threadkit` substrate when host
+//! parallelism is available.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

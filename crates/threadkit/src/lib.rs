@@ -20,6 +20,15 @@
 //! * [`partition`] — static work-partitioning helpers (block and cyclic).
 //! * [`parallel_for`] — one-shot statically-chunked data-parallel loop over
 //!   scoped threads.
+//!
+//! ## Workspace role
+//!
+//! `threadkit` is the *baseline* side of the paper's comparison: it contains
+//! no task graph, no dependence analysis and no renaming — concurrency is
+//! expressed structurally (teams, barriers, queues) exactly as in the
+//! hand-written Pthreads benchmarks. The task-dataflow counterpart lives in
+//! the `ompss` crate; the `benchsuite` crate implements every benchmark
+//! against both, and the `bench-harness` binaries compare them.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -6,6 +6,9 @@
 //! whatever interleaving the scheduler picks, the observable outcome equals
 //! the sequential semantics of the annotated program.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use ompss::{Runtime, RuntimeConfig, SchedulerPolicy};
@@ -46,12 +49,34 @@ fn run_sequential(cells: usize, ops: &[Op]) -> Vec<u64> {
 /// needs them; the runtime's dependence analysis must reconstruct the
 /// sequential order wherever it matters.
 fn run_tasked(cells: usize, ops: &[Op], workers: usize, policy: SchedulerPolicy) -> Vec<u64> {
-    let rt = Runtime::new(
+    run_tasked_with(
+        cells,
+        ops,
         RuntimeConfig::default()
             .with_workers(workers)
             .with_policy(policy),
-    );
-    let handles: Vec<_> = (0..cells).map(|_| rt.data(0u64)).collect();
+        false,
+    )
+}
+
+/// Like [`run_tasked`], with full control over the runtime configuration and
+/// the choice of plain vs versioned (renaming-capable) handles.
+fn run_tasked_with(
+    cells: usize,
+    ops: &[Op],
+    config: RuntimeConfig,
+    versioned: bool,
+) -> Vec<u64> {
+    let rt = Runtime::new(config);
+    let handles: Vec<_> = (0..cells)
+        .map(|_| {
+            if versioned {
+                rt.versioned_data(0u64)
+            } else {
+                rt.data(0u64)
+            }
+        })
+        .collect();
     for op in ops {
         match *op {
             Op::Set { dst, value } => {
@@ -126,6 +151,103 @@ proptest! {
         let got = run_tasked(5, &ops, workers, SchedulerPolicy::LocalityWorkStealing);
         prop_assert_eq!(got, expected);
     }
+
+    /// Automatic renaming preserves sequential semantics: the same random
+    /// program over *versioned* handles, with renaming enabled, produces
+    /// exactly the result of the renaming-free FIFO runtime (which itself
+    /// matches plain sequential execution).
+    #[test]
+    fn renaming_preserves_sequential_semantics(
+        ops in proptest::collection::vec(op_strategy(4), 1..60),
+        workers in 1usize..5,
+    ) {
+        let reference = run_tasked_with(
+            4,
+            &ops,
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_policy(SchedulerPolicy::Fifo)
+                .with_renaming(false),
+            true,
+        );
+        prop_assert_eq!(&reference, &run_sequential(4, &ops));
+        let renamed = run_tasked_with(
+            4,
+            &ops,
+            RuntimeConfig::default().with_workers(workers),
+            true,
+        );
+        prop_assert_eq!(renamed, reference);
+    }
+
+    /// A starved rename budget only affects scheduling, never results.
+    #[test]
+    fn rename_backpressure_preserves_semantics(
+        ops in proptest::collection::vec(op_strategy(3), 1..40),
+        cap in 0usize..64,
+    ) {
+        let expected = run_sequential(3, &ops);
+        let got = run_tasked_with(
+            3,
+            &ops,
+            RuntimeConfig::default()
+                .with_workers(3)
+                .with_rename_memory_cap(cap)
+                .with_rename_pool_depth(cap % 3),
+            true,
+        );
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// The headline claim of automatic renaming: a WAR/WAW chain (readers
+/// followed by an overwriting task, repeated) serialises without renaming
+/// and decouples with it — visible as a drop in graph edge counts.
+#[test]
+fn war_waw_chains_no_longer_serialise() {
+    // Keep every reader in flight until the end so that each writer's
+    // WAR/WAW edges are genuinely added in the no-renaming configuration.
+    let gate = Arc::new(AtomicUsize::new(0));
+    let edge_counts = |renaming: bool| {
+        let rt = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_renaming(renaming),
+        );
+        let d = rt.versioned_data(0u64);
+        let gate = gate.clone();
+        gate.store(0, Ordering::SeqCst);
+        for round in 0..10u64 {
+            for _ in 0..3 {
+                let d = d.clone();
+                let gate = gate.clone();
+                rt.task().input(&d).spawn(move |ctx| {
+                    let _v = *ctx.read(&d);
+                    while gate.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            let d = d.clone();
+            rt.task().output(&d).spawn(move |ctx| {
+                *ctx.write(&d) = round + 1;
+            });
+        }
+        gate.store(1, Ordering::SeqCst);
+        rt.taskwait();
+        let stats = rt.stats();
+        assert_eq!(rt.into_inner(d), 10, "final version committed on taskwait");
+        (stats.edges_added, stats.war_edges + stats.waw_edges)
+    };
+
+    let (edges_off, false_off) = edge_counts(false);
+    let (edges_on, false_on) = edge_counts(true);
+    assert_eq!(false_on, 0, "renaming removes every WAR/WAW edge");
+    assert!(false_off >= 10, "without renaming the chain serialises");
+    assert!(
+        edges_on < edges_off,
+        "renaming must shrink the graph: {edges_on} vs {edges_off} edges"
+    );
 }
 
 #[test]

@@ -100,6 +100,71 @@ fn rename_ring_removes_false_dependences() {
 }
 
 #[test]
+fn abandoned_task_builder_releases_version_bindings() {
+    // Declaring accesses binds (and for `output`, renames) data versions;
+    // dropping the builder without spawning must release those bindings so
+    // renaming keeps working and the rename budget is not leaked.
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_rename_max_versions(3)
+            .with_rename_pool_depth(0),
+    );
+    let d = rt.versioned_data(42u64);
+    for _ in 0..20 {
+        let b = rt.task().output(&d).input(&d);
+        drop(b); // never spawned
+    }
+    assert_eq!(d.live_versions(), 1, "abandoned bindings were released");
+    // Abandoned renames never commit: the handle's value is untouched.
+    assert_eq!(rt.fetch(&d), 42, "no task ran, so the value must be intact");
+    // Only the single live (renamed) version may still hold budget.
+    assert!(
+        rt.stats().rename_bytes_held <= std::mem::size_of::<u64>() as u64,
+        "all superseded versions returned their budget"
+    );
+    // Renaming still works afterwards.
+    let renames_before = rt.stats().renames;
+    {
+        let d = d.clone();
+        rt.task().output(&d).spawn(move |ctx| {
+            *ctx.write(&d) = 7;
+        });
+    }
+    rt.taskwait();
+    assert!(rt.stats().renames > renames_before);
+    assert_eq!(rt.into_inner(d), 7);
+}
+
+#[test]
+fn input_plus_output_on_versioned_handle_reads_old_writes_new() {
+    // Declaring input + output on the same versioned handle is the
+    // copy-free read-modify-write: the read binds the previous version,
+    // the write the freshly renamed one.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+    let d = rt.versioned_data(40u64);
+    {
+        let d = d.clone();
+        rt.task().input(&d).output(&d).spawn(move |ctx| {
+            let old = *ctx.read(&d);
+            *ctx.write(&d) = old + 2;
+        });
+    }
+    rt.taskwait();
+    assert_eq!(rt.into_inner(d), 42);
+}
+
+#[test]
+#[should_panic(expected = "more than one writing access")]
+fn two_writing_accesses_on_versioned_handle_are_rejected() {
+    // inout + output on one versioned handle would bind two different
+    // versions for the same logical write — ill-formed, rejected eagerly.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(1));
+    let d = rt.versioned_data(1u64);
+    let _ = rt.task().inout(&d).output(&d);
+}
+
+#[test]
 fn nested_tasks_and_nested_taskwait() {
     let rt = runtime(3);
     let total = rt.data(0u64);

@@ -1,0 +1,161 @@
+//! In-tree stand-in for the subset of `crossbeam` this workspace uses: the
+//! work-stealing [`deque`] module (`Worker`, `Stealer`, `Injector`, `Steal`).
+//!
+//! The workspace is built in environments without network access to a crate
+//! registry, so the lock-free originals are replaced by straightforward
+//! mutex-protected deques with identical semantics: LIFO pops on the owning
+//! side, FIFO steals on the stealing side.
+
+/// Work-stealing deques: `Worker` (owner side), `Stealer` (thief side) and a
+/// shared `Injector` queue.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The owner side of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Create a deque whose owner pops in LIFO order.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push an item onto the owner's end.
+        pub fn push(&self, item: T) {
+            lock(&self.queue).push_back(item);
+        }
+
+        /// Pop an item from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Create a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: self.queue.clone(),
+            }
+        }
+    }
+
+    /// The thief side of a work-stealing deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: self.queue.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one item from the opposite end of the owner (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    /// A shared FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push an item onto the queue.
+        pub fn push(&self, item: T) {
+            lock(&self.queue).push_back(item);
+        }
+
+        /// Steal one item in FIFO order.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_pops_lifo_stealer_steals_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal(), Steal::Success("a"));
+            assert_eq!(inj.steal(), Steal::Success("b"));
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixed-size array strategies (`proptest::array::uniform3`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating `[T; 3]` from one element strategy.
+pub struct Uniform3<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform3<S> {
+    type Value = [S::Value; 3];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; 3] {
+        [
+            self.element.generate(rng),
+            self.element.generate(rng),
+            self.element.generate(rng),
+        ]
+    }
+}
+
+/// Generate arrays of three independent values from `element`.
+pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+    Uniform3 { element }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform3_generates_three_values() {
+        let mut rng = TestRng::from_name("array-tests");
+        let s = uniform3(0u8..10);
+        let [a, b, c] = s.generate(&mut rng);
+        assert!(a < 10 && b < 10 && c < 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating `true` or `false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical boolean strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_produces_both_values() {
+        let mut rng = TestRng::from_name("bool-tests");
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(ANY.generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of collection sizes; convertible from `usize` and `Range<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    /// Exclusive upper bound.
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy generating `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors whose length lies in `size`, with elements drawn from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::from_name("collection-tests");
+        let s = vec(0u8.., 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let fixed = vec(0u8.., 3usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+}

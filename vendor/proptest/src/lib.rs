@@ -1,0 +1,155 @@
+//! In-tree stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The workspace is built in environments without network access to a crate
+//! registry, so the external dependency is replaced with a compact
+//! re-implementation of the pieces the test suites rely on:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(...)]`),
+//! * [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], range and
+//!   tuple strategies, and `prop_oneof!` unions,
+//! * [`collection::vec`], [`array::uniform3`], [`bool::ANY`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from upstream: generation is deterministic per test (seeded
+//! from the test name, so failures reproduce), there is **no shrinking**, and
+//! rejected cases (`prop_assume!`) are simply skipped. That is sufficient for
+//! the property suites in this repository, which assert invariants rather
+//! than hunt for minimal counterexamples.
+
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, v in proptest::collection::vec(0u8.., 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal helper expanding the individual test functions of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        // prop_assume! failed: skip this case.
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property `{}` failed at case {}: {}", stringify!($name), case, msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Assert two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

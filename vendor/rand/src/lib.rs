@@ -1,0 +1,164 @@
+//! In-tree stand-in for the subset of the `rand` API this workspace uses:
+//! [`Rng::gen`], [`Rng::gen_range`] over half-open ranges, and
+//! [`SeedableRng::seed_from_u64`].
+//!
+//! The workspace is built in environments without network access to a crate
+//! registry, so the external dependency is replaced with this minimal,
+//! deterministic implementation. The workloads only require a reproducible
+//! pseudo-random stream, not the exact output of the upstream generators.
+
+use std::ops::Range;
+
+/// Low-level uniform random source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from the half-open range `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self, range)
+    }
+
+    /// Sample a `bool` that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    // 53 mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types sampleable uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Sample a uniformly distributed value.
+    fn sample_standard(rng: &mut impl RngCore) -> Self;
+}
+
+/// Types sampleable uniformly from a half-open range (`rng.gen_range(a..b)`).
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `range`.
+    fn sample_uniform(rng: &mut impl RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_uniform(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (range.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sampling {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut impl RngCore) -> Self {
+                unit_f64(rng) as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_uniform(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let unit = unit_f64(rng) as $t;
+                range.start + (range.end - range.start) * unit
+            }
+        }
+    )*};
+}
+
+impl_float_sampling!(f32, f64);
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let v: u8 = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = r.gen_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let i: i32 = r.gen_range(-50..-10);
+            assert!((-50..-10).contains(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Counter(1);
+        let _: u32 = r.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_produces_varied_values() {
+        let mut r = Counter(123);
+        let a: u64 = r.gen();
+        let b: u64 = r.gen();
+        assert_ne!(a, b);
+        let p: f64 = r.gen();
+        assert!((0.0..1.0).contains(&p));
+    }
+}
