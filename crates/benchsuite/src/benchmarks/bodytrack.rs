@@ -153,6 +153,12 @@ pub fn run_pthreads(p: &Params, threads: usize) -> u64 {
 /// weights (reading the particle set, writing its weight chunk) and one
 /// resampling task (reading all weights, updating the particle set). The
 /// frame loop ends with a `taskwait`.
+///
+/// The weight vector is a **versioned** partition: each layer's per-chunk
+/// `output` renames its chunk, so the next layer's weight writes never
+/// WAR-serialise behind the previous resampling/pose read of the whole
+/// array — the runtime provides the double-buffer the programmer would
+/// otherwise write by hand.
 pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
     let cfg = p.filter.clone();
     let observations: Arc<Vec<Vec<f32>>> = Arc::new(p.observations());
@@ -160,7 +166,7 @@ pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
 
     let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
     let particles = rt.data(init_particles(&cfg, &mut rng));
-    let weights = rt.partitioned(vec![0f32; cfg.particles], p.chunk);
+    let weights = rt.versioned_partitioned(vec![0f32; cfg.particles], p.chunk);
     let rng_handle = rt.data(rng);
     let poses = rt.data(Vec::<Vec<f32>>::new());
 
@@ -195,7 +201,7 @@ pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
                     .inout(&particles)
                     .inout(&rng_handle)
                     .spawn(move |ctx| {
-                        let w = ctx.read_whole(&all_weights);
+                        let w = ctx.gather_whole(&all_weights);
                         let mut parts = ctx.write(&particles);
                         let mut rng = ctx.write(&rng_handle);
                         *parts = resample(&parts, &w, noise, &mut rng);
@@ -211,7 +217,7 @@ pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
                     .input(&particles)
                     .inout(&poses)
                     .spawn(move |ctx| {
-                        let w = ctx.read_whole(&all_weights);
+                        let w = ctx.gather_whole(&all_weights);
                         let parts = ctx.read(&particles);
                         let mut poses = ctx.write(&poses);
                         poses.push(estimate_pose(&parts, &w));

@@ -95,10 +95,15 @@ pub fn run_pthreads(p: &Params, threads: usize) -> u64 {
 }
 
 /// OmpSs-style variant: one task per band of output rows, reading the whole
-/// source image and writing its own output chunk.
+/// source image and writing its own output chunk. The output lives in a
+/// **versioned** partition: each band's `output` access renames just that
+/// chunk, so repeated rotations into the same handle (or callers composing
+/// this with downstream readers) never inherit WAR/WAW serialisation and no
+/// manual double-buffer is needed.
 pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
     let src = rt.data(p.input());
-    let out = rt.partitioned(vec![0u8; 3 * p.width * p.height], 3 * p.width * p.band_rows);
+    let out =
+        rt.versioned_partitioned(vec![0u8; 3 * p.width * p.height], 3 * p.width * p.band_rows);
     let angle = p.angle;
     let band_rows = p.band_rows;
     let height = p.height;

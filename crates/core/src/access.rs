@@ -16,11 +16,33 @@
 //! runtime goes further: *versioned* handles rename `output` accesses
 //! automatically (see [`crate::rename`]), in which case an access resolves
 //! to a concrete data **version** at task-insertion time. The version's
-//! identity is carried in [`Access::region`]; the handle it renames is
-//! recorded as the access's *root* allocation so that the task body can be
-//! routed back to the version it was bound to.
+//! identity is carried in [`Access::region`]; the sub-region of the handle it
+//! stands for (the whole object for `Data`, one chunk for a versioned
+//! `PartitionedData`) is recorded as the access's *canonical* region so that
+//! the task body can be routed back to the version it was bound to, and so
+//! that ill-formed double-write declarations can be detected at sub-region
+//! granularity.
+//!
+//! Version-bound accesses additionally carry the **resolved storage
+//! pointer** of the version they bound. The bound version cannot move (or be
+//! reclaimed) while the task holds its release ticket, so the pointer is
+//! resolved exactly once — at bind time, on the spawning thread — and the
+//! task-body guards (`ctx.read` / `ctx.write` and the chunk equivalents)
+//! never have to lock and scan the version chain on the hot path.
 
 use crate::region::{AllocId, Region};
+
+/// Type-erased storage pointer of the data version an access bound, plus the
+/// element count for slice-shaped accesses (1 for scalar handles).
+///
+/// Carried inside [`Access`] (and therefore inside `TaskNode`); the pointed-to
+/// storage is kept alive and address-stable by the version ticket the owning
+/// task holds until completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BoundPtr {
+    pub(crate) ptr: *mut (),
+    pub(crate) len: usize,
+}
 
 /// The kind of access a task declares on a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,9 +87,14 @@ pub struct Access {
     pub region: Region,
     /// How the region is accessed.
     pub kind: AccessKind,
-    /// For accesses bound to a version of a versioned handle: the handle's
-    /// canonical allocation id. `None` for plain accesses.
-    root: Option<AllocId>,
+    /// For accesses bound to a version of a versioned handle: the canonical
+    /// sub-region of the handle this binding stands for (whole object for
+    /// `Data`, one chunk for a versioned partition). `None` for plain
+    /// accesses.
+    canonical: Option<Region>,
+    /// Storage pointer of the bound version, resolved at bind time. `None`
+    /// only for accesses built through the public [`Access::new`].
+    bound: Option<BoundPtr>,
 }
 
 impl Access {
@@ -76,17 +103,32 @@ impl Access {
         Access {
             region,
             kind,
-            root: None,
+            canonical: None,
+            bound: None,
         }
     }
 
-    /// Construct an access bound to a version of the handle whose canonical
-    /// allocation is `root`.
-    pub(crate) fn with_root(region: Region, kind: AccessKind, root: AllocId) -> Self {
+    /// Attach the resolved storage pointer (plain handles: the single
+    /// storage; `len` is the element count for slice accesses).
+    pub(crate) fn with_ptr(mut self, ptr: *mut (), len: usize) -> Self {
+        self.bound = Some(BoundPtr { ptr, len });
+        self
+    }
+
+    /// Construct an access bound to a version of the handle sub-region
+    /// `canonical`, carrying the version's resolved storage pointer.
+    pub(crate) fn bound_to(
+        region: Region,
+        kind: AccessKind,
+        canonical: Region,
+        ptr: *mut (),
+        len: usize,
+    ) -> Self {
         Access {
             region,
             kind,
-            root: Some(root),
+            canonical: Some(canonical),
+            bound: Some(BoundPtr { ptr, len }),
         }
     }
 
@@ -94,13 +136,21 @@ impl Access {
     /// the canonical allocation for version-bound accesses, otherwise the
     /// accessed region's own allocation.
     pub fn root_alloc(&self) -> AllocId {
-        self.root.unwrap_or(self.region.id.alloc)
+        self.canonical
+            .as_ref()
+            .map(|c| c.id.alloc)
+            .unwrap_or(self.region.id.alloc)
     }
 
-    /// The canonical allocation of the versioned handle this access is
-    /// bound to, or `None` for plain accesses.
-    pub(crate) fn version_root(&self) -> Option<AllocId> {
-        self.root
+    /// The canonical sub-region of the versioned handle this access is bound
+    /// to, or `None` for plain accesses.
+    pub(crate) fn canonical_region(&self) -> Option<&Region> {
+        self.canonical.as_ref()
+    }
+
+    /// The storage pointer (and element count) resolved at bind time.
+    pub(crate) fn bound_ptr(&self) -> Option<(*mut (), usize)> {
+        self.bound.map(|b| (b.ptr, b.len))
     }
 }
 

@@ -23,7 +23,18 @@
 //! version instead of inheriting WAR/WAW dependences — the automatic
 //! renaming of [`crate::rename`].
 //!
+//! A [`PartitionedData<T>`] can likewise be versioned
+//! ([`PartitionedData::versioned`] / [`Runtime::versioned_partitioned`]), at
+//! **chunk granularity**: every chunk owns its own version chain, an
+//! `output` access to chunk *i* renames just that chunk, and whole-array
+//! accesses bind (for `output`: rename) the current version of every chunk.
+//! The backing `Vec<T>` is reassembled from the chunks' final versions when
+//! the partition is unwrapped ([`PartitionedData::try_into_vec`] /
+//! [`Runtime::into_vec`]).
+//!
 //! [`Runtime::versioned_data`]: crate::Runtime::versioned_data
+//! [`Runtime::versioned_partitioned`]: crate::Runtime::versioned_partitioned
+//! [`Runtime::into_vec`]: crate::Runtime::into_vec
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;
@@ -81,6 +92,10 @@ enum Storage<T> {
 struct Chain<T> {
     /// Produces the value a freshly allocated version starts from.
     make: Box<dyn Fn() -> T + Send + Sync>,
+    /// Bytes one version is accounted for against the rename budget. Defaults
+    /// to the shallow `size_of::<T>()`; [`Data::versioned_with_size`] lets
+    /// heap-backed types declare their deep payload.
+    bytes_per_version: usize,
     state: Mutex<ChainState<T>>,
 }
 
@@ -237,6 +252,21 @@ impl<T: Send + 'static> Data<T> {
     /// Like [`Data::versioned`], but fresh versions are initialised with
     /// `make()` instead of `T::default()`.
     pub fn versioned_with(value: T, make: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        Self::versioned_with_size(value, make, std::mem::size_of::<T>())
+    }
+
+    /// Like [`Data::versioned_with`], additionally declaring how many bytes
+    /// one version of this handle really occupies (**deep** size, including
+    /// heap payloads such as a `Vec<T>`'s buffer). Renamed versions draw
+    /// `bytes_per_version` from the global rename budget instead of the
+    /// shallow `size_of::<T>()`, which makes
+    /// [`RuntimeConfig::rename_memory_cap`](crate::RuntimeConfig) meaningful
+    /// for heap-backed types.
+    pub fn versioned_with_size(
+        value: T,
+        make: impl Fn() -> T + Send + Sync + 'static,
+        bytes_per_version: usize,
+    ) -> Self {
         let alloc = AllocId::fresh();
         let size = std::mem::size_of::<T>().max(1);
         Data {
@@ -244,6 +274,7 @@ impl<T: Send + 'static> Data<T> {
                 region: Region::new(alloc, 0, 0..size),
                 storage: Storage::Versioned(Chain {
                     make: Box::new(make),
+                    bytes_per_version,
                     state: Mutex::new(ChainState {
                         slots: vec![Slot {
                             alloc,
@@ -315,7 +346,9 @@ impl<T: Send + 'static> Data<T> {
         Region::new(alloc, 0, self.inner.region.bytes.clone())
     }
 
-    /// Bind the current version: bump its refcount and build the access.
+    /// Bind the current version: bump its refcount and build the access. The
+    /// version's storage pointer is resolved here, once, so the task-body
+    /// guards never lock the chain.
     fn bind_current(
         &self,
         kind: AccessKind,
@@ -325,8 +358,15 @@ impl<T: Send + 'static> Data<T> {
         let current = st.current;
         st.slots[current].refs += 1;
         let alloc = st.slots[current].alloc;
+        let ptr = st.slots[current].cell.get();
         ResolvedAccess::bound(
-            Access::with_root(self.version_region(alloc), kind, self.root_alloc()),
+            Access::bound_to(
+                self.version_region(alloc),
+                kind,
+                self.inner.region.clone(),
+                ptr as *mut (),
+                1,
+            ),
             Box::new(SlotTicket {
                 inner: self.inner.clone(),
                 alloc,
@@ -364,8 +404,11 @@ impl<T: Send + 'static> Accessible for Data<T> {
 
     fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
         let chain = match &self.inner.storage {
-            Storage::Plain(_) => {
-                return ResolvedAccess::plain(Access::new(self.inner.region.clone(), kind))
+            Storage::Plain(cell) => {
+                return ResolvedAccess::plain(
+                    Access::new(self.inner.region.clone(), kind)
+                        .with_ptr(cell.get() as *mut (), 1),
+                )
             }
             Storage::Versioned(chain) => chain,
         };
@@ -389,8 +432,7 @@ impl<T: Send + 'static> Accessible for Data<T> {
         let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
             (free.cell, free.reservation, true)
         } else {
-            let bytes = self.inner.region.len();
-            match cx.pool().try_reserve(bytes) {
+            match cx.pool().try_reserve(chain.bytes_per_version) {
                 Some(res) => (
                     Box::new(UnsafeCell::new((chain.make)())),
                     Some(res),
@@ -410,12 +452,13 @@ impl<T: Send + 'static> Accessible for Data<T> {
             refs: 1,
             reservation,
         });
+        let ptr = st.slots.last().expect("just pushed").cell.get();
         // The new version is allocated (and this task bound to it) but NOT
         // yet current: it becomes the handle's value only when the task is
         // actually inserted (`TaskBuilder::spawn` runs the commit hook). A
         // builder abandoned before spawn releases its ticket, reclaiming
         // the never-current version without disturbing the handle.
-        cx.pool().note_rename(recycled);
+        cx.pool().note_rename(recycled, false);
         let ticket = SlotTicket {
             inner: self.inner.clone(),
             alloc,
@@ -423,12 +466,19 @@ impl<T: Send + 'static> Accessible for Data<T> {
         };
         let commit = ticket.clone();
         ResolvedAccess::bound(
-            Access::with_root(self.version_region(alloc), kind, self.root_alloc()),
+            Access::bound_to(
+                self.version_region(alloc),
+                kind,
+                self.inner.region.clone(),
+                ptr as *mut (),
+                1,
+            ),
             Box::new(ticket),
             Some(RenameEvent {
                 from,
                 to: alloc,
                 recycled,
+                chunk: None,
             }),
             Some(Box::new(commit)),
         )
@@ -489,15 +539,272 @@ impl<T> std::ops::DerefMut for WriteGuard<'_, T> {
 
 pub(crate) struct PartInner<T> {
     pub(crate) alloc: AllocId,
-    pub(crate) cell: UnsafeCell<Vec<T>>,
     /// Element ranges of each chunk (disjoint, covering `0..len`).
     pub(crate) chunks: Vec<std::ops::Range<usize>>,
     pub(crate) elem_size: usize,
     pub(crate) len: usize,
+    storage: PartStorage<T>,
+}
+
+enum PartStorage<T> {
+    /// One contiguous backing vector; chunk accesses resolve to canonical
+    /// sub-regions of the single allocation.
+    Plain(UnsafeCell<Vec<T>>),
+    /// One version chain **per chunk**: `output` accesses rename individual
+    /// chunks (see [`crate::rename`], "Region granularity").
+    Versioned(PartChains<T>),
+}
+
+struct PartChains<T> {
+    /// Produces the contents a freshly allocated chunk version starts from
+    /// (argument: chunk length in elements).
+    make: Box<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+    /// Chain `i` versions chunk `i`. Reuses the scalar-chain state machinery
+    /// with `Vec<T>` as the per-version storage.
+    chains: Vec<Mutex<ChainState<Vec<T>>>>,
+}
+
+impl<T> PartInner<T> {
+    fn is_versioned(&self) -> bool {
+        matches!(self.storage, PartStorage::Versioned(_))
+    }
+
+    /// Canonical region of chunk `i`: a sub-range of the partition's own
+    /// allocation. This is the identity chunk bindings are keyed by, whatever
+    /// concrete version they resolve to.
+    pub(crate) fn chunk_canonical_region(&self, i: usize) -> Region {
+        let r = self.chunks[i].clone();
+        Region::new(
+            self.alloc,
+            i as u32 + 1,
+            r.start * self.elem_size..r.end * self.elem_size,
+        )
+    }
+
+    /// Canonical region of the whole array.
+    fn whole_region(&self) -> Region {
+        Region::new(self.alloc, 0, 0..self.len.max(1) * self.elem_size)
+    }
+
+    /// Region of one concrete chunk version (its own allocation identity).
+    fn chunk_version_region(&self, i: usize, alloc: AllocId) -> Region {
+        Region::new(alloc, 0, 0..self.chunks[i].len() * self.elem_size)
+    }
+
+    /// Pointer/length of an element range of the plain backing vector.
+    ///
+    /// # Panics
+    /// Panics on versioned storage (which has no contiguous backing array).
+    fn plain_ptr(&self, elems: std::ops::Range<usize>) -> (*mut T, usize) {
+        match &self.storage {
+            PartStorage::Plain(cell) => {
+                // Safety: we only manufacture the pointer here; dereferencing
+                // is gated by the runtime (see module docs).
+                let base = unsafe { (*cell.get()).as_mut_ptr() };
+                (unsafe { base.add(elems.start) }, elems.len())
+            }
+            PartStorage::Versioned(_) => {
+                unreachable!("plain_ptr is only called for plain partitions")
+            }
+        }
+    }
+
+    /// All regions a synchronisation on chunk `i` must cover.
+    fn chunk_sync_regions(&self, i: usize) -> Vec<Region> {
+        match &self.storage {
+            PartStorage::Plain(_) => vec![self.chunk_canonical_region(i)],
+            PartStorage::Versioned(chains) => chains.chains[i]
+                .lock()
+                .slots
+                .iter()
+                .map(|s| self.chunk_version_region(i, s.alloc))
+                .collect(),
+        }
+    }
+
+    /// All regions a synchronisation on the whole array must cover.
+    fn whole_sync_regions(&self) -> Vec<Region> {
+        match &self.storage {
+            PartStorage::Plain(_) => vec![self.whole_region()],
+            PartStorage::Versioned(_) => (0..self.chunks.len())
+                .flat_map(|i| self.chunk_sync_regions(i))
+                .collect(),
+        }
+    }
 }
 
 unsafe impl<T: Send> Send for PartInner<T> {}
 unsafe impl<T: Send> Sync for PartInner<T> {}
+
+/// Release hook for one (task, chunk version) binding of a versioned
+/// partition; doubles as the commit hook for per-chunk renames.
+struct ChunkTicket<T> {
+    inner: Arc<PartInner<T>>,
+    chunk: usize,
+    alloc: AllocId,
+    pool_depth: usize,
+}
+
+impl<T> ChunkTicket<T> {
+    fn chain(&self) -> &Mutex<ChainState<Vec<T>>> {
+        match &self.inner.storage {
+            PartStorage::Versioned(chains) => &chains.chains[self.chunk],
+            PartStorage::Plain(_) => unreachable!("chunk tickets only exist for versioned partitions"),
+        }
+    }
+}
+
+impl<T> Clone for ChunkTicket<T> {
+    fn clone(&self) -> Self {
+        ChunkTicket {
+            inner: self.inner.clone(),
+            chunk: self.chunk,
+            alloc: self.alloc,
+            pool_depth: self.pool_depth,
+        }
+    }
+}
+
+impl<T: Send> VersionTicket for ChunkTicket<T> {
+    fn release(&self) {
+        let mut st = self.chain().lock();
+        if let Some(idx) = st.slot_index(self.alloc) {
+            debug_assert!(st.slots[idx].refs > 0, "chunk ticket released twice");
+            st.slots[idx].refs -= 1;
+            st.reclaim(idx, self.pool_depth);
+        }
+    }
+}
+
+impl<T: Send> RenameCommit for ChunkTicket<T> {
+    fn commit(&self) {
+        let mut st = self.chain().lock();
+        if let Some(idx) = st.slot_index(self.alloc) {
+            if idx != st.current {
+                let superseded = st.current;
+                st.current = idx;
+                st.reclaim(superseded, self.pool_depth);
+            }
+        }
+    }
+}
+
+/// Resolve an access to chunk `chunk` of a versioned partition against its
+/// chain — the per-chunk analogue of `Data::resolve`'s versioned arm.
+fn resolve_chunk<T: Send + 'static>(
+    inner: &Arc<PartInner<T>>,
+    chunk: usize,
+    kind: AccessKind,
+    cx: &RenameCx<'_>,
+) -> ResolvedAccess {
+    let chains = match &inner.storage {
+        PartStorage::Versioned(chains) => chains,
+        PartStorage::Plain(_) => unreachable!("resolve_chunk requires versioned storage"),
+    };
+    let canonical = inner.chunk_canonical_region(chunk);
+    let chunk_len = inner.chunks[chunk].len();
+    let bind_current = |st: &mut ChainState<Vec<T>>| -> ResolvedAccess {
+        let current = st.current;
+        st.slots[current].refs += 1;
+        let alloc = st.slots[current].alloc;
+        // Safety: pointer manufacture only; the chain lock is held and the
+        // version cannot be reclaimed while the ticket below is live.
+        let ptr = unsafe { (*st.slots[current].cell.get()).as_mut_ptr() };
+        ResolvedAccess::bound(
+            Access::bound_to(
+                inner.chunk_version_region(chunk, alloc),
+                kind,
+                canonical.clone(),
+                ptr as *mut (),
+                chunk_len,
+            ),
+            Box::new(ChunkTicket {
+                inner: inner.clone(),
+                chunk,
+                alloc,
+                pool_depth: cx.pool_depth(),
+            }),
+            None,
+            None,
+        )
+    };
+    let mut st = chains.chains[chunk].lock();
+    if kind != AccessKind::Output || !cx.renaming_enabled() {
+        return bind_current(&mut st);
+    }
+    if st.slots.len() >= cx.max_versions() {
+        cx.pool().note_fallback();
+        return bind_current(&mut st);
+    }
+    // `output`: rename this chunk. The reservation covers the chunk's deep
+    // payload (`chunk_len * size_of::<T>()`), so the byte budget is
+    // meaningful for partitions however large their element chunks are.
+    let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
+        (free.cell, free.reservation, true)
+    } else {
+        let bytes = chunk_len * inner.elem_size;
+        match cx.pool().try_reserve(bytes) {
+            Some(res) => {
+                let fresh = (chains.make)(chunk_len);
+                debug_assert_eq!(fresh.len(), chunk_len, "make() returned the wrong length");
+                (Box::new(UnsafeCell::new(fresh)), Some(res), false)
+            }
+            None => {
+                cx.pool().note_fallback();
+                return bind_current(&mut st);
+            }
+        }
+    };
+    let alloc = AllocId::fresh();
+    let from = st.slots[st.current].alloc;
+    st.slots.push(Slot {
+        alloc,
+        cell,
+        refs: 1,
+        reservation,
+    });
+    // Safety: as in bind_current above.
+    let ptr = unsafe { (*st.slots.last().expect("just pushed").cell.get()).as_mut_ptr() };
+    cx.pool().note_rename(recycled, true);
+    let ticket = ChunkTicket {
+        inner: inner.clone(),
+        chunk,
+        alloc,
+        pool_depth: cx.pool_depth(),
+    };
+    let commit = ticket.clone();
+    ResolvedAccess::bound(
+        Access::bound_to(
+            inner.chunk_version_region(chunk, alloc),
+            kind,
+            canonical,
+            ptr as *mut (),
+            chunk_len,
+        ),
+        Box::new(ticket),
+        Some(RenameEvent {
+            from,
+            to: alloc,
+            recycled,
+            chunk: Some(chunk as u32),
+        }),
+        Some(Box::new(commit)),
+    )
+}
+
+/// Resolve a whole-array access on a versioned partition: bind (for
+/// `output`: rename) the current version of **every** chunk chain.
+fn resolve_all_chunks<T: Send + 'static>(
+    inner: &Arc<PartInner<T>>,
+    kind: AccessKind,
+    cx: &RenameCx<'_>,
+) -> ResolvedAccess {
+    let mut resolved = ResolvedAccess::empty();
+    for chunk in 0..inner.chunks.len() {
+        resolved.merge(resolve_chunk(inner, chunk, kind, cx));
+    }
+    resolved
+}
 
 /// A `Vec<T>` partitioned into disjoint chunks, each chunk being an
 /// independent dependence region.
@@ -517,33 +824,116 @@ impl<T> Clone for PartitionedData<T> {
     }
 }
 
+fn chunk_ranges(len: usize, chunk_len: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk_len).min(len);
+        chunks.push(start..end);
+        start = end;
+    }
+    if chunks.is_empty() {
+        chunks.push(0..0);
+    }
+    chunks
+}
+
 impl<T: Send + 'static> PartitionedData<T> {
     /// Partition `data` into chunks of at most `chunk_len` elements.
     ///
     /// # Panics
     /// Panics if `chunk_len == 0`.
     pub fn new(data: Vec<T>, chunk_len: usize) -> Self {
-        assert!(chunk_len > 0, "chunk_len must be positive");
         let len = data.len();
-        let elem_size = std::mem::size_of::<T>().max(1);
-        let mut chunks = Vec::new();
-        let mut start = 0;
-        while start < len {
-            let end = (start + chunk_len).min(len);
-            chunks.push(start..end);
-            start = end;
-        }
-        if chunks.is_empty() {
-            chunks.push(0..0);
-        }
+        let chunks = chunk_ranges(len, chunk_len);
         PartitionedData {
             inner: Arc::new(PartInner {
                 alloc: AllocId::fresh(),
-                cell: UnsafeCell::new(data),
                 chunks,
-                elem_size,
+                elem_size: std::mem::size_of::<T>().max(1),
                 len,
+                storage: PartStorage::Plain(UnsafeCell::new(data)),
             }),
+        }
+    }
+
+    /// Partition `data` into a **versioned** partition: every chunk owns its
+    /// own version chain, so an `output` access to one chunk renames just
+    /// that chunk (fresh versions start from `T::default()`); see
+    /// [`crate::rename`]. Normally constructed through
+    /// [`Runtime::versioned_partitioned`](crate::Runtime::versioned_partitioned).
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn versioned(data: Vec<T>, chunk_len: usize) -> Self
+    where
+        T: Default,
+    {
+        Self::versioned_with(data, chunk_len, |len| {
+            (0..len).map(|_| T::default()).collect()
+        })
+    }
+
+    /// Like [`PartitionedData::versioned`], but fresh chunk versions are
+    /// produced by `make(chunk_len)` instead of `T::default()` fills.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn versioned_with(
+        mut data: Vec<T>,
+        chunk_len: usize,
+        make: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
+        let len = data.len();
+        let chunks = chunk_ranges(len, chunk_len);
+        // Split the vector into one owned buffer per chunk, back to front so
+        // each split_off detaches exactly one chunk.
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(chunks.len());
+        for r in chunks.iter().rev() {
+            parts.push(data.split_off(r.start));
+        }
+        parts.reverse();
+        let chains = parts
+            .into_iter()
+            .map(|part| {
+                Mutex::new(ChainState {
+                    slots: vec![Slot {
+                        alloc: AllocId::fresh(),
+                        cell: Box::new(UnsafeCell::new(part)),
+                        refs: 0,
+                        reservation: None,
+                    }],
+                    free: Vec::new(),
+                    current: 0,
+                })
+            })
+            .collect();
+        PartitionedData {
+            inner: Arc::new(PartInner {
+                alloc: AllocId::fresh(),
+                chunks,
+                elem_size: std::mem::size_of::<T>().max(1),
+                len,
+                storage: PartStorage::Versioned(PartChains {
+                    make: Box::new(make),
+                    chains,
+                }),
+            }),
+        }
+    }
+
+    /// Whether this partition versions its chunks (renaming-capable).
+    pub fn is_versioned(&self) -> bool {
+        self.inner.is_versioned()
+    }
+
+    /// Number of live versions of chunk `i` (1 for plain partitions;
+    /// diagnostics).
+    pub fn live_chunk_versions(&self, i: usize) -> usize {
+        match &self.inner.storage {
+            PartStorage::Plain(_) => 1,
+            PartStorage::Versioned(chains) => chains.chains[i].lock().slots.len(),
         }
     }
 
@@ -589,22 +979,40 @@ impl<T: Send + 'static> PartitionedData<T> {
         (0..self.num_chunks()).map(move |i| self.chunk(i))
     }
 
-    /// Recover the inner vector if this is the last handle.
+    /// Recover the inner vector if this is the last handle. For a versioned
+    /// partition this **reassembles** the array from every chunk's *current*
+    /// version — the final value of the program, committed back chunk by
+    /// chunk.
     pub fn try_into_vec(self) -> Result<Vec<T>, Self> {
         match Arc::try_unwrap(self.inner) {
-            Ok(inner) => Ok(inner.cell.into_inner()),
+            Ok(inner) => match inner.storage {
+                PartStorage::Plain(cell) => Ok(cell.into_inner()),
+                PartStorage::Versioned(chains) => {
+                    let mut out = Vec::with_capacity(inner.len);
+                    for chain in chains.chains {
+                        let mut st = chain.into_inner();
+                        let current = st.current;
+                        out.extend(st.slots.swap_remove(current).cell.into_inner());
+                    }
+                    Ok(out)
+                }
+            },
             Err(arc) => Err(PartitionedData { inner: arc }),
         }
     }
 }
 
-impl<T> Accessible for PartitionedData<T> {
+impl<T: Send + 'static> Accessible for PartitionedData<T> {
     fn region(&self) -> Region {
-        Region::new(
-            self.inner.alloc,
-            0,
-            0..self.inner.len.max(1) * self.inner.elem_size,
-        )
+        self.inner.whole_region()
+    }
+
+    fn sync_regions(&self) -> Vec<Region> {
+        self.inner.whole_sync_regions()
+    }
+
+    fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
+        self.whole().resolve(kind, cx)
     }
 }
 
@@ -612,9 +1020,14 @@ impl<T> std::fmt::Debug for PartitionedData<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "PartitionedData(alloc {}, {} chunks)",
+            "PartitionedData(alloc {}, {} chunks{})",
             self.inner.alloc.raw(),
-            self.inner.chunks.len()
+            self.inner.chunks.len(),
+            if self.inner.is_versioned() {
+                ", versioned"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -656,24 +1069,40 @@ impl<T> Chunk<T> {
         self.len() == 0
     }
 
+    /// Whether the owning partition versions its chunks.
+    pub fn is_versioned(&self) -> bool {
+        self.inner.is_versioned()
+    }
+
     pub(crate) fn slice_ptr(&self) -> (*mut T, usize) {
-        let range = self.elem_range();
-        // Safety: we only manufacture the pointer here; dereferencing is
-        // gated by the runtime (see module docs).
-        let vec = self.inner.cell.get();
-        let base = unsafe { (*vec).as_mut_ptr() };
-        (unsafe { base.add(range.start) }, range.end - range.start)
+        self.inner.plain_ptr(self.elem_range())
     }
 }
 
-impl<T> Accessible for Chunk<T> {
+impl<T: Send + 'static> Accessible for Chunk<T> {
     fn region(&self) -> Region {
-        let r = self.elem_range();
-        Region::new(
-            self.inner.alloc,
-            self.index as u32 + 1,
-            r.start * self.inner.elem_size..r.end * self.inner.elem_size,
-        )
+        match &self.inner.storage {
+            PartStorage::Plain(_) => self.inner.chunk_canonical_region(self.index),
+            PartStorage::Versioned(chains) => {
+                let st = chains.chains[self.index].lock();
+                self.inner
+                    .chunk_version_region(self.index, st.slots[st.current].alloc)
+            }
+        }
+    }
+
+    fn sync_regions(&self) -> Vec<Region> {
+        self.inner.chunk_sync_regions(self.index)
+    }
+
+    fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
+        match &self.inner.storage {
+            PartStorage::Plain(_) => ResolvedAccess::plain(Access::new(
+                self.inner.chunk_canonical_region(self.index),
+                kind,
+            )),
+            PartStorage::Versioned(_) => resolve_chunk(&self.inner, self.index, kind, cx),
+        }
     }
 }
 
@@ -713,20 +1142,32 @@ impl<T> Whole<T> {
         self.inner.len == 0
     }
 
+    /// Whether the owning partition versions its chunks.
+    pub fn is_versioned(&self) -> bool {
+        self.inner.is_versioned()
+    }
+
     pub(crate) fn slice_ptr(&self) -> (*mut T, usize) {
-        let vec = self.inner.cell.get();
-        let base = unsafe { (*vec).as_mut_ptr() };
-        (base, self.inner.len)
+        self.inner.plain_ptr(0..self.inner.len)
     }
 }
 
-impl<T> Accessible for Whole<T> {
+impl<T: Send + 'static> Accessible for Whole<T> {
     fn region(&self) -> Region {
-        Region::new(
-            self.inner.alloc,
-            0,
-            0..self.inner.len.max(1) * self.inner.elem_size,
-        )
+        self.inner.whole_region()
+    }
+
+    fn sync_regions(&self) -> Vec<Region> {
+        self.inner.whole_sync_regions()
+    }
+
+    fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
+        match &self.inner.storage {
+            PartStorage::Plain(_) => {
+                ResolvedAccess::plain(Access::new(self.inner.whole_region(), kind))
+            }
+            PartStorage::Versioned(_) => resolve_all_chunks(&self.inner, kind, cx),
+        }
     }
 }
 
@@ -769,7 +1210,34 @@ impl<T> std::ops::DerefMut for SliceWriteGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rename::RenamePool;
     use proptest::prelude::*;
+
+    /// Run the deferred rename commits of a resolution, as
+    /// `TaskBuilder::spawn` does.
+    fn commit(r: &mut ResolvedAccess) {
+        assert!(!r.commits.is_empty(), "resolution renamed");
+        for c in r.commits.drain(..) {
+            c.commit();
+        }
+    }
+
+    /// Release every version binding of a resolution, as task completion
+    /// does.
+    fn release(mut r: ResolvedAccess) {
+        for t in r.tickets.drain(..) {
+            t.release();
+        }
+    }
+
+    fn cx(pool: &Arc<RenamePool>, enabled: bool) -> RenameCx<'_> {
+        RenameCx {
+            enabled,
+            pool,
+            pool_depth: 4,
+            max_versions: 16,
+        }
+    }
 
     #[test]
     fn data_roundtrip() {
@@ -876,23 +1344,6 @@ mod tests {
 
     mod versioned {
         use super::*;
-        use crate::access::AccessKind;
-        use crate::rename::{RenameCx, RenamePool, ResolvedAccess};
-        use std::sync::Arc;
-
-        /// Run the deferred rename commit, as `TaskBuilder::spawn` does.
-        fn commit(r: &mut ResolvedAccess) {
-            r.commit.take().expect("resolution renamed").commit();
-        }
-
-        fn cx(pool: &Arc<RenamePool>, enabled: bool) -> RenameCx<'_> {
-            RenameCx {
-                enabled,
-                pool,
-                pool_depth: 4,
-                max_versions: 16,
-            }
-        }
 
         #[test]
         fn plain_handles_are_not_versioned() {
@@ -913,8 +1364,8 @@ mod tests {
             commit(&mut resolved);
             let after = d.region();
             assert_ne!(before.id.alloc, after.id.alloc, "rename advanced the current version");
-            assert_eq!(resolved.access.region, after, "output bound the fresh version");
-            assert_eq!(resolved.access.root_alloc(), d.root_alloc());
+            assert_eq!(resolved.access().region, after, "output bound the fresh version");
+            assert_eq!(resolved.access().root_alloc(), d.root_alloc());
             assert!(!before.overlaps(&after), "versions never conflict");
             assert_eq!(pool.renames(), 1);
             // The superseded version had no in-flight tasks bound to it, so
@@ -926,11 +1377,11 @@ mod tests {
         fn uncommitted_rename_leaves_the_value_untouched() {
             let pool = Arc::new(RenamePool::new(1 << 20));
             let d = Data::versioned(42u64);
-            let r = d.resolve(AccessKind::Output, &cx(&pool, true));
+            let mut r = d.resolve(AccessKind::Output, &cx(&pool, true));
             // Abandon: release the binding without committing (what
             // dropping an unspawned TaskBuilder does).
-            drop(r.commit);
-            r.ticket.unwrap().release();
+            r.commits.clear();
+            release(r);
             assert_eq!(d.live_versions(), 1);
             assert_eq!(d.try_into_inner().unwrap(), 42, "value must survive");
         }
@@ -940,8 +1391,8 @@ mod tests {
             let pool = Arc::new(RenamePool::new(1 << 20));
             let d = Data::versioned(7u64);
             let r = d.resolve(AccessKind::Input, &cx(&pool, true));
-            assert_eq!(r.access.region, d.region());
-            assert!(r.renamed.is_none());
+            assert_eq!(r.access().region, d.region());
+            assert!(r.renamed.is_empty());
             assert_eq!(pool.renames(), 0);
         }
 
@@ -956,12 +1407,12 @@ mod tests {
             commit(&mut writer);
             assert_eq!(d.live_versions(), 2);
             // Reader done: version 0 is superseded and unreferenced -> recycled.
-            reader.ticket.unwrap().release();
+            release(reader);
             assert_eq!(d.live_versions(), 1);
             // Next rename reuses the pooled storage.
             let _w2 = d.resolve(AccessKind::Output, &cx);
             assert_eq!(pool.recycled(), 1);
-            writer.ticket.unwrap().release();
+            release(writer);
         }
 
         #[test]
@@ -971,7 +1422,7 @@ mod tests {
             let cx = cx(&pool, false);
             let a = d.resolve(AccessKind::Output, &cx);
             let b = d.resolve(AccessKind::Output, &cx);
-            assert_eq!(a.access.region, b.access.region, "no renaming: same version");
+            assert_eq!(a.access().region, b.access().region, "no renaming: same version");
             assert_eq!(d.live_versions(), 1);
             assert_eq!(pool.renames(), 0);
         }
@@ -997,7 +1448,7 @@ mod tests {
             assert_eq!(pool.renames(), 2);
             assert_eq!(pool.fallbacks(), 6, "the rest serialised");
             for r in held {
-                r.ticket.unwrap().release();
+                release(r);
             }
             assert_eq!(d.live_versions(), 1, "superseded versions reclaimed");
         }
@@ -1009,8 +1460,8 @@ mod tests {
             let cx = cx(&pool, true);
             // size_of::<u64>() > 0-byte budget: no rename possible.
             let r = d.resolve(AccessKind::Output, &cx);
-            assert!(r.renamed.is_none());
-            assert_eq!(r.access.region, d.region());
+            assert!(r.renamed.is_empty());
+            assert_eq!(r.access().region, d.region());
             assert_eq!(pool.fallbacks(), 1);
         }
 
@@ -1022,9 +1473,9 @@ mod tests {
             let mut w = d.resolve(AccessKind::Output, &cx);
             commit(&mut w);
             // Write through the bound version as a task body would.
-            let ptr = d.ptr_for_alloc(w.access.region.id.alloc).unwrap();
+            let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
             unsafe { *ptr = 42 };
-            w.ticket.unwrap().release();
+            release(w);
             assert_eq!(d.try_into_inner().unwrap(), 42);
         }
 
@@ -1034,7 +1485,7 @@ mod tests {
             let d = Data::versioned_with(5u32, || 99);
             let cx = cx(&pool, true);
             let w = d.resolve(AccessKind::Output, &cx);
-            let ptr = d.ptr_for_alloc(w.access.region.id.alloc).unwrap();
+            let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
             assert_eq!(unsafe { *ptr }, 99, "fresh version starts from make()");
         }
 
@@ -1047,6 +1498,172 @@ mod tests {
             let _w = d.resolve(AccessKind::Output, &cx);
             assert_eq!(d.sync_regions().len(), 2);
             assert_eq!(Data::new(0u8).sync_regions().len(), 1);
+        }
+    }
+
+    mod versioned_partition {
+        use super::*;
+
+        #[test]
+        fn plain_partitions_are_not_versioned() {
+            let p = PartitionedData::new(vec![0u8; 8], 4);
+            assert!(!p.is_versioned());
+            assert!(!p.chunk(0).is_versioned());
+            assert!(!p.whole().is_versioned());
+            assert_eq!(p.live_chunk_versions(1), 1);
+        }
+
+        #[test]
+        fn chunk_output_renames_only_that_chunk() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned((0..8u32).collect::<Vec<_>>(), 4);
+            assert!(p.is_versioned());
+            let before_other = p.chunk(1).region();
+            let mut w = p.chunk(0).resolve(AccessKind::Output, &cx(&pool, true));
+            commit(&mut w);
+            assert_eq!(
+                p.chunk(1).region(),
+                before_other,
+                "untouched chunk keeps its version"
+            );
+            assert_eq!(w.accesses.len(), 1);
+            assert_eq!(w.access().region, p.chunk(0).region(), "fresh version is current");
+            assert_eq!(w.renamed.len(), 1);
+            assert_eq!(w.renamed[0].chunk, Some(0), "rename recorded per chunk");
+            assert_eq!(pool.renames(), 1);
+            assert_eq!(pool.chunk_renames(), 1);
+            release(w);
+        }
+
+        #[test]
+        fn renamed_chunks_conflict_with_nothing() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![0u64; 6], 3);
+            let cx = cx(&pool, true);
+            let reader = p.chunk(0).resolve(AccessKind::Input, &cx);
+            let mut writer = p.chunk(0).resolve(AccessKind::Output, &cx);
+            assert!(
+                !writer.access().region.overlaps(&reader.access().region),
+                "renamed chunk version must not conflict with the pinned one"
+            );
+            commit(&mut writer);
+            assert_eq!(p.live_chunk_versions(0), 2, "reader still pins version 0");
+            release(reader);
+            assert_eq!(p.live_chunk_versions(0), 1, "superseded version reclaimed");
+            // The next rename of this chunk reuses the pooled storage.
+            let w2 = p.chunk(0).resolve(AccessKind::Output, &cx);
+            assert_eq!(pool.recycled(), 1);
+            release(w2);
+            release(writer);
+        }
+
+        #[test]
+        fn whole_access_binds_every_chunk_chain() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![0u8; 10], 4);
+            let cx = cx(&pool, true);
+            let r = p.whole().resolve(AccessKind::Input, &cx);
+            assert_eq!(r.accesses.len(), 3, "one binding per chunk");
+            assert!(r.renamed.is_empty());
+            let mut w = p.whole().resolve(AccessKind::Output, &cx);
+            assert_eq!(w.accesses.len(), 3);
+            assert_eq!(w.renamed.len(), 3, "whole output renames every chunk");
+            commit(&mut w);
+            release(w);
+            release(r);
+        }
+
+        #[test]
+        fn reservations_cover_the_chunk_payload() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![0u64; 100], 25);
+            let w = p.chunk(0).resolve(AccessKind::Output, &cx(&pool, true));
+            assert_eq!(
+                pool.bytes_held(),
+                25 * std::mem::size_of::<u64>(),
+                "deep per-chunk payload accounted, not size_of::<Vec>"
+            );
+            release(w);
+        }
+
+        #[test]
+        fn exhausted_budget_serialises_the_chunk() {
+            // Budget fits one extra 4-element u64 chunk but not two.
+            let pool = Arc::new(RenamePool::new(40));
+            let p = PartitionedData::versioned(vec![0u64; 8], 4);
+            let cx = cx(&pool, true);
+            let a = p.chunk(0).resolve(AccessKind::Output, &cx);
+            assert_eq!(pool.renames(), 1);
+            let b = p.chunk(1).resolve(AccessKind::Output, &cx);
+            assert!(b.renamed.is_empty(), "second chunk fell back");
+            assert_eq!(pool.fallbacks(), 1);
+            assert_eq!(b.access().region, p.chunk(1).region());
+            release(a);
+            release(b);
+        }
+
+        #[test]
+        fn try_into_vec_reassembles_current_versions() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![1u32; 6], 2);
+            let cx = cx(&pool, true);
+            // Rename chunk 1 and write through the fresh version.
+            let mut w = p.chunk(1).resolve(AccessKind::Output, &cx);
+            let (ptr, len) = w.access().bound_ptr().unwrap();
+            assert_eq!(len, 2);
+            unsafe {
+                let slice = std::slice::from_raw_parts_mut(ptr as *mut u32, len);
+                slice.copy_from_slice(&[7, 8]);
+            }
+            commit(&mut w);
+            release(w);
+            assert_eq!(p.try_into_vec().unwrap(), vec![1, 1, 7, 8, 1, 1]);
+        }
+
+        #[test]
+        fn uncommitted_chunk_rename_leaves_the_array_untouched() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![9u8; 4], 2);
+            let mut r = p.chunk(0).resolve(AccessKind::Output, &cx(&pool, true));
+            r.commits.clear(); // abandon without committing
+            release(r);
+            assert_eq!(p.live_chunk_versions(0), 1);
+            assert_eq!(p.try_into_vec().unwrap(), vec![9; 4]);
+        }
+
+        #[test]
+        fn sync_regions_cover_all_chunk_versions() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![0u16; 9], 3);
+            let cx = cx(&pool, true);
+            assert_eq!(p.whole().sync_regions().len(), 3, "one region per chunk");
+            let r = p.chunk(0).resolve(AccessKind::Input, &cx);
+            let mut w = p.chunk(0).resolve(AccessKind::Output, &cx);
+            commit(&mut w);
+            assert_eq!(p.chunk(0).sync_regions().len(), 2, "pinned + current");
+            assert_eq!(p.whole().sync_regions().len(), 4);
+            release(r);
+            release(w);
+            assert_eq!(p.whole().sync_regions().len(), 3);
+        }
+
+        #[test]
+        fn versioned_with_controls_fresh_chunk_contents() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned_with(vec![0u8; 4], 2, |len| vec![0xAB; len]);
+            let w = p.chunk(0).resolve(AccessKind::Output, &cx(&pool, true));
+            let (ptr, len) = w.access().bound_ptr().unwrap();
+            let fresh = unsafe { std::slice::from_raw_parts(ptr as *const u8, len) };
+            assert_eq!(fresh, &[0xAB, 0xAB], "fresh version starts from make()");
+            release(w);
+        }
+
+        #[test]
+        fn empty_versioned_partition_roundtrips() {
+            let p = PartitionedData::versioned(Vec::<u8>::new(), 4);
+            assert_eq!(p.num_chunks(), 1);
+            assert!(p.is_versioned());
+            assert_eq!(p.try_into_vec().unwrap(), Vec::<u8>::new());
         }
     }
 

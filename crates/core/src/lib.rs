@@ -24,6 +24,7 @@
 //! | task barrier (polling)                     | [`barrier::TaskBarrier`]                     |
 //! | circular-buffer manual renaming (Listing 1)| [`pipeline::RenameRing`]                     |
 //! | automatic renaming (superscalar-style)     | [`Runtime::versioned_data`] + [`rename`]     |
+//! | per-chunk renaming (region granularity)    | [`Runtime::versioned_partitioned`]           |
 //!
 //! ## Quick start
 //!

@@ -28,6 +28,20 @@
 //!   has its own allocation identity, the new writer conflicts with nothing
 //!   in flight: the WAR/WAW edges simply never arise.
 //!
+//! ## Region granularity
+//!
+//! Version chains are keyed by **sub-region**, not only by whole handles. A
+//! [`Data`](crate::handle::Data) handle has a single chain; a *versioned*
+//! [`PartitionedData`](crate::handle::PartitionedData)
+//! ([`Runtime::versioned_partitioned`](crate::Runtime::versioned_partitioned))
+//! gives **every chunk its own chain**, so an `output` access to chunk *i*
+//! renames just that chunk while the other chunks stay untouched — the
+//! region model the paper's scanline/block pipelines (rotate, rgbcmy,
+//! bodytrack weight updates) need. A whole-array access synchronises across
+//! all chunk chains: it binds (for `output`: renames) the current version of
+//! every chunk. One access clause may therefore resolve to **several**
+//! concrete bindings, which is why [`ResolvedAccess`] carries vectors.
+//!
 //! The chain always has a well-defined *current* version, which is what
 //! later tasks, [`Runtime::fetch`](crate::Runtime::fetch) and
 //! [`Data::try_into_inner`](crate::handle::Data::try_into_inner) observe; a
@@ -65,11 +79,14 @@
 //!   a handle's footprint to `max_versions` deep copies, playing the role
 //!   of Listing 1's ring depth `N`.
 //! * **Global byte budget** ([`RuntimeConfig::rename_memory_cap`], default
-//!   256 MiB): all extra versions are accounted against it. The accounting
-//!   is **shallow** — `size_of::<T>()` per version, the only size the
-//!   runtime can know without a per-type estimator — so for types that own
-//!   heap storage (`Vec`, `String`, frames) the byte budget undercounts and
-//!   the version-count bound is the effective limit.
+//!   256 MiB): all extra versions are accounted against it. Versioned
+//!   partitions account the **deep** payload of each chunk version
+//!   (`chunk_len * size_of::<T>()`), and scalar handles accept a per-handle
+//!   `size_hint`
+//!   ([`Data::versioned_with_size`](crate::handle::Data::versioned_with_size))
+//!   for heap-backed types; without a hint the accounting falls back to the
+//!   shallow `size_of::<T>()`, in which case the version-count bound is the
+//!   effective limit.
 //!
 //! Disabling renaming entirely ([`RuntimeConfig::with_renaming(false)`]
 //! [`crate::RuntimeConfig::with_renaming`]) makes every versioned handle
@@ -102,6 +119,7 @@ pub struct RenamePool {
     cap: usize,
     held: AtomicUsize,
     renames: AtomicU64,
+    chunk_renames: AtomicU64,
     recycled: AtomicU64,
     fallbacks: AtomicU64,
 }
@@ -113,6 +131,7 @@ impl RenamePool {
             cap,
             held: AtomicUsize::new(0),
             renames: AtomicU64::new(0),
+            chunk_renames: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
         }
@@ -131,6 +150,12 @@ impl RenamePool {
     /// Renames performed (fresh or recycled versions).
     pub fn renames(&self) -> u64 {
         self.renames.load(Ordering::Relaxed)
+    }
+
+    /// Renames performed at sub-region (chunk) granularity — a subset of
+    /// [`RenamePool::renames`].
+    pub fn chunk_renames(&self) -> u64 {
+        self.chunk_renames.load(Ordering::Relaxed)
     }
 
     /// Renames served from a handle's recycle pool.
@@ -170,8 +195,11 @@ impl RenamePool {
         }
     }
 
-    pub(crate) fn note_rename(&self, recycled: bool) {
+    pub(crate) fn note_rename(&self, recycled: bool, chunked: bool) {
         self.renames.fetch_add(1, Ordering::Relaxed);
+        if chunked {
+            self.chunk_renames.fetch_add(1, Ordering::Relaxed);
+        }
         if recycled {
             self.recycled.fetch_add(1, Ordering::Relaxed);
         }
@@ -232,33 +260,35 @@ impl<'a> RenameCx<'a> {
 /// What happened when an access clause was resolved against a handle.
 ///
 /// Returned by [`Accessible::resolve`](crate::handle::Accessible::resolve);
-/// consumed by the task builder, which stores the binding on the task and
-/// records rename statistics.
+/// consumed by the task builder, which stores the bindings on the task and
+/// records rename statistics. One clause usually resolves to one concrete
+/// access, but a whole-array clause on a versioned partition resolves to one
+/// binding **per chunk chain** — hence the vectors.
 pub struct ResolvedAccess {
-    /// The concrete access (region of the bound version + access kind).
-    pub(crate) access: crate::access::Access,
-    /// Release hook decrementing the bound version's in-flight count when
-    /// the task completes (`None` for unversioned handles).
-    pub(crate) ticket: Option<Box<dyn VersionTicket>>,
-    /// Present when the resolution renamed the handle to a new version.
-    pub(crate) renamed: Option<RenameEvent>,
-    /// Hook making the renamed version *current*, run at `spawn()` — see
-    /// [`RenameCommit`]. `None` when the resolution did not rename.
-    pub(crate) commit: Option<Box<dyn RenameCommit>>,
+    /// The concrete accesses (region of each bound version + access kind).
+    pub(crate) accesses: Vec<crate::access::Access>,
+    /// Release hooks decrementing each bound version's in-flight count when
+    /// the task completes (empty for unversioned handles).
+    pub(crate) tickets: Vec<Box<dyn VersionTicket>>,
+    /// One entry per sub-region the resolution renamed to a new version.
+    pub(crate) renamed: Vec<RenameEvent>,
+    /// Hooks making each renamed version *current*, run at `spawn()` — see
+    /// [`RenameCommit`]. Empty when the resolution did not rename.
+    pub(crate) commits: Vec<Box<dyn RenameCommit>>,
 }
 
 impl ResolvedAccess {
     /// An access on an unversioned handle: no binding, no rename.
     pub fn plain(access: crate::access::Access) -> Self {
         ResolvedAccess {
-            access,
-            ticket: None,
-            renamed: None,
-            commit: None,
+            accesses: vec![access],
+            tickets: Vec::new(),
+            renamed: Vec::new(),
+            commits: Vec::new(),
         }
     }
 
-    /// An access bound to a version of a versioned handle.
+    /// An access bound to a single version of a versioned handle.
     pub(crate) fn bound(
         access: crate::access::Access,
         ticket: Box<dyn VersionTicket>,
@@ -266,11 +296,35 @@ impl ResolvedAccess {
         commit: Option<Box<dyn RenameCommit>>,
     ) -> Self {
         ResolvedAccess {
-            access,
-            ticket: Some(ticket),
-            renamed,
-            commit,
+            accesses: vec![access],
+            tickets: vec![ticket],
+            renamed: renamed.into_iter().collect(),
+            commits: commit.into_iter().collect(),
         }
+    }
+
+    /// An empty resolution to merge per-chunk bindings into.
+    pub(crate) fn empty() -> Self {
+        ResolvedAccess {
+            accesses: Vec::new(),
+            tickets: Vec::new(),
+            renamed: Vec::new(),
+            commits: Vec::new(),
+        }
+    }
+
+    /// Fold another resolution (e.g. one chunk's binding) into this one.
+    pub(crate) fn merge(&mut self, other: ResolvedAccess) {
+        self.accesses.extend(other.accesses);
+        self.tickets.extend(other.tickets);
+        self.renamed.extend(other.renamed);
+        self.commits.extend(other.commits);
+    }
+
+    /// The primary concrete access (single-binding resolutions).
+    #[cfg(test)]
+    pub(crate) fn access(&self) -> &crate::access::Access {
+        &self.accesses[0]
     }
 }
 
@@ -284,6 +338,9 @@ pub struct RenameEvent {
     pub to: AllocId,
     /// Whether the new version reused pooled storage.
     pub recycled: bool,
+    /// For per-chunk renames: index of the renamed chunk within its
+    /// partition. `None` for whole-handle renames.
+    pub chunk: Option<u32>,
 }
 
 /// Release hook held by a task for every version it is bound to; invoked
@@ -334,10 +391,11 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let pool = Arc::new(RenamePool::new(10));
-        pool.note_rename(false);
-        pool.note_rename(true);
+        pool.note_rename(false, false);
+        pool.note_rename(true, true);
         pool.note_fallback();
         assert_eq!(pool.renames(), 2);
+        assert_eq!(pool.chunk_renames(), 1);
         assert_eq!(pool.recycled(), 1);
         assert_eq!(pool.fallbacks(), 1);
         assert_eq!(pool.cap(), 10);

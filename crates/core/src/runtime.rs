@@ -51,8 +51,10 @@ pub struct RuntimeConfig {
     /// affected.
     pub renaming: bool,
     /// Global byte budget for renamed versions; when exhausted, `output`
-    /// accesses fall back to serialising (backpressure). The accounting is
-    /// shallow (`size_of::<T>()` per version) — see [`crate::rename`].
+    /// accesses fall back to serialising (backpressure). Versioned
+    /// partitions account each chunk's deep payload; scalar handles account
+    /// `size_of::<T>()` unless given a size hint
+    /// ([`Runtime::versioned_data_with_size`]) — see [`crate::rename`].
     pub rename_memory_cap: usize,
     /// Bound on each versioned handle's pool of recycled version slots.
     pub rename_pool_depth: usize,
@@ -194,6 +196,7 @@ impl RuntimeInner {
                     from_alloc: ev.from.raw(),
                     to_alloc: ev.to.raw(),
                     recycled: ev.recycled,
+                    chunk: ev.chunk,
                     at_ns: self.trace.now_ns(),
                 });
             }
@@ -309,6 +312,19 @@ impl Runtime {
         Data::versioned_with(value, make)
     }
 
+    /// Like [`Runtime::versioned_data_with`], additionally declaring the
+    /// **deep** size of one version (heap payload included) so the rename
+    /// byte budget accounts heap-backed types correctly. See
+    /// [`Data::versioned_with_size`].
+    pub fn versioned_data_with_size<T: Send + 'static>(
+        &self,
+        value: T,
+        make: impl Fn() -> T + Send + Sync + 'static,
+        bytes_per_version: usize,
+    ) -> Data<T> {
+        Data::versioned_with_size(value, make, bytes_per_version)
+    }
+
     /// Register a vector partitioned into chunks of `chunk_len` elements.
     pub fn partitioned<T: Send + 'static>(
         &self,
@@ -316,6 +332,31 @@ impl Runtime {
         chunk_len: usize,
     ) -> PartitionedData<T> {
         PartitionedData::new(data, chunk_len)
+    }
+
+    /// Register a vector partitioned into chunks of `chunk_len` elements
+    /// behind a **versioned** partition: every chunk owns its own version
+    /// chain, and an `output` access to a chunk renames just that chunk
+    /// (fresh versions start from `T::default()`), eliminating WAR/WAW
+    /// serialisation at chunk granularity. Whole-array accesses synchronise
+    /// across all chunk chains. See [`crate::rename`].
+    pub fn versioned_partitioned<T: Send + Default + 'static>(
+        &self,
+        data: Vec<T>,
+        chunk_len: usize,
+    ) -> PartitionedData<T> {
+        PartitionedData::versioned(data, chunk_len)
+    }
+
+    /// Like [`Runtime::versioned_partitioned`] with an explicit initialiser
+    /// for fresh chunk versions (called with the chunk length).
+    pub fn versioned_partitioned_with<T: Send + 'static>(
+        &self,
+        data: Vec<T>,
+        chunk_len: usize,
+        make: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> PartitionedData<T> {
+        PartitionedData::versioned_with(data, chunk_len, make)
     }
 
     /// Begin building a task spawned from the main program context.
@@ -434,6 +475,7 @@ impl Runtime {
             waw_edges: c.get(StatField::EdgesWaw),
             dependences_seen: c.get(StatField::DependencesSeen),
             renames: rename.renames(),
+            chunk_renames: rename.chunk_renames(),
             renames_recycled: rename.recycled(),
             rename_fallbacks: rename.fallbacks(),
             rename_bytes_held: rename.bytes_held() as u64,
@@ -576,41 +618,42 @@ impl<'r> TaskBuilder<'r> {
             max_versions: self.inner.config.rename_max_versions,
         };
         let mut resolved = handle.resolve(kind, &cx);
-        // Two writing clauses on the same *versioned* handle are ill-formed
-        // (as `inout(x) output(x)` is in OmpSs): each clause binds its own
-        // version, so the task body's write would target one version while
-        // the rename commit makes another current — a silent lost write.
-        // Reject at declaration instead. (`input` + `output` is fine: the
-        // read binds the previous version, the write the fresh one.)
-        if let Some(root) = resolved.access.version_root() {
-            if resolved.access.kind.allows_mutation()
+        // Two writing clauses on overlapping sub-regions of one *versioned*
+        // handle are ill-formed (as `inout(x) output(x)` is in OmpSs): each
+        // clause binds its own version, so the task body's write would
+        // target one version while the rename commit makes another current —
+        // a silent lost write. Reject at declaration instead, at sub-region
+        // granularity: `output` on chunk 1 and chunk 2 of one partition is
+        // fine (disjoint chains), `output` on chunk 2 and on `whole()` is
+        // not. (`input` + `output` on the same region is also fine: the read
+        // binds the previous version, the write the fresh one.)
+        let clash = resolved.accesses.iter().find_map(|access| {
+            let canon = access.canonical_region()?;
+            (access.kind.allows_mutation()
                 && self.accesses.iter().any(|a| {
-                    a.version_root() == Some(root) && a.kind.allows_mutation()
-                })
-            {
-                // Unbind the just-created version before unwinding (its
-                // rename was never committed, so the handle is untouched).
-                if let Some(ticket) = resolved.ticket.take() {
-                    ticket.release();
-                }
-                panic!(
-                    "task declares more than one writing access (output/inout/concurrent) \
-                     on the same versioned handle (allocation {}); declare a single inout \
-                     (to update in place) or a single output (to rename)",
-                    root.raw()
-                );
+                    a.kind.allows_mutation()
+                        && a.canonical_region().is_some_and(|c| c.overlaps(canon))
+                }))
+            .then(|| canon.clone())
+        });
+        if let Some(canon) = clash {
+            // Unbind the just-created versions before unwinding (their
+            // renames were never committed, so the handle is untouched).
+            for ticket in resolved.tickets.drain(..) {
+                ticket.release();
             }
+            panic!(
+                "task declares more than one writing access (output/inout/concurrent) \
+                 on overlapping regions of the same versioned handle (region {}); \
+                 declare a single inout (to update in place) or a single output \
+                 (to rename)",
+                canon.id
+            );
         }
-        self.accesses.push(resolved.access);
-        if let Some(ticket) = resolved.ticket {
-            self.tickets.push(ticket);
-        }
-        if let Some(commit) = resolved.commit {
-            self.commits.push(commit);
-        }
-        if let Some(event) = resolved.renamed {
-            self.renames.push(event);
-        }
+        self.accesses.extend(resolved.accesses);
+        self.tickets.extend(resolved.tickets);
+        self.commits.extend(resolved.commits);
+        self.renames.extend(resolved.renamed);
         self
     }
 
@@ -731,7 +774,8 @@ impl<'a> TaskContext<'a> {
 
     /// Locate the declared access binding this task to (a version of)
     /// `data`, preferring the appropriate kind, and return the bound
-    /// version's storage pointer.
+    /// version's storage pointer — resolved once at bind time, so this is
+    /// lock-free however the handle is versioned.
     fn data_binding<T: Send + 'static>(&self, data: &Data<T>, write: bool) -> *mut T {
         let root = data.root_alloc();
         let viable = |a: &&Access| a.root_alloc() == root && (!write || a.kind.allows_mutation());
@@ -756,8 +800,57 @@ impl<'a> TaskContext<'a> {
                 if write { "output/inout/concurrent" } else { "input/inout" },
             );
         };
-        data.ptr_for_alloc(access.region.id.alloc)
-            .expect("bound version is alive while the task is in flight")
+        let (ptr, _len) = access
+            .bound_ptr()
+            .expect("runtime-resolved accesses carry their storage pointer");
+        // The pointer was resolved at bind time; the bound version cannot
+        // move or be reclaimed while this task holds its ticket.
+        debug_assert_eq!(
+            data.ptr_for_alloc(access.region.id.alloc),
+            Some(ptr as *mut T),
+            "bind-time pointer must match the live version storage"
+        );
+        ptr as *mut T
+    }
+
+    /// Locate the declared access binding this task to (a version of) chunk
+    /// `index` of a versioned partition and return the bound chunk storage.
+    /// An access declared on `whole()` covers every chunk (whole accesses on
+    /// versioned partitions resolve to one binding per chunk).
+    fn chunk_binding<T: Send + 'static>(
+        &self,
+        part: &std::sync::Arc<crate::handle::PartInner<T>>,
+        index: usize,
+        write: bool,
+    ) -> (*mut T, usize) {
+        let canon = part.chunk_canonical_region(index);
+        let viable = |a: &&Access| {
+            a.canonical_region().is_some_and(|c| c.contains(&canon))
+                && (!write || a.kind.allows_mutation())
+        };
+        // As in data_binding: reads prefer the binding that reads.
+        let access = if write {
+            self.node.accesses.iter().find(viable)
+        } else {
+            self.node
+                .accesses
+                .iter()
+                .filter(viable)
+                .max_by_key(|a| a.kind.reads())
+        };
+        let Some(access) = access else {
+            panic!(
+                "task `{}` accessed chunk {} {} without declaring a matching {} access",
+                self.node.display_name(),
+                canon.id,
+                if write { "mutably" } else { "for reading" },
+                if write { "output/inout/concurrent" } else { "input/inout" },
+            );
+        };
+        let (ptr, len) = access
+            .bound_ptr()
+            .expect("runtime-resolved accesses carry their storage pointer");
+        (ptr as *mut T, len)
     }
 
     /// Obtain shared access to `data`; the task must have declared any access
@@ -781,29 +874,55 @@ impl<'a> TaskContext<'a> {
         }
     }
 
-    /// Obtain shared access to one chunk of a partitioned vector.
+    /// Obtain shared access to one chunk of a partitioned vector. For a
+    /// versioned partition the guard refers to the chunk version this task
+    /// was bound to at spawn time; a whole-array declaration covers every
+    /// chunk.
     pub fn read_chunk<'d, T: Send + 'static>(&self, chunk: &'d Chunk<T>) -> SliceReadGuard<'d, T> {
-        self.check_access(&chunk.region(), false, "chunk");
-        let (ptr, len) = chunk.slice_ptr();
+        let (ptr, len) = if chunk.is_versioned() {
+            self.chunk_binding(&chunk.inner, chunk.index(), false)
+        } else {
+            self.check_access(&chunk.region(), false, "chunk");
+            chunk.slice_ptr()
+        };
         SliceReadGuard {
             slice: unsafe { std::slice::from_raw_parts(ptr, len) },
         }
     }
 
-    /// Obtain exclusive access to one chunk of a partitioned vector.
+    /// Obtain exclusive access to one chunk of a partitioned vector. For a
+    /// versioned partition the guard refers to the chunk version this task
+    /// was bound to at spawn time (for a renamed `output`: the fresh
+    /// version).
     pub fn write_chunk<'d, T: Send + 'static>(
         &self,
         chunk: &'d Chunk<T>,
     ) -> SliceWriteGuard<'d, T> {
-        self.check_access(&chunk.region(), true, "chunk");
-        let (ptr, len) = chunk.slice_ptr();
+        let (ptr, len) = if chunk.is_versioned() {
+            self.chunk_binding(&chunk.inner, chunk.index(), true)
+        } else {
+            self.check_access(&chunk.region(), true, "chunk");
+            chunk.slice_ptr()
+        };
         SliceWriteGuard {
             slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
         }
     }
 
-    /// Obtain shared access to the whole partitioned vector.
+    /// Obtain shared access to the whole partitioned vector as one
+    /// contiguous slice.
+    ///
+    /// # Panics
+    /// Panics on a **versioned** partition: its chunks live in independent
+    /// version buffers, so no contiguous slice exists. Use
+    /// [`TaskContext::read_chunk`] per chunk, or
+    /// [`TaskContext::gather_whole`] for a copied-out contiguous view.
     pub fn read_whole<'d, T: Send + 'static>(&self, whole: &'d Whole<T>) -> SliceReadGuard<'d, T> {
+        assert!(
+            !whole.is_versioned(),
+            "read_whole needs contiguous storage; a versioned partition's chunks \
+             live in independent version buffers — use read_chunk or gather_whole"
+        );
         self.check_access(&whole.region(), false, "array");
         let (ptr, len) = whole.slice_ptr();
         SliceReadGuard {
@@ -811,15 +930,65 @@ impl<'a> TaskContext<'a> {
         }
     }
 
-    /// Obtain exclusive access to the whole partitioned vector.
+    /// Obtain exclusive access to the whole partitioned vector as one
+    /// contiguous slice.
+    ///
+    /// # Panics
+    /// Panics on a **versioned** partition (see [`TaskContext::read_whole`]);
+    /// use [`TaskContext::write_chunk`] per chunk, or
+    /// [`TaskContext::scatter_whole`].
     pub fn write_whole<'d, T: Send + 'static>(
         &self,
         whole: &'d Whole<T>,
     ) -> SliceWriteGuard<'d, T> {
+        assert!(
+            !whole.is_versioned(),
+            "write_whole needs contiguous storage; a versioned partition's chunks \
+             live in independent version buffers — use write_chunk or scatter_whole"
+        );
         self.check_access(&whole.region(), true, "array");
         let (ptr, len) = whole.slice_ptr();
         SliceWriteGuard {
             slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
+        }
+    }
+
+    /// Copy the whole partitioned vector out into one contiguous `Vec`,
+    /// chunk by chunk, through this task's read bindings. Works on plain and
+    /// versioned partitions alike; on a versioned partition each chunk is
+    /// read from the version the task was bound to.
+    pub fn gather_whole<T: Send + Clone + 'static>(&self, whole: &Whole<T>) -> Vec<T> {
+        if !whole.is_versioned() {
+            return self.read_whole(whole).to_vec();
+        }
+        let mut out = Vec::with_capacity(whole.len());
+        for index in 0..whole.inner.chunks.len() {
+            let (ptr, len) = self.chunk_binding(&whole.inner, index, false);
+            out.extend_from_slice(unsafe { std::slice::from_raw_parts(ptr, len) });
+        }
+        out
+    }
+
+    /// Copy `src` into the whole partitioned vector, chunk by chunk, through
+    /// this task's write bindings (for renamed `output` accesses: the fresh
+    /// chunk versions). Works on plain and versioned partitions alike.
+    ///
+    /// # Panics
+    /// Panics if `src.len()` differs from the partition length.
+    pub fn scatter_whole<T: Send + Clone + 'static>(&self, whole: &Whole<T>, src: &[T]) {
+        assert_eq!(
+            src.len(),
+            whole.len(),
+            "scatter_whole source length must match the partition length"
+        );
+        if !whole.is_versioned() {
+            self.write_whole(whole).clone_from_slice(src);
+            return;
+        }
+        for index in 0..whole.inner.chunks.len() {
+            let (ptr, len) = self.chunk_binding(&whole.inner, index, true);
+            let dst = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            dst.clone_from_slice(&src[whole.inner.chunks[index].clone()]);
         }
     }
 

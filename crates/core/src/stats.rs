@@ -95,8 +95,12 @@ pub struct RuntimeStats {
     /// garbage-collected), unlike `edges_added`.
     pub dependences_seen: u64,
     /// Versions allocated by automatic renaming (`output` accesses on
-    /// versioned handles).
+    /// versioned handles), whole-handle and per-chunk combined.
     pub renames: u64,
+    /// Renames performed at sub-region granularity — `output` accesses on
+    /// chunks of a versioned partition. A subset of
+    /// [`RuntimeStats::renames`].
+    pub chunk_renames: u64,
     /// Renames that reused pooled storage instead of allocating.
     pub renames_recycled: u64,
     /// `output` accesses that wanted to rename but serialised instead,

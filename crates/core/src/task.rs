@@ -140,6 +140,17 @@ pub(crate) struct TaskNode {
     pub tickets: Mutex<Vec<Box<dyn VersionTicket>>>,
 }
 
+// Safety: `TaskNode` stops being auto-Send/Sync because each version-bound
+// `Access` carries the raw storage pointer of the version it bound (resolved
+// once at bind time — see `crate::access`). Sharing those pointers across
+// workers is sound: the pointed-to version storage is address-stable and kept
+// alive by the `tickets` this node holds until completion, and dereferencing
+// is gated by the `TaskContext` guard rules (declared-access checks plus
+// dependence ordering of conflicting tasks). Everything else in the node is
+// already thread-safe (atomics, mutexes, `Arc`s).
+unsafe impl Send for TaskNode {}
+unsafe impl Sync for TaskNode {}
+
 impl TaskNode {
     /// Create a node with the registration sentinel held (pending = 1).
     pub(crate) fn new(

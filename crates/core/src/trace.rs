@@ -34,8 +34,9 @@ pub enum TraceEvent {
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },
-    /// An `output` access of a task renamed a versioned handle to a fresh
-    /// data version (see [`crate::rename`]).
+    /// An `output` access of a task renamed a versioned handle (or one chunk
+    /// of a versioned partition) to a fresh data version (see
+    /// [`crate::rename`]).
     Renamed {
         /// The task whose access triggered the rename.
         task: TaskId,
@@ -45,6 +46,9 @@ pub enum TraceEvent {
         to_alloc: u64,
         /// Whether pooled storage was reused.
         recycled: bool,
+        /// For per-chunk renames: index of the renamed chunk within its
+        /// partition. `None` for whole-handle renames.
+        chunk: Option<u32>,
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },

@@ -165,6 +165,119 @@ fn two_writing_accesses_on_versioned_handle_are_rejected() {
 }
 
 #[test]
+#[should_panic(expected = "more than one writing access")]
+fn chunk_and_whole_writes_on_versioned_partition_are_rejected() {
+    // `output` on chunk 1 and `output` on `whole()` overlap on chunk 1: the
+    // chunk clause and the whole clause would each rename that chunk, and
+    // one of the two writes would be silently lost — rejected eagerly.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(1));
+    let p = rt.versioned_partitioned(vec![0u64; 8], 4);
+    let chunk = p.chunk(1);
+    let whole = p.whole();
+    let _ = rt.task().output(&chunk).output(&whole);
+}
+
+#[test]
+fn disjoint_chunk_writes_in_one_task_are_allowed() {
+    // Writes to *disjoint* chunks of one versioned partition are fine: the
+    // chains are independent, so each clause renames its own chunk.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+    let p = rt.versioned_partitioned(vec![0u32; 8], 4);
+    {
+        let (c0, c1) = (p.chunk(0), p.chunk(1));
+        rt.task().output(&c0).output(&c1).spawn(move |ctx| {
+            ctx.write_chunk(&c0).fill(3);
+            ctx.write_chunk(&c1).fill(4);
+        });
+    }
+    rt.taskwait();
+    assert_eq!(rt.into_vec(p), vec![3, 3, 3, 3, 4, 4, 4, 4]);
+}
+
+#[test]
+fn versioned_partition_commits_back_on_into_vec() {
+    // Chunk writes land in renamed versions; unwrapping the partition
+    // reassembles the final array from every chunk's current version.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(3));
+    let p = rt.versioned_partitioned(vec![0u32; 10], 4);
+    for round in 0..4u32 {
+        for chunk in p.chunk_handles() {
+            rt.task().output(&chunk).spawn(move |ctx| {
+                let base = chunk.elem_range().start as u32;
+                for (i, v) in ctx.write_chunk(&chunk).iter_mut().enumerate() {
+                    *v = round * 100 + base + i as u32;
+                }
+            });
+        }
+    }
+    rt.taskwait();
+    let stats = rt.stats();
+    assert!(stats.chunk_renames > 0, "chunk writes renamed");
+    let out = rt.into_vec(p);
+    let expected: Vec<u32> = (0..10).map(|i| 300 + i).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn whole_array_tasks_interleave_correctly_with_chunk_tasks() {
+    // whole-output → chunk-bumps → whole-sum: the whole accesses bind every
+    // chunk chain, so ordering across granularities is preserved.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(3));
+    let p = rt.versioned_partitioned(vec![0u64; 9], 3);
+    let total = rt.data(0u64);
+    {
+        let whole = p.whole();
+        rt.task().output(&whole).spawn(move |ctx| {
+            ctx.scatter_whole(&whole, &[1u64; 9]);
+        });
+    }
+    for chunk in p.chunk_handles() {
+        rt.task().inout(&chunk).spawn(move |ctx| {
+            for v in ctx.write_chunk(&chunk).iter_mut() {
+                *v += 10;
+            }
+        });
+    }
+    {
+        let whole = p.whole();
+        let total = total.clone();
+        rt.task().input(&whole).inout(&total).spawn(move |ctx| {
+            *ctx.write(&total) = ctx.gather_whole(&whole).iter().sum();
+        });
+    }
+    rt.taskwait();
+    assert_eq!(rt.into_inner(total), 9 * 11);
+}
+
+#[test]
+fn deep_size_hint_drives_the_rename_budget() {
+    // Two concurrent renamed versions of a 64-byte payload exceed a 100-byte
+    // budget: the first output renames, the second falls back to
+    // serialising. With shallow `size_of::<Vec<u8>>()` accounting both would
+    // have renamed.
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(1)
+            .with_rename_memory_cap(100)
+            .with_rename_pool_depth(0),
+    );
+    let d = rt.versioned_data_with_size(vec![0u8; 64], || vec![0u8; 64], 64);
+    let b1 = rt.task().output(&d);
+    let b2 = rt.task().output(&d);
+    let stats = rt.stats();
+    assert_eq!(stats.renames, 1, "only one 64-byte version fits the budget");
+    assert_eq!(stats.rename_fallbacks, 1);
+    assert_eq!(stats.rename_bytes_held, 64, "deep payload accounted");
+    drop(b1);
+    drop(b2);
+    assert_eq!(
+        rt.stats().rename_bytes_held,
+        0,
+        "abandoned bindings return their budget"
+    );
+}
+
+#[test]
 fn nested_tasks_and_nested_taskwait() {
     let rt = runtime(3);
     let total = rt.data(0u64);
