@@ -28,8 +28,14 @@
 //! partitions, double-buffered by hand) and automatic (per-chunk version
 //! chains, `Runtime::versioned_partitioned`).
 //!
+//! A third scenario measures the **insertion side** itself: the spawn-rate
+//! ablation hammers one runtime from 1–8 concurrently spawning OS threads
+//! and reports task insertions per second with the dependence tracker in its
+//! single-shard (historical single-lock) and sharded configurations, plus
+//! the tracker's shard-hit / lock-contention counters.
+//!
 //! Run with `cargo run --release -p bench-harness --bin rename_ablation
-//! [workers] [frames] [pipeline-iters]`.
+//! [workers] [frames] [pipeline-iters] [spawn-tasks-per-thread]`.
 
 use std::time::{Duration, Instant};
 
@@ -264,6 +270,126 @@ fn chunked_pipeline_section(workers: usize, iters: usize) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 3: tracker-sharding spawn-rate ablation
+// ---------------------------------------------------------------------------
+
+/// Spawner-thread counts exercised by the spawn-rate scenario.
+const SPAWNER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Shard count of the "sharded" configuration (the acceptance bar is N ≥ 4).
+const SHARDED: usize = 8;
+
+/// Spawn `per_spawner` tasks from each of `spawners` OS threads into one
+/// runtime and return the insertion rate (tasks/second over the spawn phase
+/// only) plus the runtime stats. Every task takes real tracker work: an
+/// `inout` chain edge on its spawner's private cell and an `input` on a
+/// rotating feed handle.
+fn spawn_rate_run(shards: usize, spawners: usize, per_spawner: usize) -> (f64, RuntimeStats) {
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_tracker_shards(shards),
+    );
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..spawners {
+            let rt = &rt;
+            scope.spawn(move || {
+                let chain = rt.data(0u64);
+                let feeds: Vec<Data<u64>> = (0..8).map(|_| rt.data(1u64)).collect();
+                for i in 0..per_spawner {
+                    let c = chain.clone();
+                    let f = feeds[i % feeds.len()].clone();
+                    rt.task().inout(&c).input(&f).spawn(move |ctx| {
+                        let add = *ctx.read(&f);
+                        let mut c = ctx.write(&c);
+                        *c = c.wrapping_add(add);
+                    });
+                }
+            });
+        }
+    });
+    let spawn_time = start.elapsed();
+    rt.taskwait();
+    let stats = rt.stats();
+    assert_eq!(
+        stats.tasks_spawned as usize,
+        spawners * per_spawner,
+        "spawn-rate run lost tasks"
+    );
+    assert_eq!(stats.tasks_executed, stats.tasks_spawned);
+    let rate = (spawners * per_spawner) as f64 / spawn_time.as_secs_f64();
+    rt.shutdown();
+    (rate, stats)
+}
+
+/// Best-of-3 insertion rate (suppresses scheduler noise on busy hosts).
+fn spawn_rate_best(shards: usize, spawners: usize, per_spawner: usize) -> (f64, RuntimeStats) {
+    let mut best: Option<(f64, RuntimeStats)> = None;
+    for _ in 0..3 {
+        let (rate, stats) = spawn_rate_run(shards, spawners, per_spawner);
+        if best.as_ref().is_none_or(|(b, _)| rate > *b) {
+            best = Some((rate, stats));
+        }
+    }
+    best.expect("three runs happened")
+}
+
+fn spawn_rate_section(per_spawner: usize) {
+    println!("\n=== Tracker-sharding spawn-rate ablation ===\n");
+    println!(
+        "{per_spawner} tasks per spawner thread, inout-chain + input accesses, best of 3\n"
+    );
+    println!(
+        "{:<10}{:>16}{:>16}{:>10}{:>14}{:>14}",
+        "spawners", "1 shard/s", format!("{SHARDED} shards/s"), "speedup", "contended(1)", "contended(N)"
+    );
+    let mut at_max = None;
+    for spawners in SPAWNER_COUNTS {
+        let (single, single_stats) = spawn_rate_best(1, spawners, per_spawner);
+        let (sharded, sharded_stats) = spawn_rate_best(SHARDED, spawners, per_spawner);
+        println!(
+            "{:<10}{:>16.0}{:>16.0}{:>9.2}x{:>14}{:>14}",
+            spawners,
+            single,
+            sharded,
+            sharded / single,
+            single_stats.tracker_lock_contention,
+            sharded_stats.tracker_lock_contention,
+        );
+        if spawners == *SPAWNER_COUNTS.last().expect("non-empty") {
+            at_max = Some((single, sharded, sharded_stats));
+        }
+    }
+    let (single, sharded, sharded_stats) = at_max.expect("ran the max spawner count");
+    let hits = &sharded_stats.tracker_shard_hits;
+    let (min_hits, max_hits) = (
+        hits.iter().copied().min().unwrap_or(0),
+        hits.iter().copied().max().unwrap_or(0),
+    );
+    println!(
+        "\nsharded @ {} spawners: {:.0} insertions/s vs {:.0} single-shard ({:.2}x), \
+         shard hits min/max = {}/{}, contention rate {:.4}",
+        SPAWNER_COUNTS[SPAWNER_COUNTS.len() - 1],
+        sharded,
+        single,
+        sharded / single,
+        min_hits,
+        max_hits,
+        sharded_stats.tracker_contention_rate().unwrap_or(0.0),
+    );
+    // Acceptance: sharded insertion throughput at the maximum spawner count
+    // must match or beat the single global lock. A 10% tolerance absorbs
+    // timer noise on loaded single-core CI hosts; on multi-core hosts the
+    // sharded variant wins outright.
+    assert!(
+        sharded >= single * 0.9,
+        "sharded tracker ({SHARDED} shards) must not insert slower than the \
+         single-shard tracker at {} spawner threads: {sharded:.0}/s vs {single:.0}/s",
+        SPAWNER_COUNTS[SPAWNER_COUNTS.len() - 1],
+    );
+}
+
 fn main() {
     let workers = std::env::args()
         .nth(1)
@@ -281,6 +407,10 @@ fn main() {
         .nth(3)
         .and_then(|a| a.parse().ok())
         .unwrap_or(64);
+    let spawn_tasks = std::env::args()
+        .nth(4)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
 
     let params = Params {
         video: VideoParams {
@@ -370,4 +500,5 @@ fn main() {
     );
 
     chunked_pipeline_section(workers, pipeline_iters);
+    spawn_rate_section(spawn_tasks);
 }

@@ -27,15 +27,86 @@
 //! special-case; it classifies every edge it does insert (RAW / WAR / WAW)
 //! so the effect of renaming is visible in the statistics.
 //!
+//! ## Sharding
+//!
+//! The tracker is the insertion-side critical path: every spawned task takes
+//! it to register, and (since the retire path landed) every completed task
+//! takes it again to retire its history. A single map behind a single lock
+//! serialises all of that, so the tracker is **sharded by allocation id**:
+//! [`ShardedTracker`] routes every region to the shard
+//! `alloc_id % num_shards`, and each [`TrackerShard`] owns its own lock,
+//! `entries` map, `by_alloc` index and retire path. Renaming gives every data
+//! version a fresh allocation id, so shards stay naturally balanced.
+//!
+//! A registration that touches several allocations locks every involved
+//! shard **in canonical order** (ascending shard index) and holds them all
+//! for the whole registration, which keeps multi-shard registration atomic
+//! (the linearisation point of the spawn) and deadlock-free. Because regions
+//! of one allocation always live in exactly one shard, the per-registration
+//! outcome — predecessors discovered, edges added, and their order — is
+//! identical for every shard count; `tests/tracker_equivalence.rs` pins this.
+//!
+//! ## Retirement
+//!
+//! When a task completes, the worker retires it through the router: each of
+//! its history references is replaced, under the owning shard's lock only, by
+//! a lightweight *tombstone* (its [`TaskId`]). Tombstones keep
+//! `predecessors_seen` deterministic (a completed-but-conflicting predecessor
+//! is still *seen*, exactly as before the retire path existed) while
+//! releasing the task node itself — closures, successor lists, version
+//! tickets — as soon as the task finishes. [`TrackerShard::garbage_collect`]
+//! then drops tombstoned entries and scrubs `by_alloc`, so fully retired
+//! allocations leave both maps; it runs per shard, periodically from the
+//! spawn path and at every quiescent `taskwait`.
+//!
 //! [`crate::rename`]: crate::rename
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::access::{AccessKind, Dependence};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::access::{Access, AccessKind, Dependence};
 use crate::region::{AllocId, Region, RegionId};
-use crate::task::{TaskNode, TaskState};
+use crate::stats::TrackerCounters;
+use crate::task::{TaskId, TaskNode, TaskState};
+
+/// One in-flight (or retired) access recorded in a region's history.
+enum HistoryRef {
+    /// The task is still live: edges can be added to it and `taskwait on`
+    /// must wait for it.
+    Live(Arc<TaskNode>),
+    /// The task completed and was retired: only its identity is kept, so
+    /// that `predecessors_seen` stays deterministic until the next garbage
+    /// collection (see [`Registration::predecessors_seen`]).
+    Retired(TaskId),
+}
+
+impl HistoryRef {
+    fn id(&self) -> TaskId {
+        match self {
+            HistoryRef::Live(t) => t.id,
+            HistoryRef::Retired(id) => *id,
+        }
+    }
+
+    fn live(&self) -> Option<&Arc<TaskNode>> {
+        match self {
+            HistoryRef::Live(t) => Some(t),
+            HistoryRef::Retired(_) => None,
+        }
+    }
+
+    /// Whether the reference still pins a live, incomplete task (everything
+    /// else is garbage-collectable).
+    fn is_live_incomplete(&self) -> bool {
+        match self {
+            HistoryRef::Live(t) => !t.is_completed(),
+            HistoryRef::Retired(_) => false,
+        }
+    }
+}
 
 /// Per-region bookkeeping of in-flight accesses.
 #[derive(Default)]
@@ -43,164 +114,141 @@ struct RegionEntry {
     /// The byte range this region id refers to (recorded on first sight).
     region: Option<Region>,
     /// Tasks forming the last "writer generation".
-    writers: Vec<Arc<TaskNode>>,
+    writers: Vec<HistoryRef>,
     /// Tasks that have read the region since the last writer generation.
-    readers: Vec<Arc<TaskNode>>,
+    readers: Vec<HistoryRef>,
     /// Tasks with `concurrent` access since the last plain writer.
-    concurrent: Vec<Arc<TaskNode>>,
+    concurrent: Vec<HistoryRef>,
 }
 
-/// The dependence tracker: maps regions to their in-flight access history and
-/// knows which registered regions of an allocation overlap which.
+impl RegionEntry {
+    fn lists_mut(&mut self) -> [&mut Vec<HistoryRef>; 3] {
+        [&mut self.writers, &mut self.readers, &mut self.concurrent]
+    }
+}
+
+/// A predecessor discovered during registration: its identity, the live node
+/// (when an edge can still be added), the dependence class of the first
+/// conflict that introduced it, and the shard it was found in.
+struct PredRef {
+    id: TaskId,
+    live: Option<Arc<TaskNode>>,
+    dependence: Dependence,
+    shard: usize,
+}
+
+/// One shard of the dependence tracker: the region history and per-allocation
+/// index for every allocation routed to it. All methods expect the caller
+/// (the [`ShardedTracker`] router) to hold this shard's lock.
 #[derive(Default)]
-pub(crate) struct DependencyTracker {
+pub(crate) struct TrackerShard {
     entries: HashMap<RegionId, RegionEntry>,
-    /// All region ids ever registered per allocation, used for overlap scans.
+    /// All region ids currently tracked per allocation, used for overlap
+    /// scans.
     by_alloc: HashMap<AllocId, Vec<RegionId>>,
 }
 
-/// Result of registering a task with the tracker.
-pub(crate) struct Registration {
-    /// Number of predecessor edges actually added (predecessors that had not
-    /// yet completed).
-    pub edges: usize,
-    /// Added edges that are true (read-after-write) dependences.
-    pub raw_edges: usize,
-    /// Added edges that are anti (write-after-read) dependences.
-    pub war_edges: usize,
-    /// Added edges that are output (write-after-write) dependences.
-    pub waw_edges: usize,
-    /// Number of distinct conflicting predecessors discovered at
-    /// registration, whether or not they had already completed. Unlike
-    /// `edges` this does not depend on execution timing (until history is
-    /// garbage-collected), which makes it the right counter for tests and
-    /// comparisons that must be deterministic under load.
-    pub predecessors_seen: usize,
-}
-
-impl DependencyTracker {
-    pub(crate) fn new() -> Self {
-        Self::default()
-    }
-
-    /// Register the declared accesses of `node`, adding dependence edges from
-    /// every conflicting in-flight task, and updating the per-region history
-    /// so that future tasks depend on `node` where required.
-    pub(crate) fn register(&mut self, node: &Arc<TaskNode>) -> Registration {
-        // Each predecessor is remembered together with the dependence class
-        // of the (first) conflict that introduced it, so that added edges
-        // can be attributed to RAW / WAR / WAW in the statistics.
-        let mut preds: Vec<(Arc<TaskNode>, Dependence)> = Vec::new();
-        let mut seen_pred_ids: Vec<crate::task::TaskId> = Vec::new();
-
-        // Pass 1: collect predecessors from every overlapping region entry.
-        for access in node.accesses.iter() {
-            let overlapping = self.overlapping_ids(&access.region);
-            for rid in overlapping {
-                let entry = match self.entries.get(&rid) {
-                    Some(e) => e,
-                    None => continue,
-                };
-                let later = access.kind;
-                // Statistics classification. This deliberately diverges from
-                // `access::classify` for read-modify-writes: an `inout` (or
-                // `concurrent`) after a writer *reads* the written data, so
-                // the edge carries a genuine data flow and is counted RAW —
-                // it is not serialisation that renaming could remove. WAR and
-                // WAW are reserved for edges where the successor overwrites
-                // without reading (the renameable false dependences).
-                let vs_writer = if later.reads() {
-                    Dependence::ReadAfterWrite
-                } else {
-                    Dependence::WriteAfterWrite
-                };
-                // Earlier writers always order later readers and writers.
-                for w in &entry.writers {
-                    push_pred(&mut preds, &mut seen_pred_ids, w, vs_writer);
-                }
-                match later {
-                    AccessKind::Input => {
-                        // RAW only; concurrent accumulators count as writers.
-                        for c in &entry.concurrent {
-                            push_pred(&mut preds, &mut seen_pred_ids, c, Dependence::ReadAfterWrite);
-                        }
-                    }
-                    AccessKind::Output | AccessKind::InOut => {
-                        for r in &entry.readers {
-                            push_pred(&mut preds, &mut seen_pred_ids, r, Dependence::WriteAfterRead);
-                        }
-                        for c in &entry.concurrent {
-                            push_pred(&mut preds, &mut seen_pred_ids, c, vs_writer);
-                        }
-                    }
-                    AccessKind::Concurrent => {
-                        // Order against plain readers, not against other
-                        // concurrent accesses.
-                        for r in &entry.readers {
-                            push_pred(&mut preds, &mut seen_pred_ids, r, Dependence::WriteAfterRead);
-                        }
+impl TrackerShard {
+    /// Pass 1 of registration: collect the predecessors `access` conflicts
+    /// with from this shard's history, deduplicated across `seen`.
+    fn collect_preds(
+        &self,
+        access: &Access,
+        shard: usize,
+        preds: &mut Vec<PredRef>,
+        seen: &mut Vec<TaskId>,
+    ) {
+        for rid in self.overlapping_ids(&access.region) {
+            let entry = match self.entries.get(&rid) {
+                Some(e) => e,
+                None => continue,
+            };
+            let later = access.kind;
+            // Statistics classification. This deliberately diverges from
+            // `access::classify` for read-modify-writes: an `inout` (or
+            // `concurrent`) after a writer *reads* the written data, so
+            // the edge carries a genuine data flow and is counted RAW —
+            // it is not serialisation that renaming could remove. WAR and
+            // WAW are reserved for edges where the successor overwrites
+            // without reading (the renameable false dependences).
+            let vs_writer = if later.reads() {
+                Dependence::ReadAfterWrite
+            } else {
+                Dependence::WriteAfterWrite
+            };
+            // Earlier writers always order later readers and writers.
+            for w in &entry.writers {
+                push_pred(preds, seen, w, vs_writer, shard);
+            }
+            match later {
+                AccessKind::Input => {
+                    // RAW only; concurrent accumulators count as writers.
+                    for c in &entry.concurrent {
+                        push_pred(preds, seen, c, Dependence::ReadAfterWrite, shard);
                     }
                 }
-            }
-        }
-
-        // Pass 2: add the edges.
-        let mut edges = 0usize;
-        let (mut raw_edges, mut war_edges, mut waw_edges) = (0usize, 0usize, 0usize);
-        for (pred, dependence) in &preds {
-            if pred.id == node.id {
-                continue;
-            }
-            if add_edge(pred, node) {
-                edges += 1;
-                match dependence {
-                    Dependence::ReadAfterWrite => raw_edges += 1,
-                    Dependence::WriteAfterRead => war_edges += 1,
-                    Dependence::WriteAfterWrite => waw_edges += 1,
-                    Dependence::None => {}
-                }
-            }
-        }
-        node.in_edges.store(edges, Ordering::Relaxed);
-
-        // Pass 3: update the history on the *exact* region entries.
-        for access in node.accesses.iter() {
-            let rid = access.region.id;
-            self.by_alloc
-                .entry(rid.alloc)
-                .or_default()
-                .retain(|r| *r != rid);
-            self.by_alloc.entry(rid.alloc).or_default().push(rid);
-            let entry = self.entries.entry(rid).or_default();
-            if entry.region.is_none() {
-                entry.region = Some(access.region.clone());
-            }
-            match access.kind {
-                AccessKind::Input => entry.readers.push(node.clone()),
                 AccessKind::Output | AccessKind::InOut => {
-                    entry.writers.clear();
-                    entry.writers.push(node.clone());
-                    entry.readers.clear();
-                    entry.concurrent.clear();
+                    for r in &entry.readers {
+                        push_pred(preds, seen, r, Dependence::WriteAfterRead, shard);
+                    }
+                    for c in &entry.concurrent {
+                        push_pred(preds, seen, c, vs_writer, shard);
+                    }
                 }
-                AccessKind::Concurrent => entry.concurrent.push(node.clone()),
+                AccessKind::Concurrent => {
+                    // Order against plain readers, not against other
+                    // concurrent accesses.
+                    for r in &entry.readers {
+                        push_pred(preds, seen, r, Dependence::WriteAfterRead, shard);
+                    }
+                }
             }
-        }
-
-        Registration {
-            edges,
-            raw_edges,
-            war_edges,
-            waw_edges,
-            predecessors_seen: preds.len(),
         }
     }
 
-    /// All in-flight tasks that currently access a region overlapping
-    /// `region` (used by `taskwait on`).
-    pub(crate) fn tasks_touching(&self, region: &Region) -> Vec<Arc<TaskNode>> {
+    /// Pass 3 of registration: record `access` of `node` in this shard's
+    /// history so that future tasks depend on `node` where required.
+    fn record_access(&mut self, access: &Access, node: &Arc<TaskNode>) {
+        let rid = access.region.id;
+        let ids = self.by_alloc.entry(rid.alloc).or_default();
+        ids.retain(|r| *r != rid);
+        ids.push(rid);
+        let entry = self.entries.entry(rid).or_default();
+        if entry.region.is_none() {
+            entry.region = Some(access.region.clone());
+        }
+        match access.kind {
+            AccessKind::Input => entry.readers.push(HistoryRef::Live(node.clone())),
+            AccessKind::Output | AccessKind::InOut => {
+                entry.writers.clear();
+                entry.writers.push(HistoryRef::Live(node.clone()));
+                entry.readers.clear();
+                entry.concurrent.clear();
+            }
+            AccessKind::Concurrent => entry.concurrent.push(HistoryRef::Live(node.clone())),
+        }
+    }
+
+    /// Replace every live history reference of task `id` under region `rid`
+    /// with a tombstone (the retire path). A reference already cleared by a
+    /// later writer generation is silently gone — that is fine.
+    fn retire_region(&mut self, rid: RegionId, id: TaskId) {
+        if let Some(entry) = self.entries.get_mut(&rid) {
+            for list in entry.lists_mut() {
+                for r in list.iter_mut() {
+                    if r.id() == id && r.live().is_some() {
+                        *r = HistoryRef::Retired(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All in-flight tasks in this shard currently accessing a region
+    /// overlapping `region` (used by `taskwait on`).
+    fn tasks_touching(&self, region: &Region) -> Vec<Arc<TaskNode>> {
         let mut out: Vec<Arc<TaskNode>> = Vec::new();
-        let mut seen: Vec<crate::task::TaskId> = Vec::new();
+        let mut seen: Vec<TaskId> = Vec::new();
         for rid in self.overlapping_ids(region) {
             if let Some(entry) = self.entries.get(&rid) {
                 for t in entry
@@ -208,6 +256,7 @@ impl DependencyTracker {
                     .iter()
                     .chain(entry.readers.iter())
                     .chain(entry.concurrent.iter())
+                    .filter_map(HistoryRef::live)
                 {
                     if !t.is_completed() && !seen.contains(&t.id) {
                         seen.push(t.id);
@@ -219,27 +268,22 @@ impl DependencyTracker {
         out
     }
 
-    /// Drop history entries whose every referenced task has completed.
-    /// Called opportunistically to bound memory on long-running programs.
-    pub(crate) fn garbage_collect(&mut self) {
+    /// Drop history references that no longer pin anything (tombstones and
+    /// completed tasks), then entries left empty, then the `by_alloc` ids of
+    /// dropped entries — so a fully retired allocation leaves **both** maps
+    /// (`tests` pin this; `by_alloc` held stale region ids otherwise).
+    fn garbage_collect(&mut self) {
         self.entries.retain(|_, e| {
-            e.writers.retain(|t| !t.is_completed());
-            e.readers.retain(|t| !t.is_completed());
-            e.concurrent.retain(|t| !t.is_completed());
+            e.writers.retain(HistoryRef::is_live_incomplete);
+            e.readers.retain(HistoryRef::is_live_incomplete);
+            e.concurrent.retain(HistoryRef::is_live_incomplete);
             !(e.writers.is_empty() && e.readers.is_empty() && e.concurrent.is_empty())
         });
-        let live: Vec<RegionId> = self.entries.keys().copied().collect();
-        for (_, ids) in self.by_alloc.iter_mut() {
+        let live: HashSet<RegionId> = self.entries.keys().copied().collect();
+        self.by_alloc.retain(|_, ids| {
             ids.retain(|r| live.contains(r));
-        }
-        self.by_alloc.retain(|_, ids| !ids.is_empty());
-    }
-
-    /// Number of regions currently tracked (diagnostics; exercised by unit
-    /// tests).
-    #[allow(dead_code)]
-    pub(crate) fn tracked_regions(&self) -> usize {
-        self.entries.len()
+            !ids.is_empty()
+        });
     }
 
     fn overlapping_ids(&self, region: &Region) -> Vec<RegionId> {
@@ -261,15 +305,320 @@ impl DependencyTracker {
     }
 }
 
+/// Result of registering a task with the tracker.
+pub(crate) struct Registration {
+    /// Number of predecessor edges actually added (predecessors that had not
+    /// yet completed).
+    pub edges: usize,
+    /// Added edges that are true (read-after-write) dependences.
+    pub raw_edges: usize,
+    /// Added edges that are anti (write-after-read) dependences.
+    pub war_edges: usize,
+    /// Added edges that are output (write-after-write) dependences.
+    pub waw_edges: usize,
+    /// Number of distinct conflicting predecessors discovered at
+    /// registration, whether or not they had already completed (retired
+    /// predecessors are counted through their tombstones). Unlike `edges`
+    /// this does not depend on execution timing (until history is
+    /// garbage-collected), which makes it the right counter for tests and
+    /// comparisons that must be deterministic under load.
+    pub predecessors_seen: usize,
+    /// The added edges, for trace recording: predecessor id plus the tracker
+    /// shard the conflict was found in. Populated only when the caller asked
+    /// for it (tracing enabled).
+    pub edge_list: Vec<EdgeRecord>,
+}
+
+/// One added dependence edge, as reported to the trace.
+pub(crate) struct EdgeRecord {
+    /// The predecessor task of the edge.
+    pub pred: TaskId,
+    /// Tracker shard in which the conflict was discovered.
+    pub shard: usize,
+}
+
+/// Shard-count-aware diagnostics of the dependence tracker, from
+/// [`Runtime::tracker_diagnostics`](crate::Runtime::tracker_diagnostics).
+/// Counts *currently tracked* state — after a quiescent `taskwait` (which
+/// garbage-collects) everything should read zero; a monotonically growing
+/// count across quiescent points is a leak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerDiagnostics {
+    /// Regions currently tracked, per shard.
+    pub regions_per_shard: Vec<usize>,
+    /// Allocations currently indexed in `by_alloc`, per shard.
+    pub allocs_per_shard: Vec<usize>,
+}
+
+impl TrackerDiagnostics {
+    /// Number of tracker shards.
+    pub fn shards(&self) -> usize {
+        self.regions_per_shard.len()
+    }
+
+    /// Total regions tracked across all shards.
+    pub fn total_regions(&self) -> usize {
+        self.regions_per_shard.iter().sum()
+    }
+
+    /// Total allocations indexed across all shards.
+    pub fn total_allocs(&self) -> usize {
+        self.allocs_per_shard.iter().sum()
+    }
+}
+
+/// The sharded dependence tracker: routes every allocation to one
+/// [`TrackerShard`] and coordinates multi-shard registrations (canonical
+/// lock order) and the completion retire path. See the module docs.
+pub(crate) struct ShardedTracker {
+    shards: Box<[Mutex<TrackerShard>]>,
+    counters: TrackerCounters,
+}
+
+/// The shard locks one registration holds: the allocation-free singleton
+/// case stays on the allocation-free fast path.
+enum LockedShards<'a> {
+    /// Every access maps to this one shard.
+    One(usize, MutexGuard<'a, TrackerShard>),
+    /// Canonically ordered shard indices with their guards (parallel
+    /// vectors); also the empty no-access case.
+    Many(Vec<usize>, Vec<MutexGuard<'a, TrackerShard>>),
+}
+
+impl LockedShards<'_> {
+    fn shard_mut(&mut self, sid: usize) -> &mut TrackerShard {
+        match self {
+            LockedShards::One(s, guard) => {
+                debug_assert_eq!(*s, sid);
+                guard
+            }
+            LockedShards::Many(ids, guards) => {
+                let pos = ids
+                    .binary_search(&sid)
+                    .expect("every access shard was locked");
+                &mut guards[pos]
+            }
+        }
+    }
+}
+
+impl ShardedTracker {
+    pub(crate) fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "the tracker needs at least one shard");
+        ShardedTracker {
+            shards: (0..shards).map(|_| Mutex::new(TrackerShard::default())).collect(),
+            counters: TrackerCounters::new(shards),
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an allocation is routed to. Allocation ids are handed out
+    /// sequentially (and renaming mints a fresh one per version), so plain
+    /// modulo spreads concurrent workloads evenly.
+    pub(crate) fn shard_of(&self, alloc: AllocId) -> usize {
+        (alloc.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Per-shard hit / contention counters.
+    pub(crate) fn counters(&self) -> &TrackerCounters {
+        &self.counters
+    }
+
+    /// Lock one shard, try-lock-first so contended acquisitions are counted.
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, TrackerShard> {
+        self.counters.hit(shard);
+        match self.shards[shard].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.counters.contended();
+                self.shards[shard].lock()
+            }
+        }
+    }
+
+    /// Lock every shard the accesses touch, in canonical (ascending index)
+    /// order. The dominant case — every access on one allocation, or several
+    /// allocations that happen to share a shard — takes exactly one lock and
+    /// allocates nothing.
+    fn lock_for(&self, accesses: &[Access]) -> LockedShards<'_> {
+        let mut shards = accesses.iter().map(|a| self.shard_of(a.region.id.alloc));
+        let Some(first) = shards.next() else {
+            return LockedShards::Many(Vec::new(), Vec::new());
+        };
+        if shards.all(|s| s == first) {
+            return LockedShards::One(first, self.lock_shard(first));
+        }
+        let mut ids: Vec<usize> = accesses
+            .iter()
+            .map(|a| self.shard_of(a.region.id.alloc))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let guards = ids.iter().map(|&s| self.lock_shard(s)).collect();
+        LockedShards::Many(ids, guards)
+    }
+
+    /// Register the declared accesses of `node`, adding dependence edges from
+    /// every conflicting in-flight task, and updating the per-region history
+    /// so that future tasks depend on `node` where required.
+    ///
+    /// Every shard touched by the accesses is locked in canonical (ascending
+    /// index) order and held for the whole registration, making it atomic
+    /// with respect to concurrent registrations and retirements on
+    /// overlapping allocations. `record_edges` asks for [`EdgeRecord`]s (only
+    /// the tracing path wants them).
+    pub(crate) fn register(&self, node: &Arc<TaskNode>, record_edges: bool) -> Registration {
+        let mut locked = self.lock_for(&node.accesses);
+
+        // Pass 1: collect predecessors from every overlapping region entry,
+        // in access-declaration order. Each predecessor is remembered with
+        // the dependence class of the (first) conflict that introduced it,
+        // so added edges can be attributed to RAW / WAR / WAW.
+        let mut preds: Vec<PredRef> = Vec::new();
+        let mut seen_pred_ids: Vec<TaskId> = Vec::new();
+        for access in node.accesses.iter() {
+            let sid = self.shard_of(access.region.id.alloc);
+            locked.shard_mut(sid).collect_preds(access, sid, &mut preds, &mut seen_pred_ids);
+        }
+
+        // Pass 2: add the edges (only live predecessors can take one).
+        let mut edges = 0usize;
+        let (mut raw_edges, mut war_edges, mut waw_edges) = (0usize, 0usize, 0usize);
+        let mut edge_list = Vec::new();
+        for pred in &preds {
+            if pred.id == node.id {
+                continue;
+            }
+            let Some(live) = &pred.live else { continue };
+            if add_edge(live, node) {
+                edges += 1;
+                match pred.dependence {
+                    Dependence::ReadAfterWrite => raw_edges += 1,
+                    Dependence::WriteAfterRead => war_edges += 1,
+                    Dependence::WriteAfterWrite => waw_edges += 1,
+                    Dependence::None => {}
+                }
+                if record_edges {
+                    edge_list.push(EdgeRecord {
+                        pred: pred.id,
+                        shard: pred.shard,
+                    });
+                }
+            }
+        }
+        node.in_edges.store(edges, Ordering::Relaxed);
+
+        // Pass 3: update the history on the *exact* region entries.
+        for access in node.accesses.iter() {
+            let sid = self.shard_of(access.region.id.alloc);
+            locked.shard_mut(sid).record_access(access, node);
+        }
+
+        Registration {
+            edges,
+            raw_edges,
+            war_edges,
+            waw_edges,
+            predecessors_seen: preds.len(),
+            edge_list,
+        }
+    }
+
+    /// Retire a completed task from the history: every live reference it
+    /// still holds in any shard is replaced by a tombstone, releasing the
+    /// node. Locks one shard at a time (retirement needs no cross-shard
+    /// atomicity), and is idempotent per task.
+    pub(crate) fn retire(&self, node: &Arc<TaskNode>) {
+        if node.accesses.is_empty() || !node.mark_retired() {
+            return;
+        }
+        // Fast path for the dominant single-access task: one shard lock, no
+        // sort, no allocation.
+        if let [access] = &*node.accesses {
+            let rid = access.region.id;
+            self.lock_shard(self.shard_of(rid.alloc))
+                .retire_region(rid, node.id);
+            return;
+        }
+        let mut rids: Vec<RegionId> = node.accesses.iter().map(|a| a.region.id).collect();
+        rids.sort_unstable_by_key(|r| (self.shard_of(r.alloc), *r));
+        rids.dedup();
+        let mut i = 0;
+        while i < rids.len() {
+            let sid = self.shard_of(rids[i].alloc);
+            let mut guard = self.lock_shard(sid);
+            while i < rids.len() && self.shard_of(rids[i].alloc) == sid {
+                guard.retire_region(rids[i], node.id);
+                i += 1;
+            }
+        }
+    }
+
+    /// All in-flight tasks that currently access a region overlapping
+    /// `region` (used by `taskwait on`). A region lives in exactly one shard.
+    pub(crate) fn tasks_touching(&self, region: &Region) -> Vec<Arc<TaskNode>> {
+        let sid = self.shard_of(region.id.alloc);
+        self.lock_shard(sid).tasks_touching(region)
+    }
+
+    /// Garbage-collect every shard (one lock at a time): drop tombstones,
+    /// completed tasks, emptied entries and their `by_alloc` ids. Called
+    /// periodically from the spawn path and from quiescent `taskwait`s to
+    /// bound memory on long-running programs. Bypasses the hit/contention
+    /// counters: those attribute lock traffic to the registration, retire
+    /// and `taskwait on` paths only, and a sweep touching every shard would
+    /// drown the signal (uniform hits, phantom contention).
+    pub(crate) fn garbage_collect(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().garbage_collect();
+        }
+    }
+
+    /// Current per-shard map sizes. Reading diagnostics leaves the
+    /// hit/contention counters untouched (see
+    /// [`ShardedTracker::garbage_collect`]).
+    pub(crate) fn diagnostics(&self) -> TrackerDiagnostics {
+        let mut regions = Vec::with_capacity(self.shards.len());
+        let mut allocs = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let guard = shard.lock();
+            regions.push(guard.entries.len());
+            allocs.push(guard.by_alloc.len());
+        }
+        TrackerDiagnostics {
+            regions_per_shard: regions,
+            allocs_per_shard: allocs,
+        }
+    }
+
+    /// Number of regions currently tracked across all shards (diagnostics;
+    /// exercised by unit tests).
+    #[allow(dead_code)]
+    pub(crate) fn tracked_regions(&self) -> usize {
+        self.diagnostics().total_regions()
+    }
+}
+
 fn push_pred(
-    preds: &mut Vec<(Arc<TaskNode>, Dependence)>,
-    seen: &mut Vec<crate::task::TaskId>,
-    t: &Arc<TaskNode>,
+    preds: &mut Vec<PredRef>,
+    seen: &mut Vec<TaskId>,
+    t: &HistoryRef,
     dependence: Dependence,
+    shard: usize,
 ) {
-    if !seen.contains(&t.id) {
-        seen.push(t.id);
-        preds.push((t.clone(), dependence));
+    let id = t.id();
+    if !seen.contains(&id) {
+        seen.push(id);
+        preds.push(PredRef {
+            id,
+            live: t.live().cloned(),
+            dependence,
+            shard,
+        });
     }
 }
 
@@ -344,6 +693,10 @@ mod tests {
         Access::new(region(alloc, chunk, range), kind)
     }
 
+    fn tracker(shards: usize) -> ShardedTracker {
+        ShardedTracker::new(shards)
+    }
+
     /// Drain a node as if it executed (without a runtime).
     fn finish(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
         complete(node)
@@ -351,15 +704,15 @@ mod tests {
 
     #[test]
     fn raw_dependence_creates_edge() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(4);
         let producer = node_with(vec![acc(1, 0, 0..100, AccessKind::Output)]);
         let consumer = node_with(vec![acc(1, 0, 0..100, AccessKind::Input)]);
 
-        let r1 = tr.register(&producer);
+        let r1 = tr.register(&producer, false);
         assert_eq!(r1.edges, 0);
         assert!(finish_registration(&producer));
 
-        let r2 = tr.register(&consumer);
+        let r2 = tr.register(&consumer, false);
         assert_eq!(r2.edges, 1);
         assert!(!finish_registration(&consumer));
         assert_eq!(consumer.task_state(), TaskState::WaitingDeps);
@@ -372,18 +725,18 @@ mod tests {
 
     #[test]
     fn war_and_waw_serialise_without_renaming() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(2);
         let reader = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
         let writer1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
         let writer2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
 
-        tr.register(&reader);
+        tr.register(&reader, false);
         finish_registration(&reader);
-        let r_w1 = tr.register(&writer1);
+        let r_w1 = tr.register(&writer1, false);
         // WAR edge from reader.
         assert_eq!(r_w1.edges, 1);
         finish_registration(&writer1);
-        let r_w2 = tr.register(&writer2);
+        let r_w2 = tr.register(&writer2, false);
         // WAW edge from writer1 only (reader history cleared by writer1).
         assert_eq!(r_w2.edges, 1);
         finish_registration(&writer2);
@@ -394,13 +747,13 @@ mod tests {
 
     #[test]
     fn independent_regions_do_not_serialise() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(3);
         let a = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
         let b = node_with(vec![acc(1, 1, 10..20, AccessKind::Output)]);
         let c = node_with(vec![acc(2, 0, 0..10, AccessKind::Output)]);
-        tr.register(&a);
-        tr.register(&b);
-        tr.register(&c);
+        tr.register(&a, false);
+        tr.register(&b, false);
+        tr.register(&c, false);
         assert!(finish_registration(&a));
         assert!(finish_registration(&b));
         assert!(finish_registration(&c));
@@ -408,14 +761,14 @@ mod tests {
 
     #[test]
     fn readers_do_not_serialise_with_each_other() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(1);
         let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
         let r1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
         let r2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
-        tr.register(&w);
+        tr.register(&w, false);
         finish_registration(&w);
-        let e1 = tr.register(&r1);
-        let e2 = tr.register(&r2);
+        let e1 = tr.register(&r1, false);
+        let e2 = tr.register(&r2, false);
         assert_eq!(e1.edges, 1);
         assert_eq!(e2.edges, 1);
         finish_registration(&r1);
@@ -426,19 +779,19 @@ mod tests {
 
     #[test]
     fn concurrent_accesses_commute_but_order_against_writers() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(2);
         let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
         let c1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Concurrent)]);
         let c2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Concurrent)]);
         let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
 
-        tr.register(&w);
+        tr.register(&w, false);
         finish_registration(&w);
-        let e1 = tr.register(&c1);
-        let e2 = tr.register(&c2);
+        let e1 = tr.register(&c1, false);
+        let e2 = tr.register(&c2, false);
         assert_eq!(e1.edges, 1, "concurrent waits for plain writer");
         assert_eq!(e2.edges, 1, "concurrent does not wait for other concurrent");
-        let er = tr.register(&r);
+        let er = tr.register(&r, false);
         assert_eq!(er.edges, 3, "reader waits for writer and both accumulators");
         finish_registration(&c1);
         finish_registration(&c2);
@@ -447,17 +800,17 @@ mod tests {
 
     #[test]
     fn overlapping_chunk_and_whole_regions_serialise() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(4);
         // Whole-array write, then chunk write, then whole read.
         let whole_w = node_with(vec![acc(1, 0, 0..100, AccessKind::Output)]);
         let chunk_w = node_with(vec![acc(1, 3, 20..30, AccessKind::Output)]);
         let whole_r = node_with(vec![acc(1, 0, 0..100, AccessKind::Input)]);
-        tr.register(&whole_w);
+        tr.register(&whole_w, false);
         finish_registration(&whole_w);
-        let e_chunk = tr.register(&chunk_w);
+        let e_chunk = tr.register(&chunk_w, false);
         assert_eq!(e_chunk.edges, 1, "chunk write depends on whole write (WAW)");
         finish_registration(&chunk_w);
-        let e_read = tr.register(&whole_r);
+        let e_read = tr.register(&whole_r, false);
         assert_eq!(
             e_read.edges, 2,
             "whole read depends on both the whole write and the chunk write"
@@ -467,7 +820,7 @@ mod tests {
 
     #[test]
     fn disjoint_chunk_writes_to_same_alloc_run_in_parallel() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(4);
         let chunks: Vec<_> = (0..8u32)
             .map(|i| {
                 node_with(vec![acc(
@@ -479,37 +832,237 @@ mod tests {
             })
             .collect();
         for c in &chunks {
-            tr.register(c);
+            tr.register(c, false);
             assert!(finish_registration(c), "chunk writes must be independent");
         }
     }
 
     #[test]
     fn completed_predecessors_do_not_create_edges() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(2);
         let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
-        tr.register(&w);
+        tr.register(&w, false);
         finish_registration(&w);
         finish(&w); // completes before the consumer is spawned
         let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
-        let reg = tr.register(&r);
+        let reg = tr.register(&r, false);
         assert_eq!(reg.edges, 0);
         assert_eq!(reg.predecessors_seen, 1);
         assert!(finish_registration(&r));
     }
 
     #[test]
+    fn retired_predecessors_are_still_seen_until_gc() {
+        let tr = tracker(2);
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w, false);
+        finish_registration(&w);
+        finish(&w);
+        // The retire path replaces the live reference with a tombstone …
+        tr.retire(&w);
+        let r1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        let reg = tr.register(&r1, false);
+        assert_eq!(reg.edges, 0, "a tombstone can take no edge");
+        assert_eq!(
+            reg.predecessors_seen, 1,
+            "a retired conflicting predecessor still counts as seen"
+        );
+        finish_registration(&r1);
+        finish(&r1);
+        tr.retire(&r1);
+        // … and garbage collection drops the tombstones.
+        tr.garbage_collect();
+        let r2 = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        let reg = tr.register(&r2, false);
+        assert_eq!(reg.predecessors_seen, 0);
+        finish_registration(&r2);
+    }
+
+    #[test]
+    fn retire_is_idempotent_and_skips_access_free_tasks() {
+        let tr = tracker(2);
+        let free = node_with(vec![]);
+        finish_registration(&free);
+        finish(&free);
+        tr.retire(&free); // no accesses: nothing to do, must not panic
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w, false);
+        finish_registration(&w);
+        finish(&w);
+        tr.retire(&w);
+        tr.retire(&w); // second retire is a no-op
+        let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
+        assert_eq!(tr.register(&r, false).predecessors_seen, 1);
+        finish_registration(&r);
+    }
+
+    #[test]
+    fn fully_retired_allocations_leave_by_alloc() {
+        // Regression test for the retire path: once every task of an
+        // allocation has retired and a GC ran, the allocation must be gone
+        // from `entries` *and* from the `by_alloc` overlap index — a stale
+        // `by_alloc` region id is a leak that also slows every future
+        // overlap scan on that shard.
+        let tr = tracker(3);
+        let nodes: Vec<_> = (0..6u64)
+            .map(|a| {
+                let w = node_with(vec![acc(100 + a, 0, 0..10, AccessKind::Output)]);
+                tr.register(&w, false);
+                finish_registration(&w);
+                w
+            })
+            .collect();
+        let diag = tr.diagnostics();
+        assert_eq!(diag.total_regions(), 6);
+        assert_eq!(diag.total_allocs(), 6);
+        assert_eq!(diag.shards(), 3);
+        for n in &nodes {
+            finish(n);
+            tr.retire(n);
+        }
+        // Tombstones keep the maps populated (deterministic counting) …
+        assert_eq!(tr.diagnostics().total_regions(), 6);
+        tr.garbage_collect();
+        // … and GC must empty both maps in every shard.
+        let diag = tr.diagnostics();
+        assert_eq!(diag.total_regions(), 0, "entries leak after full retire");
+        assert_eq!(
+            diag.total_allocs(),
+            0,
+            "by_alloc holds stale region ids after full retire"
+        );
+    }
+
+    #[test]
+    fn writer_clear_plus_gc_cleans_by_alloc_of_superseded_history() {
+        let tr = tracker(2);
+        let w1 = node_with(vec![acc(7, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w1, false);
+        finish_registration(&w1);
+        finish(&w1);
+        tr.retire(&w1);
+        // A later writer generation clears the tombstoned history in place.
+        let w2 = node_with(vec![acc(7, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w2, false);
+        finish_registration(&w2);
+        finish(&w2);
+        tr.retire(&w2);
+        tr.garbage_collect();
+        let diag = tr.diagnostics();
+        assert_eq!((diag.total_regions(), diag.total_allocs()), (0, 0));
+    }
+
+    #[test]
+    fn registration_outcome_is_shard_count_invariant() {
+        // The same program must produce identical registrations (edge count,
+        // classification, predecessors seen, and edge order) whatever the
+        // shard count — regions of one allocation live in exactly one shard.
+        let program: Vec<Vec<Access>> = vec![
+            vec![acc(11, 0, 0..64, AccessKind::Output)],
+            vec![
+                acc(11, 0, 0..64, AccessKind::Input),
+                acc(12, 0, 0..64, AccessKind::Output),
+            ],
+            vec![acc(12, 0, 0..64, AccessKind::InOut), acc(13, 0, 0..8, AccessKind::Output)],
+            vec![acc(11, 0, 0..64, AccessKind::Output)],
+            vec![
+                acc(13, 0, 0..8, AccessKind::Concurrent),
+                acc(11, 0, 0..64, AccessKind::Input),
+            ],
+        ];
+        let outcome = |shards: usize| {
+            let tr = tracker(shards);
+            let mut out = Vec::new();
+            let mut nodes = Vec::new();
+            for accesses in &program {
+                let n = node_with(accesses.clone());
+                let reg = tr.register(&n, true);
+                out.push((
+                    reg.edges,
+                    reg.raw_edges,
+                    reg.war_edges,
+                    reg.waw_edges,
+                    reg.predecessors_seen,
+                    reg.edge_list.iter().map(|e| e.pred).collect::<Vec<_>>(),
+                ));
+                finish_registration(&n);
+                nodes.push(n);
+            }
+            // Map TaskIds to per-run spawn indices so runs compare equal.
+            let index_of = |id: TaskId| nodes.iter().position(|n| n.id == id).unwrap();
+            out.into_iter()
+                .map(|(e, r, w, ww, seen, preds)| {
+                    (e, r, w, ww, seen, preds.into_iter().map(index_of).collect::<Vec<_>>())
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = outcome(1);
+        for shards in [2, 3, 7, 16] {
+            assert_eq!(outcome(shards), reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn multi_alloc_registration_spans_shards() {
+        let tr = tracker(4);
+        // Allocations 1 and 2 land in different shards; a task reading both
+        // must collect predecessors from both shards atomically.
+        assert_ne!(tr.shard_of(AllocId(1)), tr.shard_of(AllocId(2)));
+        let w1 = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let w2 = node_with(vec![acc(2, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w1, false);
+        tr.register(&w2, false);
+        finish_registration(&w1);
+        finish_registration(&w2);
+        let r = node_with(vec![
+            acc(1, 0, 0..10, AccessKind::Input),
+            acc(2, 0, 0..10, AccessKind::Input),
+        ]);
+        let reg = tr.register(&r, true);
+        assert_eq!(reg.edges, 2);
+        let shards: Vec<usize> = reg.edge_list.iter().map(|e| e.shard).collect();
+        assert_eq!(shards.len(), 2);
+        assert_ne!(shards[0], shards[1], "edges found in two distinct shards");
+        finish_registration(&r);
+    }
+
+    #[test]
+    fn shard_routing_covers_all_shards() {
+        let tr = tracker(5);
+        let mut hit = [false; 5];
+        for a in 1..=40u64 {
+            let s = tr.shard_of(AllocId(a));
+            assert!(s < 5);
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "sequential ids reach every shard");
+    }
+
+    #[test]
+    fn shard_hit_and_contention_counters_accumulate() {
+        let tr = tracker(2);
+        let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        tr.register(&w, false);
+        finish_registration(&w);
+        let hits: u64 = tr.counters().hits().iter().sum();
+        assert!(hits >= 1);
+        // Single-threaded use never contends.
+        assert_eq!(tr.counters().contention(), 0);
+    }
+
+    #[test]
     fn taskwait_on_lists_only_incomplete_tasks() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(3);
         let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
         let r = node_with(vec![acc(1, 0, 0..10, AccessKind::Input)]);
-        tr.register(&w);
+        tr.register(&w, false);
         finish_registration(&w);
-        tr.register(&r);
+        tr.register(&r, false);
         finish_registration(&r);
         let touching = tr.tasks_touching(&region(1, 9, 0..5));
         assert_eq!(touching.len(), 2);
         finish(&w);
+        tr.retire(&w);
         let touching = tr.tasks_touching(&region(1, 9, 0..5));
         assert_eq!(touching.len(), 1);
         assert_eq!(touching[0].id, r.id);
@@ -520,11 +1073,11 @@ mod tests {
 
     #[test]
     fn garbage_collect_drops_dead_entries() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(2);
         let w = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
         let w2 = node_with(vec![acc(2, 0, 0..10, AccessKind::Output)]);
-        tr.register(&w);
-        tr.register(&w2);
+        tr.register(&w, false);
+        tr.register(&w2, false);
         finish_registration(&w);
         finish_registration(&w2);
         assert_eq!(tr.tracked_regions(), 2);
@@ -538,14 +1091,14 @@ mod tests {
 
     #[test]
     fn self_dependence_is_ignored() {
-        let mut tr = DependencyTracker::new();
+        let tr = tracker(2);
         // A task that both reads and writes the same region through two
         // accesses must not depend on itself.
         let n = node_with(vec![
             acc(1, 0, 0..10, AccessKind::Input),
             acc(1, 0, 0..10, AccessKind::Output),
         ]);
-        let reg = tr.register(&n);
+        let reg = tr.register(&n, false);
         assert_eq!(reg.edges, 0);
         assert!(finish_registration(&n));
     }
@@ -583,7 +1136,8 @@ mod tests {
 
         /// Random access patterns over a handful of regions always produce an
         /// acyclic graph in which every task eventually runs (liveness), and
-        /// tasks writing the same region are totally ordered.
+        /// tasks writing the same region are totally ordered — whatever the
+        /// shard count.
         #[test]
         fn prop_random_graphs_are_live(
             specs in proptest::collection::vec(
@@ -594,14 +1148,15 @@ mod tests {
                     Just(AccessKind::Concurrent),
                 ]),
                 1..40,
-            )
+            ),
+            shards in 1usize..9,
         ) {
-            let mut tr = DependencyTracker::new();
+            let tr = tracker(shards);
             let mut nodes = Vec::new();
             let mut ready = Vec::new();
             for (chunk, kind) in specs {
                 let n = node_with(vec![acc(9, chunk, (chunk as usize) * 10..(chunk as usize + 1) * 10, kind)]);
-                tr.register(&n);
+                tr.register(&n, false);
                 if finish_registration(&n) {
                     ready.push(n.clone());
                 }
@@ -610,7 +1165,8 @@ mod tests {
             run_to_completion(nodes, ready);
         }
 
-        /// Multi-access tasks over overlapping regions also stay live.
+        /// Multi-access tasks over overlapping regions (and therefore over
+        /// multiple shards) also stay live.
         #[test]
         fn prop_multi_access_graphs_are_live(
             specs in proptest::collection::vec(
@@ -623,19 +1179,23 @@ mod tests {
                     1..3,
                 ),
                 1..25,
-            )
+            ),
+            shards in 1usize..9,
         ) {
-            let mut tr = DependencyTracker::new();
+            let tr = tracker(shards);
             let mut nodes = Vec::new();
             let mut ready = Vec::new();
             for (i, accesses) in specs.into_iter().enumerate() {
+                // Spread tasks over several allocations so registrations
+                // genuinely span shards.
+                let alloc = 7 + (i % 3) as u64;
                 let accs: Vec<Access> = accesses
                     .into_iter()
                     .enumerate()
-                    .map(|(j, (start, len, kind))| acc(7, (i * 4 + j) as u32 + 1, start..start + len, kind))
+                    .map(|(j, (start, len, kind))| acc(alloc, (i * 4 + j) as u32 + 1, start..start + len, kind))
                     .collect();
                 let n = node_with(accs);
-                tr.register(&n);
+                tr.register(&n, false);
                 if finish_registration(&n) {
                     ready.push(n.clone());
                 }

@@ -104,6 +104,7 @@ pub use access::{Access, AccessKind};
 pub use barrier::{BarrierKind, BarrierWait, TaskBarrier};
 pub use critical::CriticalSections;
 pub use error::{Error, Result};
+pub use graph::TrackerDiagnostics;
 pub use handle::{
     Accessible, Chunk, Data, PartitionedData, ReadGuard, SliceReadGuard, SliceWriteGuard, Whole,
     WriteGuard,

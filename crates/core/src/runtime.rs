@@ -16,7 +16,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::access::{Access, AccessKind};
 use crate::critical::CriticalSections;
 use crate::error::{Error, Result};
-use crate::graph::{self, DependencyTracker};
+use crate::graph::{self, ShardedTracker, TrackerDiagnostics};
 use crate::handle::{
     Accessible, Chunk, Data, PartitionedData, ReadGuard, SliceReadGuard, SliceWriteGuard, Whole,
     WriteGuard,
@@ -61,6 +61,12 @@ pub struct RuntimeConfig {
     /// Bound on the number of live versions per handle; the effective
     /// in-flight window for heap-backed types (Listing 1's ring depth `N`).
     pub rename_max_versions: usize,
+    /// Number of shards of the dependence tracker; `0` (the default) picks
+    /// `2 × workers`. Task registration and completion-retirement on
+    /// disjoint allocations contend only within a shard, so more shards
+    /// buy insertion throughput under many concurrently spawning threads
+    /// at the cost of a little fixed memory. See [`crate::graph`].
+    pub tracker_shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -77,6 +83,7 @@ impl Default for RuntimeConfig {
             rename_memory_cap: DEFAULT_RENAME_MEMORY_CAP,
             rename_pool_depth: DEFAULT_RENAME_POOL_DEPTH,
             rename_max_versions: DEFAULT_RENAME_MAX_VERSIONS,
+            tracker_shards: 0,
         }
     }
 }
@@ -133,12 +140,30 @@ impl RuntimeConfig {
         self.rename_max_versions = max_versions.max(1);
         self
     }
+
+    /// Set the number of dependence-tracker shards explicitly; `0` restores
+    /// the default of `2 × workers`. Shard count 1 reproduces the historical
+    /// single-lock tracker, which the equivalence test suite uses as its
+    /// reference.
+    pub fn with_tracker_shards(mut self, shards: usize) -> Self {
+        self.tracker_shards = shards;
+        self
+    }
+
+    /// The shard count a runtime built from this configuration will use.
+    pub fn effective_tracker_shards(&self) -> usize {
+        if self.tracker_shards == 0 {
+            (self.workers * 2).max(1)
+        } else {
+            self.tracker_shards
+        }
+    }
 }
 
 pub(crate) struct RuntimeInner {
     pub(crate) config: RuntimeConfig,
     pub(crate) sched: SchedState,
-    pub(crate) tracker: Mutex<DependencyTracker>,
+    pub(crate) tracker: ShardedTracker,
     pub(crate) root_children: Arc<ChildTracker>,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) shutdown: AtomicBool,
@@ -162,15 +187,12 @@ impl RuntimeInner {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         node.parent_children.add_child();
 
-        let registration = {
-            let mut tracker = self.tracker.lock();
-            let reg = tracker.register(&node);
-            let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
-            if count.is_multiple_of(GC_PERIOD) {
-                tracker.garbage_collect();
-            }
-            reg
-        };
+        let trace_enabled = self.trace.is_enabled();
+        let registration = self.tracker.register(&node, trace_enabled);
+        let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if count.is_multiple_of(GC_PERIOD) {
+            self.tracker.garbage_collect();
+        }
         self.stats
             .add(StatField::EdgesAdded, registration.edges as u64);
         self.stats
@@ -183,13 +205,21 @@ impl RuntimeInner {
             StatField::DependencesSeen,
             registration.predecessors_seen as u64,
         );
-        if self.trace.is_enabled() {
+        if trace_enabled {
             self.trace.record(TraceEvent::Spawned {
                 task: id,
                 name: node.name.clone(),
                 at_ns: self.trace.now_ns(),
                 deps: registration.edges,
             });
+            for edge in &registration.edge_list {
+                self.trace.record(TraceEvent::Edge {
+                    task: id,
+                    from: edge.pred,
+                    shard: edge.shard,
+                    at_ns: self.trace.now_ns(),
+                });
+            }
             for ev in &renames {
                 self.trace.record(TraceEvent::Renamed {
                     task: id,
@@ -255,7 +285,7 @@ impl Runtime {
         let sched = SchedState::new(config.policy, config.idle, stealers);
         let inner = Arc::new(RuntimeInner {
             sched,
-            tracker: Mutex::new(DependencyTracker::new()),
+            tracker: ShardedTracker::new(config.effective_tracker_shards()),
             root_children: ChildTracker::new(),
             in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -288,6 +318,27 @@ impl Runtime {
     /// The scheduling policy in use.
     pub fn policy(&self) -> SchedulerPolicy {
         self.inner.config.policy
+    }
+
+    /// Number of dependence-tracker shards in use.
+    pub fn tracker_shards(&self) -> usize {
+        self.inner.tracker.num_shards()
+    }
+
+    /// Garbage-collect the dependence tracker now: drop retired-task
+    /// tombstones, entries they emptied, and the `by_alloc` overlap-index
+    /// ids of dropped entries, shard by shard. This happens automatically
+    /// every few hundred spawns and at every quiescent [`Runtime::taskwait`];
+    /// the explicit entry point exists for leak tests and long-idle services.
+    pub fn tracker_gc(&self) {
+        self.inner.tracker.garbage_collect();
+    }
+
+    /// Sizes of the tracker's per-shard maps right now. After a
+    /// [`Runtime::taskwait`] with no other threads spawning, every count is
+    /// zero — anything else is a retire-path leak.
+    pub fn tracker_diagnostics(&self) -> TrackerDiagnostics {
+        self.inner.tracker.diagnostics()
     }
 
     /// Register a value with the runtime, obtaining a dependence handle.
@@ -378,6 +429,10 @@ impl Runtime {
         {
             backoff(&mut spins);
         }
+        // Quiescence: every task has completed and retired, so this sweep
+        // deterministically drops the tombstoned history — a drained runtime
+        // tracks nothing (see `Runtime::tracker_diagnostics`).
+        self.inner.tracker.garbage_collect();
     }
 
     /// Wait only for the in-flight tasks that access (a region overlapping)
@@ -386,7 +441,7 @@ impl Runtime {
     pub fn taskwait_on(&self, handle: &impl Accessible) {
         self.inner.stats.add(StatField::TaskwaitOns, 1);
         for region in handle.sync_regions() {
-            let touching = self.inner.tracker.lock().tasks_touching(&region);
+            let touching = self.inner.tracker.tasks_touching(&region);
             for task in touching {
                 let mut spins = 0u32;
                 while !task.is_completed() {
@@ -404,6 +459,7 @@ impl Runtime {
         while !self.inner.quiescent() {
             backoff(&mut spins);
         }
+        self.inner.tracker.garbage_collect();
     }
 
     /// Execute `f` under the named critical section (the `#pragma omp
@@ -488,6 +544,9 @@ impl Runtime {
             sched_local_wakeups: s.local_wakeups.load(Ordering::Relaxed),
             sched_global_wakeups: s.global_wakeups.load(Ordering::Relaxed),
             sched_priority_pops: s.priority_pops.load(Ordering::Relaxed),
+            tracker_shards: self.inner.tracker.num_shards(),
+            tracker_shard_hits: self.inner.tracker.counters().hits(),
+            tracker_lock_contention: self.inner.tracker.counters().contention(),
         }
     }
 
@@ -1021,7 +1080,7 @@ impl<'a> TaskContext<'a> {
         self.inner.stats.add(StatField::TaskwaitOns, 1);
         let helper_id = self.worker.unwrap_or(0);
         for region in handle.sync_regions() {
-            let touching = self.inner.tracker.lock().tasks_touching(&region);
+            let touching = self.inner.tracker.tasks_touching(&region);
             for task in touching {
                 let mut spins = 0u32;
                 while !task.is_completed() {

@@ -44,6 +44,52 @@ impl StatCounters {
     }
 }
 
+/// Counters of the sharded dependence tracker: one hit counter per shard
+/// plus a global contention counter. Owned by the tracker router
+/// ([`crate::graph`]) and snapshotted into [`RuntimeStats`].
+///
+/// Shard locks are acquired try-lock-first: a successful `try_lock` is an
+/// uncontended hit, a failed one bumps `lock_contention` before blocking.
+/// `lock_contention / sum(shard_hits)` is therefore the fraction of tracker
+/// accesses that had to wait — the number sharding is meant to drive to zero.
+#[derive(Debug)]
+pub(crate) struct TrackerCounters {
+    shard_hits: Box<[AtomicU64]>,
+    lock_contention: AtomicU64,
+}
+
+impl TrackerCounters {
+    pub(crate) fn new(shards: usize) -> Self {
+        TrackerCounters {
+            shard_hits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            lock_contention: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an acquisition of `shard`'s lock.
+    pub(crate) fn hit(&self, shard: usize) {
+        self.shard_hits[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a shard lock that was held by another thread at acquisition.
+    pub(crate) fn contended(&self) {
+        self.lock_contention.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-shard hit counts.
+    pub(crate) fn hits(&self) -> Vec<u64> {
+        self.shard_hits
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total contended acquisitions.
+    pub(crate) fn contention(&self) -> u64 {
+        self.lock_contention.load(Ordering::Relaxed)
+    }
+}
+
 /// Names of the counters tracked by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StatField {
@@ -127,6 +173,19 @@ pub struct RuntimeStats {
     pub sched_global_wakeups: u64,
     /// Tasks that went through the priority heap.
     pub sched_priority_pops: u64,
+    /// Number of shards of the dependence tracker (see
+    /// [`RuntimeConfig::with_tracker_shards`](crate::RuntimeConfig::with_tracker_shards)).
+    pub tracker_shards: usize,
+    /// Shard-lock acquisitions per tracker shard (registration, completion
+    /// retirement and `taskwait on` lookups), indexed by shard. Renamed
+    /// versions carry fresh allocation ids, so a balanced workload shows a
+    /// near-uniform distribution here.
+    pub tracker_shard_hits: Vec<u64>,
+    /// Tracker shard-lock acquisitions that found the lock held by another
+    /// thread (the try-lock failed and the caller blocked). With one shard
+    /// this counts every spawn/retire collision; with enough shards it should
+    /// stay near zero for tasks touching disjoint allocations.
+    pub tracker_lock_contention: u64,
 }
 
 impl RuntimeStats {
@@ -167,6 +226,17 @@ impl RuntimeStats {
     pub fn tasks_in_flight(&self) -> u64 {
         self.tasks_spawned.saturating_sub(self.tasks_executed)
     }
+
+    /// Fraction of tracker shard-lock acquisitions that had to wait for
+    /// another thread. `None` when the tracker was never touched.
+    pub fn tracker_contention_rate(&self) -> Option<f64> {
+        let total: u64 = self.tracker_shard_hits.iter().sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.tracker_lock_contention as f64 / total as f64)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +252,24 @@ mod tests {
         assert_eq!(c.get(StatField::TasksSpawned), 5);
         assert_eq!(c.get(StatField::EdgesAdded), 7);
         assert_eq!(c.get(StatField::TasksExecuted), 0);
+    }
+
+    #[test]
+    fn tracker_counters_and_contention_rate() {
+        let c = TrackerCounters::new(4);
+        c.hit(0);
+        c.hit(0);
+        c.hit(3);
+        c.contended();
+        assert_eq!(c.hits(), vec![2, 0, 0, 1]);
+        assert_eq!(c.contention(), 1);
+        let s = RuntimeStats {
+            tracker_shard_hits: vec![2, 0, 0, 1],
+            tracker_lock_contention: 1,
+            ..Default::default()
+        };
+        assert!((s.tracker_contention_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(RuntimeStats::default().tracker_contention_rate(), None);
     }
 
     #[test]

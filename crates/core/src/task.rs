@@ -6,7 +6,7 @@
 //! count of unresolved predecessors, and the list of successors to wake up on
 //! completion.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -138,6 +138,10 @@ pub(crate) struct TaskNode {
     /// access that resolved against a versioned handle); drained exactly
     /// once on completion.
     pub tickets: Mutex<Vec<Box<dyn VersionTicket>>>,
+    /// Set once the completion path has retired this task from the sharded
+    /// dependence tracker, making retirement idempotent (see
+    /// [`TaskNode::mark_retired`]).
+    pub retired: AtomicBool,
 }
 
 // Safety: `TaskNode` stops being auto-Send/Sync because each version-bound
@@ -173,7 +177,15 @@ impl TaskNode {
             state: AtomicU8::new(TaskState::WaitingDeps as u8),
             in_edges: AtomicUsize::new(0),
             tickets: Mutex::new(Vec::new()),
+            retired: AtomicBool::new(false),
         })
+    }
+
+    /// Claim the right to retire this task from the dependence history.
+    /// Returns `true` exactly once; later callers see `false` and skip the
+    /// shard walk.
+    pub(crate) fn mark_retired(&self) -> bool {
+        !self.retired.swap(true, Ordering::AcqRel)
     }
 
     /// Drain the version-release hooks (called once, at completion).
@@ -282,6 +294,14 @@ mod tests {
         assert_eq!(c.live_children(), 1);
         c.child_done();
         assert_eq!(c.live_children(), 0);
+    }
+
+    #[test]
+    fn mark_retired_claims_exactly_once() {
+        let n = dummy_node();
+        assert!(n.mark_retired());
+        assert!(!n.mark_retired());
+        assert!(!n.mark_retired());
     }
 
     #[test]

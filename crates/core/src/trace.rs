@@ -34,6 +34,19 @@ pub enum TraceEvent {
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },
+    /// A dependence edge was added at registration time, `from` (the
+    /// predecessor) → `task` (the registering successor).
+    Edge {
+        /// The successor task being registered.
+        task: TaskId,
+        /// The predecessor the edge points from.
+        from: TaskId,
+        /// Index of the dependence-tracker shard the conflict was found in
+        /// (see [`crate::graph`]).
+        shard: usize,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
     /// An `output` access of a task renamed a versioned handle (or one chunk
     /// of a versioned partition) to a fresh data version (see
     /// [`crate::rename`]).
@@ -80,6 +93,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Spawned { task, .. }
             | TraceEvent::Ready { task, .. }
+            | TraceEvent::Edge { task, .. }
             | TraceEvent::Renamed { task, .. }
             | TraceEvent::Started { task, .. }
             | TraceEvent::Finished { task, .. } => *task,
@@ -91,6 +105,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Spawned { at_ns, .. }
             | TraceEvent::Ready { at_ns, .. }
+            | TraceEvent::Edge { at_ns, .. }
             | TraceEvent::Renamed { at_ns, .. }
             | TraceEvent::Started { at_ns, .. }
             | TraceEvent::Finished { at_ns, .. } => *at_ns,
@@ -241,7 +256,7 @@ impl TraceRecorder {
                         ));
                     }
                 }
-                TraceEvent::Ready { .. } | TraceEvent::Renamed { .. } => {}
+                TraceEvent::Ready { .. } | TraceEvent::Edge { .. } | TraceEvent::Renamed { .. } => {}
             }
         }
         out.push(']');
@@ -292,6 +307,27 @@ mod tests {
         assert_eq!(snap[0].task(), tid(1));
         assert_eq!(snap[0].at_ns(), 1);
         assert_eq!(snap[1].at_ns(), 2);
+    }
+
+    #[test]
+    fn edge_event_carries_shard_and_endpoints() {
+        let r = TraceRecorder::new(true);
+        r.record(TraceEvent::Edge {
+            task: tid(2),
+            from: tid(1),
+            shard: 3,
+            at_ns: 7,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap[0].task(), tid(2));
+        assert_eq!(snap[0].at_ns(), 7);
+        match &snap[0] {
+            TraceEvent::Edge { from, shard, .. } => {
+                assert_eq!(*from, tid(1));
+                assert_eq!(*shard, 3);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

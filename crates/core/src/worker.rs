@@ -116,6 +116,13 @@ pub(crate) fn execute_task(
         inner.sched.push_wakeup(succ, deque);
     }
 
+    // Retire the task's dependence history through the sharded router:
+    // its live references become tombstones under the owning shards' locks
+    // only, so completions on disjoint allocations never contend (and the
+    // node — closure, successors, tickets — is released now, not at the
+    // next garbage collection).
+    inner.tracker.retire(&node);
+
     inner.stats.add(StatField::TasksExecuted, 1);
     node.parent_children.child_done();
     inner.in_flight.fetch_sub(1, Ordering::SeqCst);
