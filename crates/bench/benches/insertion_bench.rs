@@ -1,0 +1,87 @@
+//! Criterion microbenchmark of the task-insertion hot path: register+retire
+//! throughput for single-access tasks, with the dependence tracker's
+//! optimistic (gate-CAS) fast path against the forced-locked mutex path, at
+//! 1 and 8 concurrently spawning threads.
+//!
+//! Each measured iteration spawns a batch of empty-bodied tasks, every task
+//! declaring exactly one `output` access on one of a small pool of plain
+//! cells (so registration does real history work — the previous writer
+//! generation is found, superseded and eventually retired — while the shard
+//! routing stays spread). The `taskwait` at the end of a batch also drains
+//! the retire path, so the numbers cover the full register→execute→retire
+//! round trip that bounds fine-grained workloads like the h264dec
+//! macroblock loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ompss::{Data, Runtime, RuntimeConfig};
+
+/// Cells per spawner: enough to spread over every shard and keep
+/// register/retire collisions (fast-path fallbacks) rare.
+const CELLS: usize = 64;
+/// Tasks per measured batch, per spawner thread.
+const TASKS: usize = 500;
+
+fn runtime(fast_path: bool) -> Runtime {
+    Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_tracker_shards(8)
+            .with_tracker_fast_path(fast_path),
+    )
+}
+
+fn spawn_batch(rt: &Runtime, cells: &[Data<u64>]) {
+    for i in 0..TASKS {
+        let c = cells[i % cells.len()].clone();
+        rt.task().output(&c).spawn(move |ctx| {
+            *ctx.write(&c) = i as u64;
+        });
+    }
+}
+
+fn bench_single_spawner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insertion/1thread");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (label, fast) in [("locked", false), ("optimistic", true)] {
+        let rt = runtime(fast);
+        let cells: Vec<Data<u64>> = (0..CELLS).map(|_| rt.data(0u64)).collect();
+        group.bench_function(format!("register_retire_x{TASKS}/{label}"), |b| {
+            b.iter(|| {
+                spawn_batch(&rt, &cells);
+                rt.taskwait();
+            })
+        });
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_eight_spawners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insertion/8threads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (label, fast) in [("locked", false), ("optimistic", true)] {
+        let rt = runtime(fast);
+        let per_thread: Vec<Vec<Data<u64>>> = (0..8)
+            .map(|_| (0..CELLS).map(|_| rt.data(0u64)).collect())
+            .collect();
+        group.bench_function(format!("register_retire_x{}/{label}", TASKS * 8), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for cells in &per_thread {
+                        let rt = &rt;
+                        scope.spawn(move || spawn_batch(rt, cells));
+                    }
+                });
+                rt.taskwait();
+            })
+        });
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(insertion_benches, bench_single_spawner, bench_eight_spawners);
+criterion_main!(insertion_benches);

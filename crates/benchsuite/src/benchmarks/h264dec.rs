@@ -546,6 +546,32 @@ mod tests {
         let seq = run_seq(&p);
         assert_eq!(run_ompss(&p, &rt), seq);
         let stats = rt.stats();
+        // Every frame rebinds the inter-stage buffers: either to a freshly
+        // renamed version (a consumer still held the old one) or — when the
+        // previous round had fully retired — by eliding the rename and
+        // overwriting in place. Both decouple the iterations.
+        assert!(
+            (stats.renames + stats.renames_elided) as usize >= p.video.frames,
+            "each frame renames (or elides on) the inter-stage buffers, got {} renames + {} elided",
+            stats.renames,
+            stats.renames_elided
+        );
+    }
+
+    #[test]
+    fn elision_disabled_renames_every_rebinding() {
+        // With first-write elision off, every decoupled `output` rebinding
+        // must allocate (or recycle) a version — the pre-elision behaviour.
+        let p = Params::small();
+        let rt = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_rename_elision(false),
+        );
+        let seq = run_seq(&p);
+        assert_eq!(run_ompss(&p, &rt), seq);
+        let stats = rt.stats();
+        assert_eq!(stats.renames_elided, 0);
         assert!(
             stats.renames as usize >= p.video.frames,
             "each frame renames the inter-stage buffers, got {} renames",

@@ -210,7 +210,13 @@ mod tests {
         assert_eq!(run_ompss_pipelined(&p, &rt), seq);
         let stats = rt.stats();
         assert_eq!(stats.war_edges + stats.waw_edges, 0);
-        assert!(stats.chunk_renames > 0, "bands renamed per chunk");
+        // Re-written bands are decoupled per chunk: renamed while the
+        // previous round is in flight, elided (overwritten in place) once it
+        // has fully retired — either way no false dependence arises.
+        assert!(
+            stats.chunk_renames + stats.renames_elided > 0,
+            "bands renamed (or elided) per chunk"
+        );
     }
 
     #[test]

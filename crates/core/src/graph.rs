@@ -46,6 +46,38 @@
 //! outcome — predecessors discovered, edges added, and their order — is
 //! identical for every shard count; `tests/tracker_equivalence.rs` pins this.
 //!
+//! ## The optimistic fast path
+//!
+//! Most tasks declare one or two accesses on a single allocation (renaming
+//! makes this the steady state: every version is a fresh allocation), so the
+//! dominant registration touches exactly one shard. For that case each shard
+//! carries a seqlock-style **sequence gate** (`AtomicU64`; even = quiescent,
+//! odd = a mutator holds the shard): a single-shard registration publishes
+//! itself with **one CAS** on the gate — no mutex, no blocking — walks the
+//! shard history to discover its RAW/WAR/WAW predecessors exactly as the
+//! locked path would, records its accesses, and releases the gate with one
+//! store. Per-shard scratch buffers make the steady-state fast path
+//! allocation-free. The CAS either succeeds immediately or the registration
+//! **falls back** to the mutex path; fallbacks happen on
+//!
+//! * contention (another registration, retirement or `taskwait on` lookup
+//!   holds the shard),
+//! * multi-allocation spans (accesses mapping to more than one shard), and
+//! * garbage collection in progress (GC locks every shard, which holds every
+//!   gate odd for the duration of the sweep).
+//!
+//! The mutex path *also* acquires the gate (after the mutex, waiting out at
+//! most one short fast-path publication), so the gate is the single point of
+//! mutual exclusion per shard and both paths mutate the same history maps —
+//! which is why the edge multiset is byte-identical between the optimistic
+//! and the forced-locked configuration
+//! ([`RuntimeConfig::with_tracker_fast_path`](crate::RuntimeConfig::with_tracker_fast_path));
+//! `tests/tracker_equivalence.rs` pins that too. Hits and fallbacks are
+//! counted (`tracker_fast_path_hits` / `tracker_fast_path_fallbacks` in
+//! [`RuntimeStats`](crate::RuntimeStats)), and traced edges carry a
+//! `fast_path` flag. Completion retirement of single-access tasks uses the
+//! same single-CAS protocol.
+//!
 //! ## Retirement
 //!
 //! When a task completes, the worker retires it through the router: each of
@@ -61,8 +93,9 @@
 //!
 //! [`crate::rename`]: crate::rename
 
+use std::cell::UnsafeCell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
@@ -71,6 +104,40 @@ use crate::access::{Access, AccessKind, Dependence};
 use crate::region::{AllocId, Region, RegionId};
 use crate::stats::TrackerCounters;
 use crate::task::{TaskId, TaskNode, TaskState};
+
+/// A cheap multiply–xorshift hasher for the tracker's id-keyed maps.
+/// Allocation and region ids are small sequential counters minted by the
+/// runtime itself (never attacker-controlled), so SipHash's DoS resistance
+/// buys nothing here while its latency sits directly on the task-insertion
+/// hot path — every registration performs several map operations per access.
+#[derive(Default, Clone)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the id key types, which are u64/u32).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Golden-ratio multiply + xorshift: sequential ids spread over the
+        // whole table.
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+type IdBuildHasher = std::hash::BuildHasherDefault<IdHasher>;
 
 /// One in-flight (or retired) access recorded in a region's history.
 enum HistoryRef {
@@ -142,10 +209,15 @@ struct PredRef {
 /// (the [`ShardedTracker`] router) to hold this shard's lock.
 #[derive(Default)]
 pub(crate) struct TrackerShard {
-    entries: HashMap<RegionId, RegionEntry>,
+    entries: HashMap<RegionId, RegionEntry, IdBuildHasher>,
     /// All region ids currently tracked per allocation, used for overlap
     /// scans.
-    by_alloc: HashMap<AllocId, Vec<RegionId>>,
+    by_alloc: HashMap<AllocId, Vec<RegionId>, IdBuildHasher>,
+    /// Scratch buffers reused by the optimistic fast path so the steady-state
+    /// single-shard registration allocates nothing. Only ever touched while
+    /// the shard's gate is held (exclusive access), and always left empty.
+    scratch_preds: Vec<PredRef>,
+    scratch_seen: Vec<TaskId>,
 }
 
 impl TrackerShard {
@@ -158,11 +230,21 @@ impl TrackerShard {
         preds: &mut Vec<PredRef>,
         seen: &mut Vec<TaskId>,
     ) {
-        for rid in self.overlapping_ids(&access.region) {
-            let entry = match self.entries.get(&rid) {
+        // Iterate the allocation's region ids in place (same order as
+        // `overlapping_ids`, without materialising the id list — this runs
+        // once per access on the insertion hot path).
+        let Some(ids) = self.by_alloc.get(&access.region.id.alloc) else {
+            return;
+        };
+        for rid in ids {
+            let entry = match self.entries.get(rid) {
                 Some(e) => e,
                 None => continue,
             };
+            match &entry.region {
+                Some(r) if r.overlaps(&access.region) => {}
+                _ => continue,
+            }
             let later = access.kind;
             // Statistics classification. This deliberately diverges from
             // `access::classify` for read-modify-writes: an `inout` (or
@@ -327,6 +409,9 @@ pub(crate) struct Registration {
     /// shard the conflict was found in. Populated only when the caller asked
     /// for it (tracing enabled).
     pub edge_list: Vec<EdgeRecord>,
+    /// Whether this registration went through the optimistic (gate-CAS)
+    /// single-shard fast path rather than the mutex path.
+    pub fast_path: bool,
 }
 
 /// One added dependence edge, as reported to the trace.
@@ -348,6 +433,12 @@ pub struct TrackerDiagnostics {
     pub regions_per_shard: Vec<usize>,
     /// Allocations currently indexed in `by_alloc`, per shard.
     pub allocs_per_shard: Vec<usize>,
+    /// Registrations that went through the optimistic single-shard fast path
+    /// (monotonic; see the module docs).
+    pub fast_path_hits: u64,
+    /// Registrations that wanted the fast path but fell back to the mutex
+    /// path (contention, multi-allocation span, or GC in progress).
+    pub fast_path_fallbacks: u64,
 }
 
 impl TrackerDiagnostics {
@@ -367,22 +458,172 @@ impl TrackerDiagnostics {
     }
 }
 
+/// One shard cell of the tracker: the history data plus the two-tier
+/// exclusion protecting it.
+///
+/// * `gate` is the seqlock-style sequence counter and the **single point of
+///   mutual exclusion**: even = quiescent, odd = some mutator (fast path or
+///   mutex path) owns the shard. The optimistic fast path acquires it with
+///   one CAS and never blocks (CAS failure → fallback).
+/// * `queue` is the blocking tier for the mutex path: it serialises slow
+///   acquirers so that, once a thread holds `queue`, the only competitor for
+///   the gate is a short fast-path publication — the gate spin is bounded.
+///
+/// All access to `data` — reads included — happens with the gate held odd.
+struct ShardSlot {
+    gate: AtomicU64,
+    queue: Mutex<()>,
+    data: UnsafeCell<TrackerShard>,
+}
+
+/// Flag bit in the gate word set by a mutex-path acquirer while it waits:
+/// fast-path publications refuse while it is set, so the (single — the
+/// queue mutex serialises slow acquirers) waiter cannot be starved by a
+/// stream of fast publications. The sequence occupies the remaining bits.
+const GATE_WAITER: u64 = 1 << 63;
+
+// Safety: `data` is only ever accessed while the shard's gate is held odd
+// (acquired with an Acquire CAS, released with a Release store), which makes
+// every access exclusive; `TrackerShard` itself is `Send` (task nodes are
+// `Send + Sync`).
+unsafe impl Sync for ShardSlot {}
+
+impl ShardSlot {
+    fn new() -> Self {
+        ShardSlot {
+            gate: AtomicU64::new(0),
+            queue: Mutex::new(()),
+            data: UnsafeCell::new(TrackerShard::default()),
+        }
+    }
+
+    /// Spin until the gate is acquired. Callers hold `queue`, so at most one
+    /// thread runs this per shard at a time; it first raises [`GATE_WAITER`],
+    /// which makes every new fast-path publication fall back, so the wait is
+    /// bounded by the one publication already in flight (the fast path never
+    /// blocks while holding the gate).
+    fn acquire_gate(&self) {
+        self.gate.fetch_or(GATE_WAITER, Ordering::Relaxed);
+        let mut spins = 0u32;
+        loop {
+            let seq = self.gate.load(Ordering::Relaxed);
+            if seq & 1 == 0
+                && self
+                    .gate
+                    .compare_exchange_weak(
+                        seq,
+                        (seq & !GATE_WAITER) + 1,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                return;
+            }
+            if spins < 64 {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Try to acquire the gate for one non-blocking fast-path publication.
+    /// Succeeds only when the gate is free *and* no mutex-path acquirer is
+    /// waiting; the returned guard releases the gate on drop (so a panic
+    /// mid-publication cannot wedge the shard), and dereferences to the
+    /// shard data.
+    fn try_fast_gate(&self) -> Option<FastGate<'_>> {
+        let seq = self.gate.load(Ordering::Relaxed);
+        if seq & 1 != 0 || seq & GATE_WAITER != 0 {
+            return None;
+        }
+        self.gate
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()?;
+        Some(FastGate { slot: self })
+    }
+}
+
+/// Exclusive access to one shard through the optimistic tier: holds only the
+/// gate (odd), acquired with a single CAS. Dropping releases it.
+struct FastGate<'a> {
+    slot: &'a ShardSlot,
+}
+
+impl std::ops::Deref for FastGate<'_> {
+    type Target = TrackerShard;
+    fn deref(&self) -> &TrackerShard {
+        // Safety: the gate is held odd for the guard's lifetime.
+        unsafe { &*self.slot.data.get() }
+    }
+}
+
+impl std::ops::DerefMut for FastGate<'_> {
+    fn deref_mut(&mut self) -> &mut TrackerShard {
+        // Safety: as above; gate exclusivity makes the access unique.
+        unsafe { &mut *self.slot.data.get() }
+    }
+}
+
+impl Drop for FastGate<'_> {
+    fn drop(&mut self) {
+        // Bumps odd → even; a concurrently raised GATE_WAITER bit survives.
+        self.slot.gate.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Exclusive access to one shard through the blocking (mutex) tier: holds
+/// the queue mutex *and* the gate. Dropping releases the gate (bumping the
+/// sequence back to even) before the queue.
+struct ShardGuard<'a> {
+    slot: &'a ShardSlot,
+    _queue: MutexGuard<'a, ()>,
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = TrackerShard;
+    fn deref(&self) -> &TrackerShard {
+        // Safety: the gate is held for the guard's lifetime.
+        unsafe { &*self.slot.data.get() }
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut TrackerShard {
+        // Safety: as above, and the guard is unique (gate + queue held).
+        unsafe { &mut *self.slot.data.get() }
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.gate.fetch_add(1, Ordering::Release);
+    }
+}
+
 /// The sharded dependence tracker: routes every allocation to one
 /// [`TrackerShard`] and coordinates multi-shard registrations (canonical
-/// lock order) and the completion retire path. See the module docs.
+/// lock order), the optimistic single-shard fast path, and the completion
+/// retire path. See the module docs.
 pub(crate) struct ShardedTracker {
-    shards: Box<[Mutex<TrackerShard>]>,
+    shards: Box<[ShardSlot]>,
     counters: TrackerCounters,
+    /// Whether single-shard registrations may take the optimistic gate-CAS
+    /// path. `false` forces every registration through the mutex path (the
+    /// equivalence-suite reference configuration).
+    fast_path: bool,
 }
 
 /// The shard locks one registration holds: the allocation-free singleton
 /// case stays on the allocation-free fast path.
 enum LockedShards<'a> {
     /// Every access maps to this one shard.
-    One(usize, MutexGuard<'a, TrackerShard>),
+    One(usize, ShardGuard<'a>),
     /// Canonically ordered shard indices with their guards (parallel
     /// vectors); also the empty no-access case.
-    Many(Vec<usize>, Vec<MutexGuard<'a, TrackerShard>>),
+    Many(Vec<usize>, Vec<ShardGuard<'a>>),
 }
 
 impl LockedShards<'_> {
@@ -403,11 +644,12 @@ impl LockedShards<'_> {
 }
 
 impl ShardedTracker {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, fast_path: bool) -> Self {
         assert!(shards >= 1, "the tracker needs at least one shard");
         ShardedTracker {
-            shards: (0..shards).map(|_| Mutex::new(TrackerShard::default())).collect(),
+            shards: (0..shards).map(|_| ShardSlot::new()).collect(),
             counters: TrackerCounters::new(shards),
+            fast_path,
         }
     }
 
@@ -428,16 +670,46 @@ impl ShardedTracker {
         &self.counters
     }
 
-    /// Lock one shard, try-lock-first so contended acquisitions are counted.
-    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, TrackerShard> {
+    /// Lock one shard through the blocking tier, try-lock-first so contended
+    /// acquisitions are counted, then acquire the gate (waiting out at most
+    /// one fast-path publication).
+    fn lock_shard(&self, shard: usize) -> ShardGuard<'_> {
         self.counters.hit(shard);
-        match self.shards[shard].try_lock() {
+        self.lock_shard_uncounted(shard)
+    }
+
+    /// As [`ShardedTracker::lock_shard`] but without touching the hit
+    /// counter (GC sweeps and diagnostics reads would drown the signal).
+    fn lock_shard_uncounted(&self, shard: usize) -> ShardGuard<'_> {
+        let slot = &self.shards[shard];
+        let queue = match slot.queue.try_lock() {
             Some(guard) => guard,
             None => {
                 self.counters.contended();
-                self.shards[shard].lock()
+                slot.queue.lock()
             }
+        };
+        slot.acquire_gate();
+        ShardGuard {
+            slot,
+            _queue: queue,
         }
+    }
+
+    /// Try to register `node` through the optimistic fast path: all accesses
+    /// on one shard, whose gate is free right now. Returns `None` (and
+    /// mutates nothing) when the registration must take the mutex path.
+    fn try_register_fast(&self, node: &Arc<TaskNode>, record_edges: bool) -> Option<Registration> {
+        let mut shards = node.accesses.iter().map(|a| self.shard_of(a.region.id.alloc));
+        let sid = shards.next()?;
+        if !shards.all(|s| s == sid) {
+            return None; // multi-allocation span: canonical-order mutex path
+        }
+        // Gate held (or a mutator/GC/waiter present → fallback); the guard
+        // grants exclusive access and releases on drop, panics included.
+        let mut gate = self.shards[sid].try_fast_gate()?;
+        self.counters.hit(sid);
+        Some(register_single_shard(&mut gate, sid, node, record_edges))
     }
 
     /// Lock every shard the accesses touch, in canonical (ascending index)
@@ -472,6 +744,15 @@ impl ShardedTracker {
     /// overlapping allocations. `record_edges` asks for [`EdgeRecord`]s (only
     /// the tracing path wants them).
     pub(crate) fn register(&self, node: &Arc<TaskNode>, record_edges: bool) -> Registration {
+        if self.fast_path && !node.accesses.is_empty() {
+            match self.try_register_fast(node, record_edges) {
+                Some(registration) => {
+                    self.counters.fast_hit();
+                    return registration;
+                }
+                None => self.counters.fast_fallback(),
+            }
+        }
         let mut locked = self.lock_for(&node.accesses);
 
         // Pass 1: collect predecessors from every overlapping region entry,
@@ -486,30 +767,8 @@ impl ShardedTracker {
         }
 
         // Pass 2: add the edges (only live predecessors can take one).
-        let mut edges = 0usize;
-        let (mut raw_edges, mut war_edges, mut waw_edges) = (0usize, 0usize, 0usize);
-        let mut edge_list = Vec::new();
-        for pred in &preds {
-            if pred.id == node.id {
-                continue;
-            }
-            let Some(live) = &pred.live else { continue };
-            if add_edge(live, node) {
-                edges += 1;
-                match pred.dependence {
-                    Dependence::ReadAfterWrite => raw_edges += 1,
-                    Dependence::WriteAfterRead => war_edges += 1,
-                    Dependence::WriteAfterWrite => waw_edges += 1,
-                    Dependence::None => {}
-                }
-                if record_edges {
-                    edge_list.push(EdgeRecord {
-                        pred: pred.id,
-                        shard: pred.shard,
-                    });
-                }
-            }
-        }
+        let (edges, raw_edges, war_edges, waw_edges, edge_list) =
+            add_pred_edges(&preds, node, record_edges);
         node.in_edges.store(edges, Ordering::Relaxed);
 
         // Pass 3: update the history on the *exact* region entries.
@@ -525,6 +784,7 @@ impl ShardedTracker {
             waw_edges,
             predecessors_seen: preds.len(),
             edge_list,
+            fast_path: false,
         }
     }
 
@@ -536,12 +796,20 @@ impl ShardedTracker {
         if node.accesses.is_empty() || !node.mark_retired() {
             return;
         }
-        // Fast path for the dominant single-access task: one shard lock, no
-        // sort, no allocation.
+        // Fast path for the dominant single-access task: one shard, no sort,
+        // no allocation — and, when the gate is free, no mutex either (the
+        // same single-CAS protocol as the registration fast path).
         if let [access] = &*node.accesses {
             let rid = access.region.id;
-            self.lock_shard(self.shard_of(rid.alloc))
-                .retire_region(rid, node.id);
+            let sid = self.shard_of(rid.alloc);
+            if self.fast_path {
+                if let Some(mut gate) = self.shards[sid].try_fast_gate() {
+                    self.counters.hit(sid);
+                    gate.retire_region(rid, node.id);
+                    return;
+                }
+            }
+            self.lock_shard(sid).retire_region(rid, node.id);
             return;
         }
         let mut rids: Vec<RegionId> = node.accesses.iter().map(|a| a.region.id).collect();
@@ -567,31 +835,37 @@ impl ShardedTracker {
 
     /// Garbage-collect every shard (one lock at a time): drop tombstones,
     /// completed tasks, emptied entries and their `by_alloc` ids. Called
-    /// periodically from the spawn path and from quiescent `taskwait`s to
-    /// bound memory on long-running programs. Bypasses the hit/contention
-    /// counters: those attribute lock traffic to the registration, retire
-    /// and `taskwait on` paths only, and a sweep touching every shard would
-    /// drown the signal (uniform hits, phantom contention).
+    /// periodically from the spawn path (cadence:
+    /// [`RuntimeConfig::with_tracker_gc_interval`](crate::RuntimeConfig::with_tracker_gc_interval))
+    /// and from quiescent `taskwait`s to bound memory on long-running
+    /// programs. Bypasses the hit/contention counters: those attribute lock
+    /// traffic to the registration, retire and `taskwait on` paths only, and
+    /// a sweep touching every shard would drown the signal (uniform hits,
+    /// phantom contention). Taking each shard's lock holds its gate odd, so
+    /// optimistic registrations on a shard being swept fall back to the
+    /// mutex path and queue behind the sweep.
     pub(crate) fn garbage_collect(&self) {
-        for shard in self.shards.iter() {
-            shard.lock().garbage_collect();
+        for sid in 0..self.shards.len() {
+            self.lock_shard_uncounted(sid).garbage_collect();
         }
     }
 
-    /// Current per-shard map sizes. Reading diagnostics leaves the
-    /// hit/contention counters untouched (see
+    /// Current per-shard map sizes plus the fast-path hit/fallback counters.
+    /// Reading diagnostics leaves the hit/contention counters untouched (see
     /// [`ShardedTracker::garbage_collect`]).
     pub(crate) fn diagnostics(&self) -> TrackerDiagnostics {
         let mut regions = Vec::with_capacity(self.shards.len());
         let mut allocs = Vec::with_capacity(self.shards.len());
-        for shard in self.shards.iter() {
-            let guard = shard.lock();
+        for sid in 0..self.shards.len() {
+            let guard = self.lock_shard_uncounted(sid);
             regions.push(guard.entries.len());
             allocs.push(guard.by_alloc.len());
         }
         TrackerDiagnostics {
             regions_per_shard: regions,
             allocs_per_shard: allocs,
+            fast_path_hits: self.counters.fast_hits(),
+            fast_path_fallbacks: self.counters.fast_fallbacks(),
         }
     }
 
@@ -600,6 +874,79 @@ impl ShardedTracker {
     #[allow(dead_code)]
     pub(crate) fn tracked_regions(&self) -> usize {
         self.diagnostics().total_regions()
+    }
+}
+
+/// Pass 2 of registration, shared verbatim by the mutex path and the
+/// optimistic fast path (so both produce byte-identical edge sets): add an
+/// edge from every live predecessor, classifying it RAW / WAR / WAW.
+fn add_pred_edges(
+    preds: &[PredRef],
+    node: &Arc<TaskNode>,
+    record_edges: bool,
+) -> (usize, usize, usize, usize, Vec<EdgeRecord>) {
+    let mut edges = 0usize;
+    let (mut raw_edges, mut war_edges, mut waw_edges) = (0usize, 0usize, 0usize);
+    let mut edge_list = Vec::new();
+    for pred in preds {
+        if pred.id == node.id {
+            continue;
+        }
+        let Some(live) = &pred.live else { continue };
+        if add_edge(live, node) {
+            edges += 1;
+            match pred.dependence {
+                Dependence::ReadAfterWrite => raw_edges += 1,
+                Dependence::WriteAfterRead => war_edges += 1,
+                Dependence::WriteAfterWrite => waw_edges += 1,
+                Dependence::None => {}
+            }
+            if record_edges {
+                edge_list.push(EdgeRecord {
+                    pred: pred.id,
+                    shard: pred.shard,
+                });
+            }
+        }
+    }
+    (edges, raw_edges, war_edges, waw_edges, edge_list)
+}
+
+/// The three registration passes against a single shard, using the shard's
+/// scratch buffers so the steady state allocates nothing. Runs the same
+/// `collect_preds` / `add_pred_edges` / `record_access` sequence as the
+/// mutex path — the fast path differs only in how exclusion was obtained.
+fn register_single_shard(
+    shard: &mut TrackerShard,
+    sid: usize,
+    node: &Arc<TaskNode>,
+    record_edges: bool,
+) -> Registration {
+    let mut preds = std::mem::take(&mut shard.scratch_preds);
+    let mut seen = std::mem::take(&mut shard.scratch_seen);
+    debug_assert!(preds.is_empty() && seen.is_empty());
+    for access in node.accesses.iter() {
+        shard.collect_preds(access, sid, &mut preds, &mut seen);
+    }
+    let (edges, raw_edges, war_edges, waw_edges, edge_list) =
+        add_pred_edges(&preds, node, record_edges);
+    node.in_edges.store(edges, Ordering::Relaxed);
+    for access in node.accesses.iter() {
+        shard.record_access(access, node);
+    }
+    let predecessors_seen = preds.len();
+    preds.clear();
+    seen.clear();
+    shard.scratch_preds = preds;
+    shard.scratch_seen = seen;
+    Registration {
+        edges,
+        raw_edges,
+        war_edges,
+        waw_edges,
+        predecessors_seen,
+        edge_list,
+        fast_path: true,
     }
 }
 
@@ -667,6 +1014,74 @@ pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
     ready
 }
 
+/// Benchmark support: drives the tracker's register→complete→retire cycle
+/// directly, without workers or scheduling, so the insertion-side cost being
+/// compared (optimistic fast path vs forced-locked mutex path) dominates the
+/// measurement. Used by `insertion_bench` and the `rename_ablation`
+/// fast-path scenario; not part of the public API surface.
+#[doc(hidden)]
+pub mod bench {
+    use super::{complete, finish_registration, ShardedTracker};
+    use crate::access::{Access, AccessKind};
+    use crate::region::{AllocId, Region};
+    use crate::task::{ChildTracker, TaskNode, TaskPriority};
+    use std::sync::Arc;
+
+    /// Register, complete and retire `per_spawner` single-`output`-access
+    /// tasks per spawner thread (each thread cycling through `cells` private
+    /// allocations) against a fresh tracker. Returns operations per second
+    /// over the whole storm. This is the tracker's full insertion round
+    /// trip: predecessor discovery, history update, readiness release,
+    /// completion and retirement.
+    pub fn register_retire_rate(
+        shards: usize,
+        fast_path: bool,
+        spawners: usize,
+        per_spawner: usize,
+        cells: usize,
+    ) -> f64 {
+        let tracker = ShardedTracker::new(shards, fast_path);
+        // Node construction (a handful of allocations per task) is hoisted
+        // out of the timed region: it is identical for both configurations
+        // and would otherwise dilute the path being compared.
+        let batches: Vec<Vec<Arc<TaskNode>>> = (0..spawners)
+            .map(|_| {
+                let allocs: Vec<AllocId> = (0..cells).map(|_| AllocId::fresh()).collect();
+                let parent = ChildTracker::new();
+                (0..per_spawner)
+                    .map(|i| {
+                        let region = Region::new(allocs[i % cells], 0, 0..64);
+                        TaskNode::new(
+                            None,
+                            TaskPriority::default(),
+                            Arc::from(
+                                vec![Access::new(region, AccessKind::Output)].into_boxed_slice(),
+                            ),
+                            Box::new(|_| {}),
+                            parent.clone(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for batch in &batches {
+                let tracker = &tracker;
+                scope.spawn(move || {
+                    for node in batch {
+                        tracker.register(node, false);
+                        finish_registration(node);
+                        complete(node);
+                        tracker.retire(node);
+                    }
+                });
+            }
+        });
+        (spawners * per_spawner) as f64 / start.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,7 +1109,11 @@ mod tests {
     }
 
     fn tracker(shards: usize) -> ShardedTracker {
-        ShardedTracker::new(shards)
+        ShardedTracker::new(shards, true)
+    }
+
+    fn tracker_locked(shards: usize) -> ShardedTracker {
+        ShardedTracker::new(shards, false)
     }
 
     /// Drain a node as if it executed (without a runtime).
@@ -970,8 +1389,7 @@ mod tests {
                 acc(11, 0, 0..64, AccessKind::Input),
             ],
         ];
-        let outcome = |shards: usize| {
-            let tr = tracker(shards);
+        let outcome = |tr: ShardedTracker| {
             let mut out = Vec::new();
             let mut nodes = Vec::new();
             for accesses in &program {
@@ -996,10 +1414,75 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let reference = outcome(1);
-        for shards in [2, 3, 7, 16] {
-            assert_eq!(outcome(shards), reference, "shards = {shards}");
+        // Reference: single shard, forced-locked (the historical tracker).
+        let reference = outcome(tracker_locked(1));
+        for shards in [1, 2, 3, 7, 16] {
+            assert_eq!(outcome(tracker(shards)), reference, "optimistic, shards = {shards}");
+            assert_eq!(
+                outcome(tracker_locked(shards)),
+                reference,
+                "forced-locked, shards = {shards}"
+            );
         }
+    }
+
+    #[test]
+    fn fast_path_hits_and_fallbacks_are_counted() {
+        let tr = tracker(4);
+        // Single-allocation registrations take the fast path.
+        let a = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        let b = node_with(vec![
+            acc(1, 0, 0..10, AccessKind::Input),
+            acc(1, 1, 0..4, AccessKind::Output),
+        ]);
+        assert!(tr.register(&a, false).fast_path);
+        assert!(tr.register(&b, false).fast_path, "same-shard two-access task");
+        finish_registration(&a);
+        finish_registration(&b);
+        // A span over two shards falls back to the mutex path.
+        assert_ne!(tr.shard_of(AllocId(1)), tr.shard_of(AllocId(2)));
+        let c = node_with(vec![
+            acc(1, 0, 0..10, AccessKind::Input),
+            acc(2, 0, 0..10, AccessKind::Output),
+        ]);
+        assert!(!tr.register(&c, false).fast_path);
+        finish_registration(&c);
+        let diag = tr.diagnostics();
+        assert_eq!(diag.fast_path_hits, 2);
+        assert_eq!(diag.fast_path_fallbacks, 1);
+        // Access-free tasks neither hit nor fall back.
+        let free = node_with(vec![]);
+        tr.register(&free, false);
+        finish_registration(&free);
+        let diag = tr.diagnostics();
+        assert_eq!((diag.fast_path_hits, diag.fast_path_fallbacks), (2, 1));
+    }
+
+    #[test]
+    fn forced_locked_tracker_never_takes_the_fast_path() {
+        let tr = tracker_locked(4);
+        let a = node_with(vec![acc(1, 0, 0..10, AccessKind::Output)]);
+        assert!(!tr.register(&a, false).fast_path);
+        finish_registration(&a);
+        let diag = tr.diagnostics();
+        assert_eq!((diag.fast_path_hits, diag.fast_path_fallbacks), (0, 0));
+    }
+
+    #[test]
+    fn fast_path_falls_back_while_a_shard_is_held() {
+        let tr = tracker(2);
+        let a = node_with(vec![acc(2, 0, 0..10, AccessKind::Output)]);
+        let sid = tr.shard_of(AllocId(2));
+        {
+            let _guard = tr.lock_shard(sid); // e.g. GC sweeping this shard
+            assert!(
+                tr.try_register_fast(&a, false).is_none(),
+                "the gate is odd: the optimistic path must refuse"
+            );
+        }
+        // Gate released: the fast path works again.
+        assert!(tr.register(&a, false).fast_path);
+        finish_registration(&a);
     }
 
     #[test]

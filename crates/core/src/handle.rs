@@ -418,6 +418,15 @@ impl<T: Send + 'static> Accessible for Data<T> {
             // dependences are preserved, `inout` chains still serialise.
             return self.bind_current(kind, cx, &mut st);
         }
+        // First-write rename elision: nobody is bound to the current version
+        // (ticket release happens after tracker retirement, so "no bindings"
+        // means every earlier task on this version is a tombstone that can
+        // take no WAR/WAW edge) — overwrite it in place instead of paying
+        // for a version that would conflict with nothing anyway.
+        if cx.elision_enabled() && st.slots[st.current].refs == 0 {
+            cx.pool().note_elision();
+            return self.bind_current(kind, cx, &mut st);
+        }
         // Version-count backpressure: the byte budget below is shallow
         // (`size_of::<T>()`), so this is the bound that actually limits
         // heap-backed types — no more than `max_versions` live versions of
@@ -730,6 +739,12 @@ fn resolve_chunk<T: Send + 'static>(
     };
     let mut st = chains.chains[chunk].lock();
     if kind != AccessKind::Output || !cx.renaming_enabled() {
+        return bind_current(&mut st);
+    }
+    // First-write rename elision at chunk granularity (see `Data::resolve`):
+    // an unreferenced current chunk version is overwritten in place.
+    if cx.elision_enabled() && st.slots[st.current].refs == 0 {
+        cx.pool().note_elision();
         return bind_current(&mut st);
     }
     if st.slots.len() >= cx.max_versions() {
@@ -1230,12 +1245,22 @@ mod tests {
         }
     }
 
+    /// A context with elision *off*, so the long-standing rename tests keep
+    /// exercising the allocate-a-fresh-version path; `cx_eliding` opts in.
     fn cx(pool: &Arc<RenamePool>, enabled: bool) -> RenameCx<'_> {
         RenameCx {
             enabled,
+            elision: false,
             pool,
             pool_depth: 4,
             max_versions: 16,
+        }
+    }
+
+    fn cx_eliding(pool: &Arc<RenamePool>) -> RenameCx<'_> {
+        RenameCx {
+            elision: true,
+            ..cx(pool, true)
         }
     }
 
@@ -1432,6 +1457,7 @@ mod tests {
             let pool = Arc::new(RenamePool::new(1 << 20));
             let cx = RenameCx {
                 enabled: true,
+                elision: false,
                 pool: &pool,
                 pool_depth: 0,
                 max_versions: 3,
@@ -1487,6 +1513,55 @@ mod tests {
             let w = d.resolve(AccessKind::Output, &cx);
             let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
             assert_eq!(unsafe { *ptr }, 99, "fresh version starts from make()");
+        }
+
+        #[test]
+        fn unreferenced_output_elides_the_rename() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(5u64);
+            let before = d.region();
+            let w = d.resolve(AccessKind::Output, &cx_eliding(&pool));
+            // Bound in place: same version, no rename, no commit needed.
+            assert_eq!(w.access().region, before, "elided write binds the current version");
+            assert!(w.renamed.is_empty());
+            assert!(w.commits.is_empty());
+            assert_eq!(pool.renames(), 0);
+            assert_eq!(pool.elided(), 1);
+            assert_eq!(pool.bytes_held(), 0, "elision allocates nothing");
+            assert_eq!(d.live_versions(), 1);
+            release(w);
+        }
+
+        #[test]
+        fn in_flight_binding_blocks_elision() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(0u64);
+            let cx = cx_eliding(&pool);
+            let reader = d.resolve(AccessKind::Input, &cx);
+            // The reader pins the current version: the write must rename.
+            let mut w = d.resolve(AccessKind::Output, &cx);
+            assert_eq!(w.renamed.len(), 1);
+            assert_eq!(pool.renames(), 1);
+            assert_eq!(pool.elided(), 0);
+            commit(&mut w);
+            release(reader);
+            release(w);
+            // Now the (fresh) current version is unreferenced again: elide.
+            let w2 = d.resolve(AccessKind::Output, &cx);
+            assert!(w2.renamed.is_empty());
+            assert_eq!(pool.elided(), 1);
+            release(w2);
+        }
+
+        #[test]
+        fn elided_write_overwrites_in_place() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let d = Data::versioned(3u64);
+            let w = d.resolve(AccessKind::Output, &cx_eliding(&pool));
+            let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
+            unsafe { *ptr = 9 };
+            release(w);
+            assert_eq!(d.try_into_inner().unwrap(), 9);
         }
 
         #[test]
@@ -1656,6 +1731,33 @@ mod tests {
             let fresh = unsafe { std::slice::from_raw_parts(ptr as *const u8, len) };
             assert_eq!(fresh, &[0xAB, 0xAB], "fresh version starts from make()");
             release(w);
+        }
+
+        #[test]
+        fn unreferenced_chunk_output_elides_per_chunk() {
+            let pool = Arc::new(RenamePool::new(1 << 20));
+            let p = PartitionedData::versioned(vec![1u32; 6], 3);
+            let cx = cx_eliding(&pool);
+            // Chunk 1 is pinned by a reader; chunk 0 is free.
+            let r1 = p.chunk(1).resolve(AccessKind::Input, &cx);
+            let w0 = p.chunk(0).resolve(AccessKind::Output, &cx);
+            let mut w1 = p.chunk(1).resolve(AccessKind::Output, &cx);
+            assert!(w0.renamed.is_empty(), "free chunk elides");
+            assert_eq!(w1.renamed.len(), 1, "pinned chunk renames");
+            assert_eq!(pool.elided(), 1);
+            assert_eq!(pool.chunk_renames(), 1);
+            assert_eq!(p.live_chunk_versions(0), 1);
+            commit(&mut w1);
+            // Write the elided chunk in place and check commit-back.
+            let (ptr, len) = w0.access().bound_ptr().unwrap();
+            unsafe {
+                std::slice::from_raw_parts_mut(ptr as *mut u32, len).copy_from_slice(&[7, 8, 9])
+            };
+            release(w0);
+            release(w1);
+            release(r1);
+            let out = p.try_into_vec().unwrap();
+            assert_eq!(&out[..3], &[7, 8, 9]);
         }
 
         #[test]

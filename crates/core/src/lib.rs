@@ -112,7 +112,7 @@ pub use handle::{
 pub use pipeline::RenameRing;
 pub use region::{Region, RegionId};
 pub use rename::{RenameEvent, RenamePool};
-pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskContext};
+pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskContext, DEFAULT_TRACKER_GC_INTERVAL};
 pub use scheduler::{IdlePolicy, SchedulerPolicy};
 pub use stats::RuntimeStats;
 pub use task::{TaskId, TaskPriority, TaskState};

@@ -28,6 +28,33 @@
 //!   has its own allocation identity, the new writer conflicts with nothing
 //!   in flight: the WAR/WAW edges simply never arise.
 //!
+//! ## First-write rename elision
+//!
+//! Allocating a fresh version buys nothing when nobody holds the old one: a
+//! single-pass workload (rotate writes every output band exactly once) would
+//! pay one allocation per band for versions that never conflict with
+//! anything. So an `output` access first checks the current version's
+//! in-flight binding count: when it is **zero** — and, because workers
+//! release their version tickets only *after* retiring the task from the
+//! dependence tracker, zero means every earlier bound task has completed
+//! *and* its history references are tombstones — the access **binds the
+//! current version in place** instead of renaming. The elided write
+//! provably inherits no WAR/WAW edge (tombstones can take none), so the
+//! zero-false-dependence property of renaming is preserved deterministically;
+//! the elision is counted in
+//! [`RuntimeStats::renames_elided`](crate::RuntimeStats::renames_elided)
+//! rather than `renames`. Disable with
+//! [`RuntimeConfig::with_rename_elision(false)`](crate::RuntimeConfig::with_rename_elision)
+//! to force every `output` to allocate, as earlier revisions did.
+//!
+//! One observable corner: a task declaring `output(&x)` *before* `input(&x)`
+//! on the same versioned handle binds both clauses to the same storage when
+//! the write elides, degrading to `inout`-like in-place semantics — exactly
+//! what the budget-exhaustion fallback (and renaming-off mode) already does.
+//! Declare `input` before `output` to keep the copy-free two-version
+//! read-modify-write: a read binding pins the current version, which blocks
+//! the elision.
+//!
 //! ## Region granularity
 //!
 //! Version chains are keyed by **sub-region**, not only by whole handles. A
@@ -122,6 +149,7 @@ pub struct RenamePool {
     chunk_renames: AtomicU64,
     recycled: AtomicU64,
     fallbacks: AtomicU64,
+    elided: AtomicU64,
 }
 
 impl RenamePool {
@@ -134,6 +162,7 @@ impl RenamePool {
             chunk_renames: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            elided: AtomicU64::new(0),
         }
     }
 
@@ -168,6 +197,15 @@ impl RenamePool {
     /// live-version bound.
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// `output` accesses whose rename was **elided**: the current version
+    /// had no in-flight bindings (every earlier bound task completed and
+    /// retired), so it was bound in place — a first-write that allocates
+    /// nothing and still serialises on nothing (the retired history can take
+    /// no edge). Disjoint from [`RenamePool::renames`].
+    pub fn elided(&self) -> u64 {
+        self.elided.load(Ordering::Relaxed)
     }
 
     /// Try to reserve `bytes` for a new version. Returns the reservation, or
@@ -208,6 +246,10 @@ impl RenamePool {
     pub(crate) fn note_fallback(&self) {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn note_elision(&self) {
+        self.elided.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// RAII share of the rename budget: created by [`RenamePool::try_reserve`],
@@ -230,6 +272,7 @@ impl Drop for Reservation {
 #[derive(Clone)]
 pub struct RenameCx<'a> {
     pub(crate) enabled: bool,
+    pub(crate) elision: bool,
     pub(crate) pool: &'a Arc<RenamePool>,
     pub(crate) pool_depth: usize,
     pub(crate) max_versions: usize,
@@ -239,6 +282,13 @@ impl<'a> RenameCx<'a> {
     /// Whether `output` accesses should rename.
     pub fn renaming_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether an `output` access may **elide** its rename when the current
+    /// version has no in-flight bindings (first-write elision — see
+    /// [`crate::rename`], "First-write rename elision").
+    pub fn elision_enabled(&self) -> bool {
+        self.elision
     }
 
     /// The budget renamed versions are accounted against.
@@ -394,10 +444,13 @@ mod tests {
         pool.note_rename(false, false);
         pool.note_rename(true, true);
         pool.note_fallback();
+        pool.note_elision();
+        pool.note_elision();
         assert_eq!(pool.renames(), 2);
         assert_eq!(pool.chunk_renames(), 1);
         assert_eq!(pool.recycled(), 1);
         assert_eq!(pool.fallbacks(), 1);
+        assert_eq!(pool.elided(), 2);
         assert_eq!(pool.cap(), 10);
     }
 }

@@ -31,8 +31,9 @@ use crate::task::{ChildTracker, TaskId, TaskNode, TaskPriority};
 use crate::trace::{TraceEvent, TraceRecorder};
 use crate::worker;
 
-/// How often (in spawned tasks) the dependence tracker is garbage collected.
-const GC_PERIOD: u64 = 512;
+/// Default garbage-collection cadence of the dependence tracker, in spawned
+/// tasks (see [`RuntimeConfig::with_tracker_gc_interval`]).
+pub const DEFAULT_TRACKER_GC_INTERVAL: u64 = 512;
 
 /// Configuration of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -67,6 +68,26 @@ pub struct RuntimeConfig {
     /// buy insertion throughput under many concurrently spawning threads
     /// at the cost of a little fixed memory. See [`crate::graph`].
     pub tracker_shards: usize,
+    /// Whether single-shard registrations (and single-access retirements)
+    /// may take the optimistic gate-CAS fast path instead of the shard
+    /// mutex. Enabled by default; `false` forces every tracker operation
+    /// through the mutex path — the reference configuration of the
+    /// equivalence suite and the baseline of `insertion_bench`. See
+    /// [`crate::graph`], "The optimistic fast path".
+    pub tracker_fast_path: bool,
+    /// Whether an `output` access on a versioned handle may **elide** its
+    /// rename when the current version has no in-flight bindings, binding it
+    /// in place instead of allocating a fresh version. Enabled by default;
+    /// see [`crate::rename`], "First-write rename elision".
+    pub rename_elision: bool,
+    /// How often (in spawned tasks) the dependence tracker is garbage
+    /// collected from the spawn path; `0` disables the periodic sweep
+    /// entirely (quiescent `taskwait`/`barrier` and explicit
+    /// [`Runtime::tracker_gc`] still collect). The sweep locks every shard
+    /// in turn — holding each shard's sequence gate odd, so optimistic
+    /// registrations on a shard being swept fall back to the mutex path for
+    /// the duration. Default [`DEFAULT_TRACKER_GC_INTERVAL`].
+    pub tracker_gc_interval: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -84,6 +105,9 @@ impl Default for RuntimeConfig {
             rename_pool_depth: DEFAULT_RENAME_POOL_DEPTH,
             rename_max_versions: DEFAULT_RENAME_MAX_VERSIONS,
             tracker_shards: 0,
+            tracker_fast_path: true,
+            rename_elision: true,
+            tracker_gc_interval: DEFAULT_TRACKER_GC_INTERVAL,
         }
     }
 }
@@ -150,6 +174,33 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable the tracker's optimistic single-shard fast path.
+    /// With `false` every registration and retirement takes the shard mutex
+    /// (the pre-fast-path behaviour); the discovered dependence structure is
+    /// identical either way — `tests/tracker_equivalence.rs` pins it.
+    pub fn with_tracker_fast_path(mut self, fast_path: bool) -> Self {
+        self.tracker_fast_path = fast_path;
+        self
+    }
+
+    /// Enable or disable first-write rename elision on versioned handles
+    /// (see [`crate::rename`]). With `false`, every renaming-enabled
+    /// `output` allocates (or pool-recycles) a fresh version even when the
+    /// current one is unreferenced.
+    pub fn with_rename_elision(mut self, elision: bool) -> Self {
+        self.rename_elision = elision;
+        self
+    }
+
+    /// Set the tracker garbage-collection cadence in spawned tasks; `0`
+    /// disables the periodic sweep (quiescent and explicit GC still run).
+    /// Lower values bound history memory tighter at the cost of sweeping —
+    /// and of optimistic-path fallbacks while each shard is swept.
+    pub fn with_tracker_gc_interval(mut self, interval: u64) -> Self {
+        self.tracker_gc_interval = interval;
+        self
+    }
+
     /// The shard count a runtime built from this configuration will use.
     pub fn effective_tracker_shards(&self) -> usize {
         if self.tracker_shards == 0 {
@@ -189,9 +240,12 @@ impl RuntimeInner {
 
         let trace_enabled = self.trace.is_enabled();
         let registration = self.tracker.register(&node, trace_enabled);
-        let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
-        if count.is_multiple_of(GC_PERIOD) {
-            self.tracker.garbage_collect();
+        let gc_interval = self.config.tracker_gc_interval;
+        if gc_interval != 0 {
+            let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if count.is_multiple_of(gc_interval) {
+                self.tracker.garbage_collect();
+            }
         }
         self.stats
             .add(StatField::EdgesAdded, registration.edges as u64);
@@ -217,6 +271,7 @@ impl RuntimeInner {
                     task: id,
                     from: edge.pred,
                     shard: edge.shard,
+                    fast_path: registration.fast_path,
                     at_ns: self.trace.now_ns(),
                 });
             }
@@ -282,10 +337,11 @@ impl Runtime {
             .map(|_| WorkerDeque::new_lifo())
             .collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
-        let sched = SchedState::new(config.policy, config.idle, stealers);
+        let tracker_shards = config.effective_tracker_shards();
+        let sched = SchedState::new(config.policy, config.idle, stealers, tracker_shards);
         let inner = Arc::new(RuntimeInner {
             sched,
-            tracker: ShardedTracker::new(config.effective_tracker_shards()),
+            tracker: ShardedTracker::new(tracker_shards, config.tracker_fast_path),
             root_children: ChildTracker::new(),
             in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -534,6 +590,7 @@ impl Runtime {
             chunk_renames: rename.chunk_renames(),
             renames_recycled: rename.recycled(),
             rename_fallbacks: rename.fallbacks(),
+            renames_elided: rename.elided(),
             rename_bytes_held: rename.bytes_held() as u64,
             immediately_ready: c.get(StatField::ImmediatelyReady),
             taskwaits: c.get(StatField::Taskwaits),
@@ -544,9 +601,12 @@ impl Runtime {
             sched_local_wakeups: s.local_wakeups.load(Ordering::Relaxed),
             sched_global_wakeups: s.global_wakeups.load(Ordering::Relaxed),
             sched_priority_pops: s.priority_pops.load(Ordering::Relaxed),
+            sched_affinity_wakeups: s.affinity_wakeups.load(Ordering::Relaxed),
             tracker_shards: self.inner.tracker.num_shards(),
             tracker_shard_hits: self.inner.tracker.counters().hits(),
             tracker_lock_contention: self.inner.tracker.counters().contention(),
+            tracker_fast_path_hits: self.inner.tracker.counters().fast_hits(),
+            tracker_fast_path_fallbacks: self.inner.tracker.counters().fast_fallbacks(),
         }
     }
 
@@ -672,6 +732,7 @@ impl<'r> TaskBuilder<'r> {
     fn declare(mut self, kind: AccessKind, handle: &impl Accessible) -> Self {
         let cx = RenameCx {
             enabled: self.inner.config.renaming,
+            elision: self.inner.config.rename_elision,
             pool: &self.inner.rename,
             pool_depth: self.inner.config.rename_pool_depth,
             max_versions: self.inner.config.rename_max_versions,

@@ -15,6 +15,15 @@
 //!   producer. This is the behaviour the paper credits for the `ray-rot`
 //!   speedups ("the runtime scheduler places dependent tasks on the same
 //!   core", Section 4) and it is the default.
+//! * [`SchedulerPolicy::ShardAffinity`] — like `LocalityWorkStealing`, but
+//!   when the completing worker is *not* the last worker to have completed
+//!   work on the woken task's dependence-tracker shard, the successor is
+//!   routed to that worker's **inbox** instead. The shard of a task's
+//!   dominant allocation is a cheap locality key (allocations — and renamed
+//!   versions — map to shards round-robin): the worker that last retired a
+//!   task on a shard probably still holds that allocation's data warm, and
+//!   biasing wakeups toward it pairs the sharded tracker with the locality
+//!   wakeup path (what Nanos++ does with socket-aware wakeups).
 //!
 //! Independently of the policy, tasks with a non-zero priority go to a global
 //! priority heap that every worker checks first (the OmpSs `priority`
@@ -43,6 +52,10 @@ pub enum SchedulerPolicy {
     /// on the waking worker's deque for producer→consumer cache locality.
     #[default]
     LocalityWorkStealing,
+    /// `LocalityWorkStealing` plus shard-aware placement: a woken task whose
+    /// dependence-tracker shard was last worked on by a *different* worker
+    /// is routed to that worker's inbox (see the module docs).
+    ShardAffinity,
 }
 
 /// What idle workers do while no task is ready.
@@ -71,6 +84,10 @@ pub struct SchedCounters {
     pub local_wakeups: AtomicU64,
     /// Wakeups pushed to the global queue.
     pub global_wakeups: AtomicU64,
+    /// Wakeups routed to another worker's inbox because that worker last
+    /// completed work on the woken task's tracker shard
+    /// ([`SchedulerPolicy::ShardAffinity`]).
+    pub affinity_wakeups: AtomicU64,
     /// Tasks scheduled through the priority heap.
     pub priority_pops: AtomicU64,
 }
@@ -110,6 +127,14 @@ pub(crate) struct SchedState {
     lifo: Mutex<Vec<Arc<TaskNode>>>,
     prio: Mutex<BinaryHeap<PrioEntry>>,
     stealers: Vec<Stealer<Arc<TaskNode>>>,
+    /// One MPMC inbox per worker: [`SchedulerPolicy::ShardAffinity`] routes
+    /// cross-worker wakeups here (a worker's deque can only be pushed by its
+    /// owner). Each worker drains its own inbox right after its deque; idle
+    /// workers steal from other inboxes last, so routed work never strands.
+    inboxes: Vec<Injector<Arc<TaskNode>>>,
+    /// Last worker to complete a task on each tracker shard (relaxed;
+    /// `usize::MAX` = never). Indexed by shard id.
+    shard_homes: Box<[AtomicUsize]>,
     prio_seq: AtomicU64,
     /// Number of ready-but-not-yet-executing tasks.
     ready_count: AtomicUsize,
@@ -120,12 +145,15 @@ pub(crate) struct SchedState {
 }
 
 impl SchedState {
-    /// Create scheduler state for `stealers.len()` workers.
+    /// Create scheduler state for `stealers.len()` workers and
+    /// `tracker_shards` dependence-tracker shards.
     pub(crate) fn new(
         policy: SchedulerPolicy,
         idle: IdlePolicy,
         stealers: Vec<Stealer<Arc<TaskNode>>>,
+        tracker_shards: usize,
     ) -> Self {
+        let workers = stealers.len();
         SchedState {
             policy,
             idle,
@@ -133,11 +161,21 @@ impl SchedState {
             lifo: Mutex::new(Vec::new()),
             prio: Mutex::new(BinaryHeap::new()),
             stealers,
+            inboxes: (0..workers).map(|_| Injector::new()).collect(),
+            shard_homes: (0..tracker_shards).map(|_| AtomicUsize::new(usize::MAX)).collect(),
             prio_seq: AtomicU64::new(0),
             ready_count: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             counters: SchedCounters::default(),
+        }
+    }
+
+    /// Record that `worker` just completed a task whose dominant allocation
+    /// lives on tracker shard `shard` (the shard-affinity locality key).
+    pub(crate) fn note_shard_completion(&self, shard: usize, worker: usize) {
+        if let Some(home) = self.shard_homes.get(shard) {
+            home.store(worker, Ordering::Relaxed);
         }
     }
 
@@ -192,7 +230,9 @@ impl SchedState {
         match self.policy {
             SchedulerPolicy::Fifo => self.injector.push(node),
             SchedulerPolicy::Lifo => self.lifo.lock().push(node),
-            SchedulerPolicy::WorkStealing | SchedulerPolicy::LocalityWorkStealing => match local {
+            SchedulerPolicy::WorkStealing
+            | SchedulerPolicy::LocalityWorkStealing
+            | SchedulerPolicy::ShardAffinity => match local {
                 Some(dq) => dq.push(node),
                 None => self.injector.push(node),
             },
@@ -200,9 +240,16 @@ impl SchedState {
     }
 
     /// Queue a task that became ready because one of its predecessors
-    /// completed. `local` is the deque of the worker that completed the
-    /// predecessor.
-    pub(crate) fn push_wakeup(&self, node: Arc<TaskNode>, local: Option<&WorkerDeque<Arc<TaskNode>>>) {
+    /// completed. `local` is the deque (and `worker` the index) of the
+    /// worker that completed the predecessor; `shard` is the woken task's
+    /// dominant tracker shard, used by [`SchedulerPolicy::ShardAffinity`].
+    pub(crate) fn push_wakeup(
+        &self,
+        node: Arc<TaskNode>,
+        local: Option<&WorkerDeque<Arc<TaskNode>>>,
+        worker: Option<usize>,
+        shard: Option<usize>,
+    ) {
         self.note_push();
         if node.priority.0 != 0 {
             self.push_priority(node);
@@ -231,6 +278,35 @@ impl SchedState {
                     self.injector.push(node);
                 }
             },
+            SchedulerPolicy::ShardAffinity => {
+                // Bias toward the worker that last completed work on the
+                // woken task's shard; when that is the completing worker (or
+                // unknown) keep the plain producer→consumer locality push.
+                let home = shard
+                    .and_then(|s| self.shard_homes.get(s))
+                    .map(|h| h.load(Ordering::Relaxed))
+                    .filter(|&h| h < self.inboxes.len());
+                match (home, worker, local) {
+                    (Some(h), Some(w), _) if h != w => {
+                        self.counters.affinity_wakeups.fetch_add(1, Ordering::Relaxed);
+                        self.inboxes[h].push(node);
+                    }
+                    (Some(h), None, _) => {
+                        // Helper thread (no deque of its own): still route
+                        // to the shard's home worker.
+                        self.counters.affinity_wakeups.fetch_add(1, Ordering::Relaxed);
+                        self.inboxes[h].push(node);
+                    }
+                    (_, _, Some(dq)) => {
+                        self.counters.local_wakeups.fetch_add(1, Ordering::Relaxed);
+                        dq.push(node);
+                    }
+                    (_, _, None) => {
+                        self.counters.global_wakeups.fetch_add(1, Ordering::Relaxed);
+                        self.injector.push(node);
+                    }
+                }
+            }
         }
     }
 
@@ -252,7 +328,25 @@ impl SchedState {
                 return Some(entry.node);
             }
         }
-        // 2. Own deque.
+        // 2. Own inbox (shard-affinity routed wakeups), then own deque. Only
+        // the ShardAffinity policy ever pushes to an inbox, so the other
+        // policies skip the probe entirely (this is the dispatch hot path).
+        let affinity = self.policy == SchedulerPolicy::ShardAffinity;
+        if affinity && local.is_some() {
+            if let Some(inbox) = self.inboxes.get(worker_id) {
+                loop {
+                    match inbox.steal() {
+                        Steal::Success(node) => {
+                            self.counters.local_pops.fetch_add(1, Ordering::Relaxed);
+                            self.note_pop();
+                            return Some(node);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+            }
+        }
         if let Some(dq) = local {
             if let Some(node) = dq.pop() {
                 self.counters.local_pops.fetch_add(1, Ordering::Relaxed);
@@ -281,7 +375,8 @@ impl SchedState {
                 }
             },
         }
-        // 4. Steal from another worker.
+        // 4. Steal from another worker — its deque first, then its inbox
+        // (so shard-affinity-routed work never strands on a busy worker).
         let n = self.stealers.len();
         if n > 0 {
             for offset in 1..=n {
@@ -298,6 +393,25 @@ impl SchedState {
                         }
                         Steal::Empty => break,
                         Steal::Retry => continue,
+                    }
+                }
+            }
+            if affinity {
+                for offset in 1..=n {
+                    let victim = (worker_id + offset) % n;
+                    if victim == worker_id && local.is_some() {
+                        continue;
+                    }
+                    loop {
+                        match self.inboxes[victim].steal() {
+                            Steal::Success(node) => {
+                                self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                                self.note_pop();
+                                return Some(node);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
                     }
                 }
             }
@@ -351,7 +465,10 @@ mod tests {
         let deques: Vec<WorkerDeque<Arc<TaskNode>>> =
             (0..workers).map(|_| WorkerDeque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
-        (SchedState::new(policy, IdlePolicy::Polling, stealers), deques)
+        (
+            SchedState::new(policy, IdlePolicy::Polling, stealers, 4),
+            deques,
+        )
     }
 
     #[test]
@@ -360,7 +477,7 @@ mod tests {
         let (a, b, c) = (node(0), node(0), node(0));
         s.push_spawn(a.clone(), None);
         s.push_spawn(b.clone(), None);
-        s.push_wakeup(c.clone(), None);
+        s.push_wakeup(c.clone(), None, None, None);
         assert_eq!(s.ready_tasks(), 3);
         assert_eq!(s.pop(0, None).unwrap().id, a.id);
         assert_eq!(s.pop(0, None).unwrap().id, b.id);
@@ -405,7 +522,7 @@ mod tests {
     fn locality_wakeups_go_to_local_deque() {
         let (s, deques) = sched(SchedulerPolicy::LocalityWorkStealing, 2);
         let w = node(0);
-        s.push_wakeup(w.clone(), Some(&deques[0]));
+        s.push_wakeup(w.clone(), Some(&deques[0]), Some(0), None);
         assert_eq!(s.counters.local_wakeups.load(Ordering::Relaxed), 1);
         // Worker 0 finds it in its own deque.
         let got = s.pop(0, Some(&deques[0])).unwrap();
@@ -417,11 +534,58 @@ mod tests {
     fn plain_work_stealing_wakeups_go_global() {
         let (s, deques) = sched(SchedulerPolicy::WorkStealing, 2);
         let w = node(0);
-        s.push_wakeup(w.clone(), Some(&deques[0]));
+        s.push_wakeup(w.clone(), Some(&deques[0]), Some(0), None);
         assert_eq!(s.counters.global_wakeups.load(Ordering::Relaxed), 1);
         // Worker 1 can grab it from the injector without stealing.
         let got = s.pop(1, Some(&deques[1])).unwrap();
         assert_eq!(got.id, w.id);
+    }
+
+    #[test]
+    fn shard_affinity_routes_wakeups_to_the_shard_home() {
+        let (s, deques) = sched(SchedulerPolicy::ShardAffinity, 2);
+        // Worker 1 last completed work on shard 3.
+        s.note_shard_completion(3, 1);
+        let w = node(0);
+        // Worker 0 completes the predecessor: the wakeup goes to worker 1's
+        // inbox, not worker 0's deque.
+        s.push_wakeup(w.clone(), Some(&deques[0]), Some(0), Some(3));
+        assert_eq!(s.counters.affinity_wakeups.load(Ordering::Relaxed), 1);
+        assert_eq!(s.counters.local_wakeups.load(Ordering::Relaxed), 0);
+        let got = s.pop(1, Some(&deques[1])).unwrap();
+        assert_eq!(got.id, w.id);
+        assert_eq!(s.counters.local_pops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shard_affinity_keeps_local_push_when_home_matches_or_is_unknown() {
+        let (s, deques) = sched(SchedulerPolicy::ShardAffinity, 2);
+        // Unknown home: plain locality push onto the waking worker's deque.
+        let a = node(0);
+        s.push_wakeup(a.clone(), Some(&deques[0]), Some(0), Some(2));
+        assert_eq!(s.counters.local_wakeups.load(Ordering::Relaxed), 1);
+        assert_eq!(s.pop(0, Some(&deques[0])).unwrap().id, a.id);
+        // Home == waking worker: also a local push.
+        s.note_shard_completion(2, 0);
+        let b = node(0);
+        s.push_wakeup(b.clone(), Some(&deques[0]), Some(0), Some(2));
+        assert_eq!(s.counters.local_wakeups.load(Ordering::Relaxed), 2);
+        assert_eq!(s.counters.affinity_wakeups.load(Ordering::Relaxed), 0);
+        assert_eq!(s.pop(0, Some(&deques[0])).unwrap().id, b.id);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_busy_workers_inbox() {
+        let (s, deques) = sched(SchedulerPolicy::ShardAffinity, 2);
+        s.note_shard_completion(1, 0);
+        let w = node(0);
+        // Routed to worker 0's inbox, but worker 0 never polls: worker 1
+        // must still find it (last-resort inbox steal).
+        s.push_wakeup(w.clone(), Some(&deques[1]), Some(1), Some(1));
+        assert_eq!(s.counters.affinity_wakeups.load(Ordering::Relaxed), 1);
+        let got = s.pop(1, Some(&deques[1])).unwrap();
+        assert_eq!(got.id, w.id);
+        assert_eq!(s.counters.steals.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -461,6 +625,7 @@ mod tests {
             SchedulerPolicy::Fifo,
             IdlePolicy::Blocking,
             stealers,
+            2,
         ));
         let s2 = s.clone();
         let handle = std::thread::spawn(move || {

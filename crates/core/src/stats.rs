@@ -56,6 +56,8 @@ impl StatCounters {
 pub(crate) struct TrackerCounters {
     shard_hits: Box<[AtomicU64]>,
     lock_contention: AtomicU64,
+    fast_path_hits: AtomicU64,
+    fast_path_fallbacks: AtomicU64,
 }
 
 impl TrackerCounters {
@@ -63,10 +65,12 @@ impl TrackerCounters {
         TrackerCounters {
             shard_hits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             lock_contention: AtomicU64::new(0),
+            fast_path_hits: AtomicU64::new(0),
+            fast_path_fallbacks: AtomicU64::new(0),
         }
     }
 
-    /// Record an acquisition of `shard`'s lock.
+    /// Record an acquisition of `shard`'s lock (or gate).
     pub(crate) fn hit(&self, shard: usize) {
         self.shard_hits[shard].fetch_add(1, Ordering::Relaxed);
     }
@@ -74,6 +78,18 @@ impl TrackerCounters {
     /// Record a shard lock that was held by another thread at acquisition.
     pub(crate) fn contended(&self) {
         self.lock_contention.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a registration that completed through the optimistic
+    /// single-shard fast path.
+    pub(crate) fn fast_hit(&self) {
+        self.fast_path_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a registration that wanted the fast path but took the mutex
+    /// path instead (contention, multi-allocation span, GC in progress).
+    pub(crate) fn fast_fallback(&self) {
+        self.fast_path_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-shard hit counts.
@@ -87,6 +103,16 @@ impl TrackerCounters {
     /// Total contended acquisitions.
     pub(crate) fn contention(&self) -> u64 {
         self.lock_contention.load(Ordering::Relaxed)
+    }
+
+    /// Total fast-path registrations.
+    pub(crate) fn fast_hits(&self) -> u64 {
+        self.fast_path_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total fast-path fallbacks.
+    pub(crate) fn fast_fallbacks(&self) -> u64 {
+        self.fast_path_fallbacks.load(Ordering::Relaxed)
     }
 }
 
@@ -186,6 +212,24 @@ pub struct RuntimeStats {
     /// this counts every spawn/retire collision; with enough shards it should
     /// stay near zero for tasks touching disjoint allocations.
     pub tracker_lock_contention: u64,
+    /// Registrations that completed through the optimistic single-shard
+    /// fast path (one gate CAS, no mutex) — see
+    /// [`RuntimeConfig::with_tracker_fast_path`](crate::RuntimeConfig::with_tracker_fast_path).
+    pub tracker_fast_path_hits: u64,
+    /// Registrations that wanted the fast path but fell back to the mutex
+    /// path: the shard was contended, the accesses spanned several shards,
+    /// or a GC sweep held the shard.
+    pub tracker_fast_path_fallbacks: u64,
+    /// `output` accesses on versioned handles whose rename was **elided**:
+    /// the current version had no in-flight bindings (every earlier bound
+    /// task had completed and retired), so the access bound it in place
+    /// instead of allocating a fresh version. Disjoint from
+    /// [`RuntimeStats::renames`].
+    pub renames_elided: u64,
+    /// Successor tasks routed to the deque inbox of the worker that last
+    /// completed work on the successor's tracker shard
+    /// ([`SchedulerPolicy::ShardAffinity`](crate::SchedulerPolicy::ShardAffinity)).
+    pub sched_affinity_wakeups: u64,
 }
 
 impl RuntimeStats {
@@ -237,6 +281,19 @@ impl RuntimeStats {
             Some(self.tracker_lock_contention as f64 / total as f64)
         }
     }
+
+    /// Fraction of fast-path-eligible registrations that completed through
+    /// the optimistic single-shard path. `None` when no registration with
+    /// accesses happened (hits + fallbacks account for every such
+    /// registration while the fast path is enabled).
+    pub fn tracker_fast_path_rate(&self) -> Option<f64> {
+        let total = self.tracker_fast_path_hits + self.tracker_fast_path_fallbacks;
+        if total == 0 {
+            None
+        } else {
+            Some(self.tracker_fast_path_hits as f64 / total as f64)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +327,24 @@ mod tests {
         };
         assert!((s.tracker_contention_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(RuntimeStats::default().tracker_contention_rate(), None);
+    }
+
+    #[test]
+    fn fast_path_counters_and_rate() {
+        let c = TrackerCounters::new(2);
+        c.fast_hit();
+        c.fast_hit();
+        c.fast_hit();
+        c.fast_fallback();
+        assert_eq!(c.fast_hits(), 3);
+        assert_eq!(c.fast_fallbacks(), 1);
+        let s = RuntimeStats {
+            tracker_fast_path_hits: 3,
+            tracker_fast_path_fallbacks: 1,
+            ..Default::default()
+        };
+        assert!((s.tracker_fast_path_rate().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(RuntimeStats::default().tracker_fast_path_rate(), None);
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub enum TraceEvent {
         /// Index of the dependence-tracker shard the conflict was found in
         /// (see [`crate::graph`]).
         shard: usize,
+        /// Whether the registration that discovered this edge went through
+        /// the optimistic single-shard fast path.
+        fast_path: bool,
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },
@@ -316,15 +319,22 @@ mod tests {
             task: tid(2),
             from: tid(1),
             shard: 3,
+            fast_path: true,
             at_ns: 7,
         });
         let snap = r.snapshot();
         assert_eq!(snap[0].task(), tid(2));
         assert_eq!(snap[0].at_ns(), 7);
         match &snap[0] {
-            TraceEvent::Edge { from, shard, .. } => {
+            TraceEvent::Edge {
+                from,
+                shard,
+                fast_path,
+                ..
+            } => {
                 assert_eq!(*from, tid(1));
                 assert_eq!(*shard, 3);
+                assert!(*fast_path);
             }
             other => panic!("unexpected event {other:?}"),
         }

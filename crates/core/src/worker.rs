@@ -96,15 +96,11 @@ pub(crate) fn execute_task(
         });
     }
 
-    // The body is done with its data: release the version bindings so
-    // superseded versions can be recycled (see rename.rs). Successors bound
-    // to the same versions hold their own tickets.
-    for ticket in node.take_tickets() {
-        ticket.release();
-    }
+    let affinity = inner.config.policy == crate::scheduler::SchedulerPolicy::ShardAffinity;
 
     // Wake successors (a panicked task still releases its dependants so the
-    // graph always drains).
+    // graph always drains). Under shard-affinity scheduling each successor
+    // carries its dominant tracker shard as a placement hint.
     let ready = graph::complete(&node);
     for succ in ready {
         if trace_enabled {
@@ -113,7 +109,14 @@ pub(crate) fn execute_task(
                 at_ns: inner.trace.now_ns(),
             });
         }
-        inner.sched.push_wakeup(succ, deque);
+        let shard = if affinity {
+            succ.accesses
+                .first()
+                .map(|a| inner.tracker.shard_of(a.region.id.alloc))
+        } else {
+            None
+        };
+        inner.sched.push_wakeup(succ, deque, worker, shard);
     }
 
     // Retire the task's dependence history through the sharded router:
@@ -122,6 +125,27 @@ pub(crate) fn execute_task(
     // node — closure, successors, tickets — is released now, not at the
     // next garbage collection).
     inner.tracker.retire(&node);
+
+    // Only now release the version bindings, so superseded versions can be
+    // recycled (see rename.rs; successors bound to the same versions hold
+    // their own tickets). Releasing strictly *after* retirement is what
+    // makes first-write rename elision deterministic: a binding count of
+    // zero then guarantees every earlier task on the version is already a
+    // tombstone in the tracker — an elided overwrite can inherit no WAR/WAW
+    // edge.
+    for ticket in node.take_tickets() {
+        ticket.release();
+    }
+
+    // Record this worker as the shard's last completer (the shard-affinity
+    // locality key) — after retirement, so the data really is done here.
+    if affinity {
+        if let (Some(w), Some(access)) = (worker, node.accesses.first()) {
+            inner
+                .sched
+                .note_shard_completion(inner.tracker.shard_of(access.region.id.alloc), w);
+        }
+    }
 
     inner.stats.add(StatField::TasksExecuted, 1);
     node.parent_children.child_done();

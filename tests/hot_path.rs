@@ -1,0 +1,383 @@
+//! The task-insertion hot path: first-write rename elision, the optimistic
+//! registration fast path under adversarial GC, and shard-affinity
+//! scheduling.
+//!
+//! Three angles:
+//!
+//! 1. **Elision semantics.** Random chunk-write/read programs over versioned
+//!    partitions must produce exactly the sequential final values with
+//!    elision on, off, and "mixed" (on, but under a version/budget squeeze
+//!    that forces renames, elisions and serialising fallbacks to interleave).
+//! 2. **Elision determinism.** A single-pass workload (rotate-shaped: every
+//!    chunk written exactly once) must elide *every* rename — zero versions
+//!    allocated, zero WAR/WAW edges — deterministically, because workers
+//!    release version bindings only after tracker retirement.
+//! 3. **Fallback under GC.** With the GC cadence forced to every spawn, the
+//!    optimistic path keeps falling back to the mutex path mid-storm; no
+//!    edge may be lost and the tracker must drain clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ompss::{Runtime, RuntimeConfig, SchedulerPolicy};
+
+// ---------------------------------------------------------------------------
+// 1. Elision on/off/mixed keeps sequential-value semantics
+// ---------------------------------------------------------------------------
+
+/// One step over a versioned partition plus a scalar accumulator per chunk.
+#[derive(Debug, Clone)]
+enum ChunkOp {
+    /// Overwrite chunk `c` with `value` in every element (`output`).
+    Fill { c: usize, value: u64 },
+    /// Add chunk `c`'s first element into accumulator `c` (`input` chunk,
+    /// `inout` accumulator).
+    Drain { c: usize },
+    /// Bump every element of chunk `c` in place (`inout`).
+    Bump { c: usize },
+}
+
+fn chunk_op_strategy(chunks: usize) -> impl Strategy<Value = ChunkOp> {
+    prop_oneof![
+        (0..chunks, 1u64..100).prop_map(|(c, value)| ChunkOp::Fill { c, value }),
+        (0..chunks).prop_map(|c| ChunkOp::Drain { c }),
+        (0..chunks).prop_map(|c| ChunkOp::Bump { c }),
+    ]
+}
+
+const CHUNKS: usize = 3;
+const CHUNK_LEN: usize = 4;
+
+/// Reference: run the ops sequentially over a plain vector.
+fn run_sequential(ops: &[ChunkOp]) -> (Vec<u64>, Vec<u64>) {
+    let mut v = vec![0u64; CHUNKS * CHUNK_LEN];
+    let mut accs = vec![0u64; CHUNKS];
+    for op in ops {
+        match *op {
+            ChunkOp::Fill { c, value } => v[c * CHUNK_LEN..(c + 1) * CHUNK_LEN].fill(value),
+            ChunkOp::Drain { c } => accs[c] = accs[c].wrapping_add(v[c * CHUNK_LEN]),
+            ChunkOp::Bump { c } => {
+                for x in &mut v[c * CHUNK_LEN..(c + 1) * CHUNK_LEN] {
+                    *x = x.wrapping_add(1);
+                }
+            }
+        }
+    }
+    (v, accs)
+}
+
+fn run_tasked(config: RuntimeConfig, ops: &[ChunkOp]) -> (Vec<u64>, Vec<u64>) {
+    let rt = Runtime::new(config);
+    let part = rt.versioned_partitioned(vec![0u64; CHUNKS * CHUNK_LEN], CHUNK_LEN);
+    let accs: Vec<_> = (0..CHUNKS).map(|_| rt.data(0u64)).collect();
+    for op in ops {
+        match *op {
+            ChunkOp::Fill { c, value } => {
+                let chunk = part.chunk(c);
+                rt.task().output(&chunk).spawn(move |ctx| {
+                    ctx.write_chunk(&chunk).fill(value);
+                });
+            }
+            ChunkOp::Drain { c } => {
+                let chunk = part.chunk(c);
+                let acc = accs[c].clone();
+                rt.task().input(&chunk).inout(&acc).spawn(move |ctx| {
+                    let first = ctx.read_chunk(&chunk)[0];
+                    let mut a = ctx.write(&acc);
+                    *a = a.wrapping_add(first);
+                });
+            }
+            ChunkOp::Bump { c } => {
+                let chunk = part.chunk(c);
+                rt.task().inout(&chunk).spawn(move |ctx| {
+                    for x in ctx.write_chunk(&chunk).iter_mut() {
+                        *x = x.wrapping_add(1);
+                    }
+                });
+            }
+        }
+    }
+    rt.taskwait();
+    let accs_out = accs.iter().map(|a| rt.fetch(a)).collect();
+    let out = rt.into_vec(part);
+    rt.shutdown();
+    (out, accs_out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sequential-value semantics hold with elision on, off, and mixed with
+    /// renames/fallbacks (tight version window and recycle pool).
+    #[test]
+    fn elision_on_off_mixed_keeps_sequential_semantics(
+        ops in proptest::collection::vec(chunk_op_strategy(CHUNKS), 1..40),
+    ) {
+        let expected = run_sequential(&ops);
+        let base = RuntimeConfig::default().with_workers(3);
+        let on = run_tasked(base.clone().with_rename_elision(true), &ops);
+        prop_assert_eq!(&on, &expected, "elision on");
+        let off = run_tasked(base.clone().with_rename_elision(false), &ops);
+        prop_assert_eq!(&off, &expected, "elision off");
+        // "Mixed": elision enabled but squeezed — at most 2 live versions
+        // per chunk and no recycle pool, so outputs alternate between
+        // eliding, renaming and serialising fallbacks depending on timing.
+        let mixed = run_tasked(
+            base.with_rename_elision(true)
+                .with_rename_max_versions(2)
+                .with_rename_pool_depth(0),
+            &ops,
+        );
+        prop_assert_eq!(&mixed, &expected, "elision mixed with fallbacks");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Single-pass workloads elide every rename, deterministically
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_pass_chunk_writes_elide_every_rename() {
+    // Rotate-shaped: every output band is written exactly once, then read.
+    // Nothing ever holds a band's version when its writer resolves, so every
+    // rename is elided — zero allocations, zero WAR/WAW — deterministically.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(4));
+    let src = rt.data(vec![7u64; 64]);
+    let dst = rt.versioned_partitioned(vec![0u64; 64], 8);
+    let sum = rt.data(0u64);
+    for chunk in dst.chunk_handles() {
+        let src = src.clone();
+        rt.task().input(&src).output(&chunk).spawn(move |ctx| {
+            let base = chunk.elem_range().start as u64;
+            let s = ctx.read(&src);
+            for (i, v) in ctx.write_chunk(&chunk).iter_mut().enumerate() {
+                *v = s[0] + base + i as u64;
+            }
+        });
+    }
+    for chunk in dst.chunk_handles() {
+        let sum = sum.clone();
+        rt.task().input(&chunk).inout(&sum).spawn(move |ctx| {
+            let s: u64 = ctx.read_chunk(&chunk).iter().sum();
+            *ctx.write(&sum) += s;
+        });
+    }
+    rt.taskwait();
+    let stats = rt.stats();
+    assert_eq!(stats.renames, 0, "single-pass writes allocate no versions");
+    assert_eq!(stats.renames_elided, 8, "every chunk write elided its rename");
+    assert_eq!(stats.war_edges + stats.waw_edges, 0, "elision adds no false dependence");
+    assert_eq!(stats.rename_bytes_held, 0);
+    let expected: u64 = (0..64).map(|i| 7 + i).sum();
+    assert_eq!(rt.into_inner(sum), expected);
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// 3. Optimistic-path fallback under a GC storm
+// ---------------------------------------------------------------------------
+
+fn gc_storm(config: RuntimeConfig, spawners: usize, per_thread: usize) -> ompss::RuntimeStats {
+    let fast_path = config.tracker_fast_path;
+    let rt = Runtime::new(config);
+    let bodies = Arc::new(AtomicU64::new(0));
+    let chains: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spawners)
+            .map(|_| {
+                let rt = &rt;
+                let bodies = bodies.clone();
+                scope.spawn(move || {
+                    // A single-access inout chain: every registration is
+                    // fast-path eligible, every edge is load-bearing (a lost
+                    // edge loses an increment).
+                    let chain = rt.data(0u64);
+                    for _ in 0..per_thread {
+                        let c = chain.clone();
+                        let bodies = bodies.clone();
+                        rt.task().inout(&c).spawn(move |ctx| {
+                            bodies.fetch_add(1, Ordering::Relaxed);
+                            let mut c = ctx.write(&c);
+                            *c += 1;
+                        });
+                    }
+                    chain
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    rt.taskwait();
+    let stats = rt.stats();
+    let total = (spawners * per_thread) as u64;
+    assert_eq!(stats.tasks_spawned, total);
+    assert_eq!(stats.tasks_executed, total);
+    assert_eq!(bodies.load(Ordering::Relaxed), total);
+    for chain in &chains {
+        assert_eq!(rt.fetch(chain), per_thread as u64, "no chain edge was lost");
+    }
+    // Every registration had accesses: with the fast path enabled, hits +
+    // fallbacks must account for all of them (including the fetch tasks
+    // spawned just above).
+    let after_fetch = rt.stats();
+    if fast_path {
+        assert_eq!(
+            after_fetch.tracker_fast_path_hits + after_fetch.tracker_fast_path_fallbacks,
+            after_fetch.tasks_spawned,
+        );
+    }
+    rt.taskwait();
+    let diag = rt.tracker_diagnostics();
+    assert_eq!((diag.total_regions(), diag.total_allocs()), (0, 0), "clean drain");
+    rt.shutdown();
+    stats
+}
+
+fn storm_tasks() -> usize {
+    if cfg!(debug_assertions) {
+        300
+    } else {
+        1200
+    }
+}
+
+#[test]
+fn fast_path_survives_gc_every_spawn() {
+    // GC after every single spawn: each sweep locks every shard (holding the
+    // gates odd), so optimistic registrations keep colliding with sweeps and
+    // falling back mid-storm. Nothing may be lost. (Whether a given run
+    // records fallbacks depends on timing — the deterministic fallback
+    // check lives in `multi_shard_spans_always_fall_back`.)
+    gc_storm(
+        RuntimeConfig::default()
+            .with_workers(4)
+            .with_tracker_shards(4)
+            .with_tracker_gc_interval(1),
+        4,
+        storm_tasks(),
+    );
+}
+
+#[test]
+fn multi_shard_spans_always_fall_back() {
+    use ompss::Accessible;
+    // A registration whose accesses live in different shards can never take
+    // the single-shard fast path. Find two handles that provably map to
+    // different shards (shard = alloc id % shard count, pinned by the graph
+    // docs) and span them.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2).with_tracker_shards(4));
+    let shards = rt.tracker_shards() as u64;
+    let a = rt.data(1u64);
+    let b = loop {
+        let b = rt.data(2u64);
+        if b.region().id.alloc.raw() % shards != a.region().id.alloc.raw() % shards {
+            break b;
+        }
+    };
+    let before = rt.stats();
+    for _ in 0..10 {
+        let (a, b) = (a.clone(), b.clone());
+        rt.task().input(&a).input(&b).spawn(move |ctx| {
+            let _ = *ctx.read(&a) + *ctx.read(&b);
+        });
+    }
+    rt.taskwait();
+    let after = rt.stats();
+    assert!(
+        after.tracker_fast_path_fallbacks >= before.tracker_fast_path_fallbacks + 10,
+        "every multi-shard span falls back to the mutex path"
+    );
+    // And single-allocation spawns on the same runtime still hit.
+    let c = rt.data(0u64);
+    for _ in 0..10 {
+        let c = c.clone();
+        rt.task().inout(&c).spawn(move |ctx| *ctx.write(&c) += 1);
+    }
+    rt.taskwait();
+    let hits_after = rt.stats();
+    assert!(hits_after.tracker_fast_path_hits >= after.tracker_fast_path_hits + 10);
+    assert_eq!(rt.fetch(&c), 10);
+    rt.shutdown();
+}
+
+#[test]
+fn fast_path_storm_with_periodic_gc_and_disabled_gc() {
+    // Default cadence, and the cadence knob's edge cases: interval 0
+    // disables the periodic sweep entirely (quiescent taskwait still
+    // collects, so the drain check inside gc_storm stays valid).
+    gc_storm(
+        RuntimeConfig::default().with_workers(4).with_tracker_shards(8),
+        4,
+        storm_tasks(),
+    );
+    gc_storm(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_tracker_shards(2)
+            .with_tracker_gc_interval(0),
+        2,
+        storm_tasks(),
+    );
+}
+
+#[test]
+fn forced_locked_storm_matches_invariants() {
+    // The mutex-only configuration survives the same storm (it is the
+    // equivalence reference); no hit/fallback counters move.
+    let stats = gc_storm(
+        RuntimeConfig::default()
+            .with_workers(4)
+            .with_tracker_shards(4)
+            .with_tracker_fast_path(false)
+            .with_tracker_gc_interval(64),
+        4,
+        storm_tasks(),
+    );
+    assert_eq!(stats.tracker_fast_path_hits + stats.tracker_fast_path_fallbacks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-affinity scheduling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_affinity_policy_preserves_semantics() {
+    // A producer→consumer mesh over several allocations under the
+    // ShardAffinity policy: values must match, and the affinity router must
+    // actually have been exercised alongside the plain locality path.
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(4)
+            .with_policy(SchedulerPolicy::ShardAffinity),
+    );
+    assert_eq!(rt.policy(), SchedulerPolicy::ShardAffinity);
+    let cells: Vec<_> = (0..16).map(|_| rt.data(0u64)).collect();
+    for round in 0..50u64 {
+        for (i, cell) in cells.iter().enumerate() {
+            let c = cell.clone();
+            let next = cells[(i + 1) % cells.len()].clone();
+            rt.task().input(&c).inout(&next).spawn(move |ctx| {
+                let v = *ctx.read(&c);
+                let mut n = ctx.write(&next);
+                *n = n.wrapping_add(v).wrapping_add(round);
+            });
+        }
+    }
+    rt.taskwait();
+    let stats = rt.stats();
+    let routed = stats.sched_affinity_wakeups + stats.sched_local_wakeups + stats.sched_global_wakeups;
+    assert!(routed > 0, "the chain produced dependent wakeups");
+    // Semantics: replay sequentially.
+    let mut expected = vec![0u64; 16];
+    for round in 0..50u64 {
+        for i in 0..16 {
+            let v = expected[i];
+            let n = (i + 1) % 16;
+            expected[n] = expected[n].wrapping_add(v).wrapping_add(round);
+        }
+    }
+    let got: Vec<u64> = cells.iter().map(|c| rt.fetch(c)).collect();
+    assert_eq!(got, expected);
+    rt.shutdown();
+}

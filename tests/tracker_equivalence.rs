@@ -1,10 +1,12 @@
 //! Equivalence of the sharded dependence tracker with the single-shard
-//! (historical single-lock) tracker.
+//! (historical single-lock) tracker — and of the optimistic (gate-CAS)
+//! registration fast path with the forced-locked mutex path.
 //!
-//! Sharding must be invisible except in throughput: for any program, the
-//! tracker with N shards must discover exactly the dependence structure the
-//! 1-shard tracker discovers, and execution must produce exactly the values
-//! of sequential (spawn-order) execution.
+//! Sharding and the fast path must be invisible except in throughput: for
+//! any program, the tracker with N shards — with or without the optimistic
+//! path — must discover exactly the dependence structure the 1-shard
+//! forced-locked tracker discovers, and execution must produce exactly the
+//! values of sequential (spawn-order) execution.
 //!
 //! Two angles, both over randomly generated access programs (mixed
 //! `input` / `output` / `inout` / `concurrent` accesses over many handles):
@@ -155,11 +157,12 @@ struct EdgeStructure {
     counters: (u64, u64, u64, u64, u64),
 }
 
-fn edge_structure(shards: usize, cells: usize, ops: &[Op]) -> EdgeStructure {
+fn edge_structure(shards: usize, fast_path: bool, cells: usize, ops: &[Op]) -> EdgeStructure {
     let rt = Runtime::new(
         RuntimeConfig::default()
             .with_workers(2)
             .with_tracker_shards(shards)
+            .with_tracker_fast_path(fast_path)
             .with_tracing(true),
     );
     assert_eq!(rt.tracker_shards(), shards);
@@ -170,6 +173,19 @@ fn edge_structure(shards: usize, cells: usize, ops: &[Op]) -> EdgeStructure {
     // deterministic structure, then release the tasks and drain.
     let stats = rt.stats();
     assert_eq!(stats.tracker_shards, shards);
+    // Hit/fallback accounting: with the fast path enabled every
+    // registration that has accesses is either a hit or a fallback; with it
+    // disabled, neither counter moves.
+    if fast_path {
+        assert_eq!(
+            stats.tracker_fast_path_hits + stats.tracker_fast_path_fallbacks,
+            stats.tasks_spawned,
+            "every registration is accounted as fast-path hit or fallback"
+        );
+    } else {
+        assert_eq!(stats.tracker_fast_path_hits, 0);
+        assert_eq!(stats.tracker_fast_path_fallbacks, 0);
+    }
     let trace = rt.trace();
     gate.store(true, Ordering::Release);
     rt.taskwait();
@@ -210,11 +226,12 @@ fn edge_structure(shards: usize, cells: usize, ops: &[Op]) -> EdgeStructure {
     }
 }
 
-fn final_values(shards: usize, cells: usize, ops: &[Op]) -> Vec<u64> {
+fn final_values(shards: usize, fast_path: bool, cells: usize, ops: &[Op]) -> Vec<u64> {
     let rt = Runtime::new(
         RuntimeConfig::default()
             .with_workers(3)
-            .with_tracker_shards(shards),
+            .with_tracker_shards(shards)
+            .with_tracker_fast_path(fast_path),
     );
     let handles: Vec<Data<u64>> = (0..cells).map(|_| rt.data(0u64)).collect();
     spawn_program(&rt, &handles, ops, None);
@@ -227,33 +244,41 @@ fn final_values(shards: usize, cells: usize, ops: &[Op]) -> Vec<u64> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// With task completion gated off during spawning, the sharded tracker
-    /// discovers exactly the edge multiset, per-task dependence counts and
-    /// edge-class counters of the single-shard tracker, for every shard
-    /// count.
+    /// With task completion gated off during spawning, the sharded tracker —
+    /// optimistic fast path enabled — discovers exactly the edge multiset,
+    /// per-task dependence counts and edge-class counters of the
+    /// forced-locked single-shard tracker, for every shard count; and the
+    /// forced-locked configuration agrees at every shard count too.
     #[test]
     fn sharded_edge_structure_equals_single_shard(
         ops in proptest::collection::vec(op_strategy(4), 1..32),
     ) {
-        let reference = edge_structure(1, 4, &ops);
+        // Reference: 1 shard, forced-locked (the historical tracker).
+        let reference = edge_structure(1, false, 4, &ops);
         prop_assert_eq!(reference.edges.len() as u64, reference.counters.0);
+        for shards in SHARD_COUNTS {
+            let optimistic = edge_structure(shards, true, 4, &ops);
+            prop_assert_eq!(&optimistic, &reference, "optimistic, shards = {}", shards);
+        }
         for shards in &SHARD_COUNTS[1..] {
-            let got = edge_structure(*shards, 4, &ops);
-            prop_assert_eq!(&got, &reference, "shards = {}", shards);
+            let locked = edge_structure(*shards, false, 4, &ops);
+            prop_assert_eq!(&locked, &reference, "forced-locked, shards = {}", shards);
         }
     }
 
-    /// Ungated execution on every shard count ends in exactly the
-    /// sequential final values.
+    /// Ungated execution on every shard count — optimistic and
+    /// forced-locked — ends in exactly the sequential final values.
     #[test]
     fn sharded_execution_matches_sequential_semantics(
         ops in proptest::collection::vec(op_strategy(5), 1..48),
     ) {
         let expected = run_sequential_matching_tasks(5, &ops);
         for shards in SHARD_COUNTS {
-            let got = final_values(shards, 5, &ops);
-            prop_assert_eq!(&got, &expected, "shards = {}", shards);
+            let got = final_values(shards, true, 5, &ops);
+            prop_assert_eq!(&got, &expected, "optimistic, shards = {}", shards);
         }
+        let got = final_values(7, false, 5, &ops);
+        prop_assert_eq!(&got, &expected, "forced-locked, shards = 7");
     }
 }
 
