@@ -1,16 +1,24 @@
-//! Criterion microbenchmark of the task-insertion hot path: register+retire
-//! throughput for single-access tasks, with the dependence tracker's
-//! optimistic (gate-CAS) fast path against the forced-locked mutex path, at
-//! 1 and 8 concurrently spawning threads.
+//! Criterion microbenchmark of the task-insertion hot path: **full-spawn**
+//! throughput (builder, node, registration, scheduling, execution,
+//! retirement) for single-access tasks, at 1 and 8 concurrently spawning
+//! threads, across three runtime configurations:
 //!
-//! Each measured iteration spawns a batch of empty-bodied tasks, every task
+//! * `locked` — tracker mutex path, node recycler off: the historical
+//!   baseline.
+//! * `optimistic` — the gate-CAS tracker fast path, recycler still off: the
+//!   PR-4 configuration, which moved the tracker-only number but left ~6
+//!   heap allocations on every spawn.
+//! * `recycled` — fast path plus the task-node slab and inline accesses/
+//!   bodies: the steady-state spawn is allocation-free end to end (pinned by
+//!   `tests/spawn_alloc.rs`).
+//!
+//! Each measured iteration spawns a batch of tiny-bodied tasks, every task
 //! declaring exactly one `output` access on one of a small pool of plain
 //! cells (so registration does real history work — the previous writer
 //! generation is found, superseded and eventually retired — while the shard
 //! routing stays spread). The `taskwait` at the end of a batch also drains
-//! the retire path, so the numbers cover the full register→execute→retire
-//! round trip that bounds fine-grained workloads like the h264dec
-//! macroblock loop.
+//! the retire path, so the numbers cover the full round trip that bounds
+//! fine-grained workloads like the h264dec macroblock loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -22,12 +30,20 @@ const CELLS: usize = 64;
 /// Tasks per measured batch, per spawner thread.
 const TASKS: usize = 500;
 
-fn runtime(fast_path: bool) -> Runtime {
+/// The three insertion-path configurations compared.
+const CONFIGS: [(&str, bool, bool); 3] = [
+    ("locked", false, false),
+    ("optimistic", true, false),
+    ("recycled", true, true),
+];
+
+fn runtime(fast_path: bool, recycler: bool) -> Runtime {
     Runtime::new(
         RuntimeConfig::default()
             .with_workers(2)
             .with_tracker_shards(8)
-            .with_tracker_fast_path(fast_path),
+            .with_tracker_fast_path(fast_path)
+            .with_task_recycler(recycler),
     )
 }
 
@@ -44,10 +60,10 @@ fn bench_single_spawner(c: &mut Criterion) {
     let mut group = c.benchmark_group("insertion/1thread");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_millis(800));
-    for (label, fast) in [("locked", false), ("optimistic", true)] {
-        let rt = runtime(fast);
+    for (label, fast, recycler) in CONFIGS {
+        let rt = runtime(fast, recycler);
         let cells: Vec<Data<u64>> = (0..CELLS).map(|_| rt.data(0u64)).collect();
-        group.bench_function(format!("register_retire_x{TASKS}/{label}"), |b| {
+        group.bench_function(format!("full_spawn_x{TASKS}/{label}"), |b| {
             b.iter(|| {
                 spawn_batch(&rt, &cells);
                 rt.taskwait();
@@ -62,12 +78,12 @@ fn bench_eight_spawners(c: &mut Criterion) {
     let mut group = c.benchmark_group("insertion/8threads");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_millis(1500));
-    for (label, fast) in [("locked", false), ("optimistic", true)] {
-        let rt = runtime(fast);
+    for (label, fast, recycler) in CONFIGS {
+        let rt = runtime(fast, recycler);
         let per_thread: Vec<Vec<Data<u64>>> = (0..8)
             .map(|_| (0..CELLS).map(|_| rt.data(0u64)).collect())
             .collect();
-        group.bench_function(format!("register_retire_x{}/{label}", TASKS * 8), |b| {
+        group.bench_function(format!("full_spawn_x{}/{label}", TASKS * 8), |b| {
             b.iter(|| {
                 std::thread::scope(|scope| {
                     for cells in &per_thread {

@@ -351,13 +351,19 @@ fn spawn_rate_best(shards: usize, spawners: usize, per_spawner: usize) -> (f64, 
 /// on one of `CELLS` per-spawner plain cells, so (with the fast path on)
 /// nearly every registration is a one-CAS optimistic publication. Returns
 /// insertions/sec over the spawn phase and the runtime stats.
-fn single_access_rate(fast_path: bool, spawners: usize, per_spawner: usize) -> (f64, RuntimeStats) {
+fn single_access_rate(
+    fast_path: bool,
+    recycler: bool,
+    spawners: usize,
+    per_spawner: usize,
+) -> (f64, RuntimeStats) {
     const CELLS: usize = 64;
     let rt = Runtime::new(
         RuntimeConfig::default()
             .with_workers(2)
             .with_tracker_shards(SHARDED)
-            .with_tracker_fast_path(fast_path),
+            .with_tracker_fast_path(fast_path)
+            .with_task_recycler(recycler),
     );
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -384,15 +390,145 @@ fn single_access_rate(fast_path: bool, spawners: usize, per_spawner: usize) -> (
     (rate, stats)
 }
 
-fn single_access_best(fast_path: bool, spawners: usize, per_spawner: usize) -> (f64, RuntimeStats) {
+fn single_access_best(
+    fast_path: bool,
+    recycler: bool,
+    spawners: usize,
+    per_spawner: usize,
+) -> (f64, RuntimeStats) {
     let mut best: Option<(f64, RuntimeStats)> = None;
     for _ in 0..3 {
-        let (rate, stats) = single_access_rate(fast_path, spawners, per_spawner);
+        let (rate, stats) = single_access_rate(fast_path, recycler, spawners, per_spawner);
         if best.as_ref().is_none_or(|(b, _)| rate > *b) {
             best = Some((rate, stats));
         }
     }
     best.expect("three runs happened")
+}
+
+/// In-flight bound of the allocation-diet runs: spawners yield while more
+/// tasks than this are outstanding. Keeps the working set inside the node
+/// slab so recycling — not first-fill allocation — dominates, exactly the
+/// steady state a long-running service sits in. (An unthrottled spawner on
+/// a loaded host can run thousands of tasks ahead; every one of those needs
+/// a fresh node whatever the recycler does.)
+const DIET_IN_FLIGHT: usize = 512;
+
+/// Full-spawn rate with in-flight backpressure (see [`DIET_IN_FLIGHT`]).
+fn diet_rate(recycler: bool, spawners: usize, per_spawner: usize) -> (f64, RuntimeStats) {
+    const CELLS: usize = 64;
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_tracker_shards(SHARDED)
+            .with_task_recycler(recycler),
+    );
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..spawners {
+            let rt = &rt;
+            scope.spawn(move || {
+                let cells: Vec<Data<u64>> = (0..CELLS).map(|_| rt.data(0u64)).collect();
+                for i in 0..per_spawner {
+                    while rt.in_flight_tasks() > DIET_IN_FLIGHT {
+                        std::thread::yield_now();
+                    }
+                    let c = cells[i % cells.len()].clone();
+                    rt.task().output(&c).spawn(move |ctx| {
+                        *ctx.write(&c) = i as u64;
+                    });
+                }
+            });
+        }
+    });
+    rt.taskwait();
+    let rate = (spawners * per_spawner) as f64 / start.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_spawned as usize, spawners * per_spawner);
+    rt.shutdown();
+    (rate, stats)
+}
+
+fn diet_rate_best(recycler: bool, spawners: usize, per_spawner: usize) -> (f64, RuntimeStats) {
+    let mut best: Option<(f64, RuntimeStats)> = None;
+    for _ in 0..3 {
+        let (rate, stats) = diet_rate(recycler, spawners, per_spawner);
+        if best.as_ref().is_none_or(|(b, _)| rate > *b) {
+            best = Some((rate, stats));
+        }
+    }
+    best.expect("three runs happened")
+}
+
+/// The spawn-side allocation diet: full-spawn throughput with the task-node
+/// recycler (and inline accesses/bodies) against the PR-4 configuration
+/// (fast path on, one fresh node + access list + boxed body per spawn),
+/// plus the recycler hit rate the diet lives on.
+fn allocation_diet_section(per_spawner: usize) {
+    println!("\n=== Spawn-side allocation diet (full-spawn, single-access tasks) ===\n");
+    println!(
+        "{per_spawner} single-`output` tasks per spawner thread over 64 cells, \
+         {SHARDED} shards, ≤{DIET_IN_FLIGHT} in flight, best of 3\n"
+    );
+    println!(
+        "{:<10}{:>16}{:>16}{:>10}{:>14}{:>14}",
+        "spawners", "no recycler/s", "recycled/s", "speedup", "recycle rate", "inline rate"
+    );
+    let mut at_eight = None;
+    for spawners in [1usize, 2, 4, 8] {
+        let (base, _) = diet_rate_best(false, spawners, per_spawner);
+        let (diet, diet_stats) = diet_rate_best(true, spawners, per_spawner);
+        let recycle_rate = diet_stats.task_recycle_rate().unwrap_or(0.0);
+        let inline_rate = diet_stats.access_inline_hits as f64
+            / (diet_stats.access_inline_hits + diet_stats.access_inline_spills).max(1) as f64;
+        println!(
+            "{:<10}{:>16.0}{:>16.0}{:>9.2}x{:>13.1}%{:>13.1}%",
+            spawners,
+            base,
+            diet,
+            diet / base,
+            100.0 * recycle_rate,
+            100.0 * inline_rate,
+        );
+        if spawners == 8 {
+            at_eight = Some((base, diet, diet_stats));
+        }
+    }
+    let (base, diet, diet_stats) = at_eight.expect("8-spawner row ran");
+    println!(
+        "\nrecycler @ 8 spawners: {diet:.0} spawns/s vs {base:.0} without ({:.2}x, target 1.15x), \
+         {} nodes recycled ({:.1}% hit rate), {} fresh",
+        diet / base,
+        diet_stats.task_nodes_recycled,
+        100.0 * diet_stats.task_recycle_rate().unwrap_or(0.0),
+        diet_stats.task_nodes_allocated,
+    );
+    // CI gates. With the in-flight bound, the slab fills once (≲ the bound
+    // plus spawner overshoot) and everything after runs on recycled nodes —
+    // a deterministic property as long as the run is long enough to
+    // amortise the fill.
+    if per_spawner * 8 >= 4 * DIET_IN_FLIGHT {
+        assert!(
+            diet_stats.task_recycle_rate().unwrap_or(0.0) >= 0.50,
+            "the throttled single-access storm must recycle most nodes, got {:.1}%",
+            100.0 * diet_stats.task_recycle_rate().unwrap_or(0.0),
+        );
+    }
+    assert_eq!(
+        diet_stats.access_inline_spills, 0,
+        "single-access tasks never spill their access list"
+    );
+    // Throughput: the diet must never cost end-to-end spawn rate. On hosts
+    // with real parallelism it wins outright (the ≥1.15x acceptance target
+    // printed above); without, scheduling noise dominates — same core-aware
+    // tolerance as the other end-to-end asserts in this harness.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let tolerance = if cores >= 4 { 0.9 } else { 0.75 };
+    assert!(
+        diet >= base * tolerance,
+        "the recycler must not be slower end to end: {diet:.0}/s vs {base:.0}/s \
+         ({cores} hardware threads, tolerance {tolerance})"
+    );
 }
 
 fn fast_path_section(per_spawner: usize) {
@@ -407,8 +543,11 @@ fn fast_path_section(per_spawner: usize) {
     );
     let mut at_one = None;
     for spawners in [1usize, 2, 4, 8] {
-        let (locked, _) = single_access_best(false, spawners, per_spawner);
-        let (fast, fast_stats) = single_access_best(true, spawners, per_spawner);
+        // Recycler on in both rows (the default): this section ablates the
+        // tracker tier only; the allocation-diet section ablates the
+        // recycler.
+        let (locked, _) = single_access_best(false, true, spawners, per_spawner);
+        let (fast, fast_stats) = single_access_best(true, true, spawners, per_spawner);
         let hit_rate = fast_stats.tracker_fast_path_rate().unwrap_or(0.0);
         println!(
             "{:<10}{:>16.0}{:>16.0}{:>9.2}x{:>11.1}%{:>12}",
@@ -677,4 +816,5 @@ fn main() {
     chunked_pipeline_section(workers, pipeline_iters);
     spawn_rate_section(spawn_tasks);
     fast_path_section(spawn_tasks);
+    allocation_diet_section(spawn_tasks);
 }

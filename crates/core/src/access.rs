@@ -30,6 +30,8 @@
 //! task-body guards (`ctx.read` / `ctx.write` and the chunk equivalents)
 //! never have to lock and scan the version chain on the hot path.
 
+use std::mem::MaybeUninit;
+
 use crate::region::{AllocId, Region};
 
 /// Type-erased storage pointer of the data version an access bound, plus the
@@ -95,6 +97,12 @@ pub struct Access {
     /// Storage pointer of the bound version, resolved at bind time. `None`
     /// only for accesses built through the public [`Access::new`].
     bound: Option<BoundPtr>,
+    /// Whether this is an `output` binding whose rename was **elided** (the
+    /// access binds the handle's current version in place — see
+    /// [`crate::rename`], "First-write rename elision"). The task builder
+    /// uses the marker to detect the output-before-input aliasing corner and
+    /// un-elide the write before the task is inserted.
+    elided: bool,
 }
 
 impl Access {
@@ -105,6 +113,7 @@ impl Access {
             kind,
             canonical: None,
             bound: None,
+            elided: false,
         }
     }
 
@@ -129,7 +138,19 @@ impl Access {
             kind,
             canonical: Some(canonical),
             bound: Some(BoundPtr { ptr, len }),
+            elided: false,
         }
+    }
+
+    /// Mark this access as an elided in-place `output` binding.
+    pub(crate) fn mark_elided(mut self) -> Self {
+        self.elided = true;
+        self
+    }
+
+    /// Whether this access is an elided in-place `output` binding.
+    pub(crate) fn is_elided(&self) -> bool {
+        self.elided
     }
 
     /// The allocation id identifying the *handle* this access refers to:
@@ -206,6 +227,187 @@ pub fn conflicts(earlier: AccessKind, later: AccessKind) -> bool {
     classify(earlier, later).orders()
 }
 
+// ---------------------------------------------------------------------------
+// AccessVec: the inline small-vector the spawn path stores accesses in
+// ---------------------------------------------------------------------------
+
+/// Number of accesses stored inline (without a heap allocation) by
+/// [`AccessVec`]. Two covers the dominant spawn shapes measured by the
+/// insertion benchmarks: single-access tasks and the input+output /
+/// inout+input pairs of pipeline stages.
+pub(crate) const ACCESS_INLINE_CAP: usize = 2;
+
+/// A small-vector of [`Access`]es: up to [`ACCESS_INLINE_CAP`] elements live
+/// inline, larger declarations spill to a heap `Vec`. The task builder, the
+/// resolved-access plumbing and `TaskNode` all store accesses in this
+/// representation, which is what makes the steady-state `spawn` of a
+/// ≤2-access task allocation-free end to end.
+///
+/// Invariant: when `spilled` is false the live elements are
+/// `inline[0..len]`; once a push overflows the inline slots, every element
+/// moves to `spill` and the vector stays heap-backed for the rest of its
+/// life (`len` then mirrors `spill.len()` only through [`AccessVec::len`]).
+pub(crate) struct AccessVec {
+    inline: [MaybeUninit<Access>; ACCESS_INLINE_CAP],
+    len: usize,
+    spilled: bool,
+    spill: Vec<Access>,
+}
+
+impl Default for AccessVec {
+    fn default() -> Self {
+        AccessVec::new()
+    }
+}
+
+impl AccessVec {
+    /// An empty vector (no heap allocation).
+    pub(crate) fn new() -> Self {
+        AccessVec {
+            inline: [const { MaybeUninit::uninit() }; ACCESS_INLINE_CAP],
+            len: 0,
+            spilled: false,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A vector holding exactly one access (no heap allocation).
+    pub(crate) fn one(access: Access) -> Self {
+        let mut v = AccessVec::new();
+        v.push(access);
+        v
+    }
+
+    /// Number of accesses.
+    pub(crate) fn len(&self) -> usize {
+        if self.spilled {
+            self.spill.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// Whether the vector holds no accesses.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the accesses have spilled to the heap (more than
+    /// [`ACCESS_INLINE_CAP`] were pushed at some point).
+    pub(crate) fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Append an access, spilling every element to the heap when the inline
+    /// capacity is exceeded.
+    pub(crate) fn push(&mut self, access: Access) {
+        if self.spilled {
+            self.spill.push(access);
+            return;
+        }
+        if self.len < ACCESS_INLINE_CAP {
+            self.inline[self.len].write(access);
+            self.len += 1;
+            return;
+        }
+        // Overflow: move the inline elements into the heap vector.
+        self.spill.reserve(ACCESS_INLINE_CAP + 1);
+        for slot in &mut self.inline[..self.len] {
+            // Safety: slots 0..len are initialised; they are logically moved
+            // out here and `len` is reset so they are never touched again.
+            self.spill.push(unsafe { slot.assume_init_read() });
+        }
+        self.len = 0;
+        self.spilled = true;
+        self.spill.push(access);
+    }
+
+    /// Move every access of `other` onto the end of `self`.
+    pub(crate) fn append(&mut self, mut other: AccessVec) {
+        if other.spilled {
+            for access in other.spill.drain(..) {
+                self.push(access);
+            }
+        } else {
+            let n = other.len;
+            other.len = 0;
+            for slot in &mut other.inline[..n] {
+                // Safety: slots 0..n were initialised and `other.len` is
+                // already zeroed, so ownership transfers exactly once.
+                self.push(unsafe { slot.assume_init_read() });
+            }
+        }
+    }
+
+    /// The accesses as a contiguous slice.
+    pub(crate) fn as_slice(&self) -> &[Access] {
+        if self.spilled {
+            &self.spill
+        } else {
+            // Safety: elements 0..len are initialised, and
+            // `MaybeUninit<Access>` has the same layout as `Access`.
+            unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr() as *const Access, self.len)
+            }
+        }
+    }
+
+    /// The accesses as a mutable contiguous slice.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [Access] {
+        if self.spilled {
+            &mut self.spill
+        } else {
+            // Safety: as in `as_slice`, plus `&mut self` makes it unique.
+            unsafe {
+                std::slice::from_raw_parts_mut(self.inline.as_mut_ptr() as *mut Access, self.len)
+            }
+        }
+    }
+
+    /// Drop every access, keeping the heap capacity (and the spilled state)
+    /// for the vector's next life.
+    pub(crate) fn clear(&mut self) {
+        if self.spilled {
+            self.spill.clear();
+        } else {
+            for slot in &mut self.inline[..self.len] {
+                // Safety: slots 0..len are initialised; len is reset below.
+                unsafe { slot.assume_init_drop() };
+            }
+            self.len = 0;
+        }
+    }
+}
+
+impl Drop for AccessVec {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl std::ops::Deref for AccessVec {
+    type Target = [Access];
+    fn deref(&self) -> &[Access] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for AccessVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<Access> for AccessVec {
+    fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
+        let mut v = AccessVec::new();
+        for access in iter {
+            v.push(access);
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +477,70 @@ mod tests {
         let a = Access::new(r.clone(), AccessKind::InOut);
         assert_eq!(a.region, r);
         assert_eq!(a.kind, AccessKind::InOut);
+    }
+
+    fn mk(alloc: u64, chunk: u32) -> Access {
+        Access::new(Region::new(AllocId(alloc), chunk, 0..8), AccessKind::Input)
+    }
+
+    #[test]
+    fn access_vec_stays_inline_up_to_two() {
+        let mut v = AccessVec::new();
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        v.push(mk(1, 0));
+        v.push(mk(2, 0));
+        assert_eq!(v.len(), 2);
+        assert!(!v.spilled(), "two accesses fit inline");
+        assert_eq!(v[0].region.id.alloc, AllocId(1));
+        assert_eq!(v[1].region.id.alloc, AllocId(2));
+        v.push(mk(3, 0));
+        assert!(v.spilled(), "the third access spills to the heap");
+        assert_eq!(v.len(), 3);
+        // Order preserved across the spill.
+        let allocs: Vec<u64> = v.iter().map(|a| a.region.id.alloc.raw()).collect();
+        assert_eq!(allocs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn access_vec_append_and_collect() {
+        let mut a = AccessVec::one(mk(1, 0));
+        let mut b = AccessVec::new();
+        b.push(mk(2, 0));
+        b.push(mk(3, 0));
+        b.push(mk(4, 0));
+        a.append(b);
+        assert_eq!(a.len(), 4);
+        assert!(a.spilled());
+        let c: AccessVec = (1..=2u64).map(|i| mk(i, 0)).collect();
+        assert_eq!(c.len(), 2);
+        assert!(!c.spilled());
+        // Slice patterns work through Deref, as the tracker's retire fast
+        // path relies on.
+        if let [only] = &*AccessVec::one(mk(9, 1)) {
+            assert_eq!(only.region.id.chunk, 1);
+        } else {
+            panic!("single-element slice pattern must match");
+        }
+    }
+
+    #[test]
+    fn access_vec_clear_keeps_spilled_capacity() {
+        let mut v: AccessVec = (1..=5u64).map(|i| mk(i, 0)).collect();
+        assert!(v.spilled());
+        v.clear();
+        assert!(v.is_empty());
+        v.push(mk(7, 0));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].region.id.alloc, AllocId(7));
+    }
+
+    #[test]
+    fn elided_marker_roundtrip() {
+        let a = mk(1, 0);
+        assert!(!a.is_elided());
+        let a = a.mark_elided();
+        assert!(a.is_elided());
     }
 
     fn any_kind() -> impl Strategy<Value = AccessKind> {

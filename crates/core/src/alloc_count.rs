@@ -1,0 +1,64 @@
+//! A counting wrapper around the system allocator, for allocation-regression
+//! tests.
+//!
+//! The spawn-side allocation diet claims that a steady-state `spawn` of a
+//! ≤2-access task performs **zero** heap allocations end to end (builder,
+//! node, registration, scheduling, completion, retirement, recycling). That
+//! claim is only trustworthy if something counts: a test binary installs
+//! [`CountingAllocator`] as its `#[global_allocator]`, warms the runtime up,
+//! snapshots [`CountingAllocator::allocations`] around a measured batch and
+//! asserts the delta is zero — see `tests/spawn_alloc.rs`.
+//!
+//! The counter tracks `alloc`, `alloc_zeroed` and `realloc` (a `realloc` may
+//! move, so it counts as an allocation event); `dealloc` is free. Counting
+//! is a single relaxed atomic increment per allocation, cheap enough to
+//! leave installed for a whole test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]` delegating to [`System`] while counting every
+/// allocation event process-wide.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: ompss::CountingAllocator = ompss::CountingAllocator;
+///
+/// let before = ompss::CountingAllocator::allocations();
+/// // ... the code under test ...
+/// assert_eq!(ompss::CountingAllocator::allocations() - before, 0);
+/// ```
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Total allocation events (`alloc` + `alloc_zeroed` + `realloc`) since
+    /// process start. Monotonic; diff two snapshots to measure a window.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+// Safety: delegates every operation to `System` unchanged; the only added
+// behaviour is a relaxed counter increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

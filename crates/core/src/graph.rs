@@ -213,11 +213,16 @@ pub(crate) struct TrackerShard {
     /// All region ids currently tracked per allocation, used for overlap
     /// scans.
     by_alloc: HashMap<AllocId, Vec<RegionId>, IdBuildHasher>,
-    /// Scratch buffers reused by the optimistic fast path so the steady-state
-    /// single-shard registration allocates nothing. Only ever touched while
-    /// the shard's gate is held (exclusive access), and always left empty.
+    /// Scratch buffers reused by every single-shard registration — the
+    /// optimistic fast path *and* the mutex path — so the steady-state
+    /// registration allocates nothing on either tier. Only ever touched
+    /// while the shard's gate is held (exclusive access), and always left
+    /// empty.
     scratch_preds: Vec<PredRef>,
     scratch_seen: Vec<TaskId>,
+    /// Scratch set reused by [`TrackerShard::garbage_collect`], so periodic
+    /// and quiescent sweeps stay allocation-free in steady state too.
+    scratch_gc: HashSet<RegionId, IdBuildHasher>,
 }
 
 impl TrackerShard {
@@ -361,11 +366,15 @@ impl TrackerShard {
             e.concurrent.retain(HistoryRef::is_live_incomplete);
             !(e.writers.is_empty() && e.readers.is_empty() && e.concurrent.is_empty())
         });
-        let live: HashSet<RegionId> = self.entries.keys().copied().collect();
+        let mut live = std::mem::take(&mut self.scratch_gc);
+        debug_assert!(live.is_empty());
+        live.extend(self.entries.keys().copied());
         self.by_alloc.retain(|_, ids| {
             ids.retain(|r| live.contains(r));
             !ids.is_empty()
         });
+        live.clear();
+        self.scratch_gc = live;
     }
 
     fn overlapping_ids(&self, region: &Region) -> Vec<RegionId> {
@@ -709,7 +718,7 @@ impl ShardedTracker {
         // grants exclusive access and releases on drop, panics included.
         let mut gate = self.shards[sid].try_fast_gate()?;
         self.counters.hit(sid);
-        Some(register_single_shard(&mut gate, sid, node, record_edges))
+        Some(register_single_shard(&mut gate, sid, node, record_edges, true))
     }
 
     /// Lock every shard the accesses touch, in canonical (ascending index)
@@ -744,7 +753,19 @@ impl ShardedTracker {
     /// overlapping allocations. `record_edges` asks for [`EdgeRecord`]s (only
     /// the tracing path wants them).
     pub(crate) fn register(&self, node: &Arc<TaskNode>, record_edges: bool) -> Registration {
-        if self.fast_path && !node.accesses.is_empty() {
+        if node.accesses.is_empty() {
+            node.in_edges.store(0, Ordering::Relaxed);
+            return Registration {
+                edges: 0,
+                raw_edges: 0,
+                war_edges: 0,
+                waw_edges: 0,
+                predecessors_seen: 0,
+                edge_list: Vec::new(),
+                fast_path: false,
+            };
+        }
+        if self.fast_path {
             match self.try_register_fast(node, record_edges) {
                 Some(registration) => {
                     self.counters.fast_hit();
@@ -754,16 +775,34 @@ impl ShardedTracker {
             }
         }
         let mut locked = self.lock_for(&node.accesses);
+        // Single shard behind the mutex: exactly the three fast-path passes,
+        // via the same per-shard scratch buffers — the mutex tier is
+        // allocation-free in steady state too.
+        if let LockedShards::One(sid, ref mut guard) = locked {
+            return register_single_shard(guard, sid, node, record_edges, false);
+        }
+        // Multi-shard span: run the passes across the canonically locked
+        // shards, borrowing the first access's shard scratch buffers (every
+        // involved gate is held, so the scratch is exclusively ours).
+        let first = self.shard_of(node.accesses[0].region.id.alloc);
+        let (mut preds, mut seen_pred_ids) = {
+            let shard = locked.shard_mut(first);
+            (
+                std::mem::take(&mut shard.scratch_preds),
+                std::mem::take(&mut shard.scratch_seen),
+            )
+        };
+        debug_assert!(preds.is_empty() && seen_pred_ids.is_empty());
 
         // Pass 1: collect predecessors from every overlapping region entry,
         // in access-declaration order. Each predecessor is remembered with
         // the dependence class of the (first) conflict that introduced it,
         // so added edges can be attributed to RAW / WAR / WAW.
-        let mut preds: Vec<PredRef> = Vec::new();
-        let mut seen_pred_ids: Vec<TaskId> = Vec::new();
         for access in node.accesses.iter() {
             let sid = self.shard_of(access.region.id.alloc);
-            locked.shard_mut(sid).collect_preds(access, sid, &mut preds, &mut seen_pred_ids);
+            locked
+                .shard_mut(sid)
+                .collect_preds(access, sid, &mut preds, &mut seen_pred_ids);
         }
 
         // Pass 2: add the edges (only live predecessors can take one).
@@ -777,12 +816,19 @@ impl ShardedTracker {
             locked.shard_mut(sid).record_access(access, node);
         }
 
+        let predecessors_seen = preds.len();
+        preds.clear();
+        seen_pred_ids.clear();
+        let shard = locked.shard_mut(first);
+        shard.scratch_preds = preds;
+        shard.scratch_seen = seen_pred_ids;
+
         Registration {
             edges,
             raw_edges,
             war_edges,
             waw_edges,
-            predecessors_seen: preds.len(),
+            predecessors_seen,
             edge_list,
             fast_path: false,
         }
@@ -913,14 +959,15 @@ fn add_pred_edges(
 }
 
 /// The three registration passes against a single shard, using the shard's
-/// scratch buffers so the steady state allocates nothing. Runs the same
-/// `collect_preds` / `add_pred_edges` / `record_access` sequence as the
-/// mutex path — the fast path differs only in how exclusion was obtained.
+/// scratch buffers so the steady state allocates nothing. Shared by the
+/// optimistic fast path and the single-shard mutex path (`fast` records
+/// which tier obtained exclusion — the passes are byte-identical).
 fn register_single_shard(
     shard: &mut TrackerShard,
     sid: usize,
     node: &Arc<TaskNode>,
     record_edges: bool,
+    fast: bool,
 ) -> Registration {
     let mut preds = std::mem::take(&mut shard.scratch_preds);
     let mut seen = std::mem::take(&mut shard.scratch_seen);
@@ -946,7 +993,7 @@ fn register_single_shard(
         waw_edges,
         predecessors_seen,
         edge_list,
-        fast_path: true,
+        fast_path: fast,
     }
 }
 
@@ -993,17 +1040,18 @@ pub(crate) fn finish_registration(node: &Arc<TaskNode>) -> bool {
     ready
 }
 
-/// Mark `node` completed and notify its successors. Returns the successors
-/// that became ready as a result.
-pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
+/// Mark `node` completed and notify its successors, appending those that
+/// became ready onto `ready`. The successor list is drained **in place** —
+/// its capacity stays with the node for its next (recycled) life, and the
+/// caller's `ready` buffer is reused across completions, so the steady-state
+/// wakeup path allocates nothing. Decrementing `pending` under the
+/// predecessor's links lock is the same single-lock+atomic pattern
+/// [`add_edge`] uses, so no lock ordering is introduced.
+pub(crate) fn complete_into(node: &Arc<TaskNode>, ready: &mut Vec<Arc<TaskNode>>) {
     node.set_state(TaskState::Completed);
-    let successors = {
-        let mut links = node.links.lock();
-        links.completed = true;
-        std::mem::take(&mut links.successors)
-    };
-    let mut ready = Vec::new();
-    for succ in successors {
+    let mut links = node.links.lock();
+    links.completed = true;
+    for succ in links.successors.drain(..) {
         let prev = succ.pending.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev >= 1);
         if prev == 1 {
@@ -1011,6 +1059,15 @@ pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
             ready.push(succ);
         }
     }
+}
+
+/// Mark `node` completed and notify its successors. Returns the successors
+/// that became ready as a result. Allocating convenience wrapper around
+/// [`complete_into`] for tests and benches; the worker hot path passes its
+/// own reusable buffer.
+pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
+    let mut ready = Vec::new();
+    complete_into(node, &mut ready);
     ready
 }
 
@@ -1022,7 +1079,7 @@ pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
 #[doc(hidden)]
 pub mod bench {
     use super::{complete, finish_registration, ShardedTracker};
-    use crate::access::{Access, AccessKind};
+    use crate::access::{Access, AccessKind, AccessVec};
     use crate::region::{AllocId, Region};
     use crate::task::{ChildTracker, TaskNode, TaskPriority};
     use std::sync::Arc;
@@ -1054,10 +1111,8 @@ pub mod bench {
                         TaskNode::new(
                             None,
                             TaskPriority::default(),
-                            Arc::from(
-                                vec![Access::new(region, AccessKind::Output)].into_boxed_slice(),
-                            ),
-                            Box::new(|_| {}),
+                            AccessVec::one(Access::new(region, AccessKind::Output)),
+                            |_| {},
                             parent.clone(),
                         )
                     })
@@ -1094,8 +1149,8 @@ mod tests {
         TaskNode::new(
             None,
             TaskPriority::default(),
-            Arc::from(accesses.into_boxed_slice()),
-            Box::new(|_ctx| {}),
+            accesses.into_iter().collect(),
+            |_ctx| {},
             ChildTracker::new(),
         )
     }

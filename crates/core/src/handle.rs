@@ -176,7 +176,7 @@ impl<T> Clone for SlotTicket<T> {
     }
 }
 
-impl<T: Send> VersionTicket for SlotTicket<T> {
+impl<T: Send + 'static> VersionTicket for SlotTicket<T> {
     fn release(&self) {
         if let Storage::Versioned(chain) = &self.inner.storage {
             let mut st = chain.state.lock();
@@ -186,6 +186,27 @@ impl<T: Send> VersionTicket for SlotTicket<T> {
                 st.reclaim(idx, self.pool_depth);
             }
         }
+    }
+
+    fn unelide(&self, cx: &RenameCx<'_>) -> Option<ResolvedAccess> {
+        let Storage::Versioned(chain) = &self.inner.storage else {
+            return None;
+        };
+        let mut st = chain.state.lock();
+        let idx = st.slot_index(self.alloc)?;
+        if idx != st.current {
+            // Not an in-place binding on the current version: nothing to
+            // un-elide (the write already targets its own version).
+            return None;
+        }
+        let resolved = rename_data_version(&self.inner, chain, &mut st, AccessKind::Output, cx)?;
+        // The binding moves to the fresh version (held by the replacement
+        // ticket); release the in-place reference this ticket held. The old
+        // version stays current — and readable — until the commit at spawn.
+        debug_assert!(st.slots[idx].refs > 0, "elided binding already released");
+        st.slots[idx].refs -= 1;
+        cx.pool().note_unelision();
+        Some(resolved)
     }
 }
 
@@ -343,30 +364,37 @@ impl<T: Send + 'static> Data<T> {
     }
 
     fn version_region(&self, alloc: AllocId) -> Region {
-        Region::new(alloc, 0, self.inner.region.bytes.clone())
+        self.inner.version_region(alloc)
     }
 
     /// Bind the current version: bump its refcount and build the access. The
     /// version's storage pointer is resolved here, once, so the task-body
-    /// guards never lock the chain.
+    /// guards never lock the chain. `elided` marks the binding as an elided
+    /// in-place `output` (so the builder can un-elide it if an `input` on
+    /// the same handle follows).
     fn bind_current(
         &self,
         kind: AccessKind,
         cx: &RenameCx<'_>,
         st: &mut ChainState<T>,
+        elided: bool,
     ) -> ResolvedAccess {
         let current = st.current;
         st.slots[current].refs += 1;
         let alloc = st.slots[current].alloc;
         let ptr = st.slots[current].cell.get();
+        let mut access = Access::bound_to(
+            self.version_region(alloc),
+            kind,
+            self.inner.region.clone(),
+            ptr as *mut (),
+            1,
+        );
+        if elided {
+            access = access.mark_elided();
+        }
         ResolvedAccess::bound(
-            Access::bound_to(
-                self.version_region(alloc),
-                kind,
-                self.inner.region.clone(),
-                ptr as *mut (),
-                1,
-            ),
+            access,
             Box::new(SlotTicket {
                 inner: self.inner.clone(),
                 alloc,
@@ -376,6 +404,83 @@ impl<T: Send + 'static> Data<T> {
             None,
         )
     }
+}
+
+impl<T> DataInner<T> {
+    fn version_region(&self, alloc: AllocId) -> Region {
+        Region::new(alloc, 0, self.region.bytes.clone())
+    }
+}
+
+/// The rename arm shared by [`Data::resolve`] and [`SlotTicket::unelide`]:
+/// with the chain lock held, allocate (or pool-recycle) a fresh version,
+/// bind the task to it (refs = 1) and return the access + ticket + deferred
+/// commit. Returns `None` — after counting a fallback — when the handle is
+/// at its version bound or the byte budget refuses the reservation.
+fn rename_data_version<T: Send + 'static>(
+    inner: &Arc<DataInner<T>>,
+    chain: &Chain<T>,
+    st: &mut ChainState<T>,
+    kind: AccessKind,
+    cx: &RenameCx<'_>,
+) -> Option<ResolvedAccess> {
+    // Version-count backpressure: the byte budget below is shallow
+    // (`size_of::<T>()` unless a deep hint was given), so this is the bound
+    // that actually limits heap-backed types.
+    if st.slots.len() >= cx.max_versions() {
+        cx.pool().note_fallback();
+        return None;
+    }
+    // Prefer recycled storage (no new memory), else draw on the budget.
+    let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
+        (free.cell, free.reservation, true)
+    } else {
+        match cx.pool().try_reserve(chain.bytes_per_version) {
+            Some(res) => (Box::new(UnsafeCell::new((chain.make)())), Some(res), false),
+            None => {
+                cx.pool().note_fallback();
+                return None;
+            }
+        }
+    };
+    let alloc = AllocId::fresh();
+    let from = st.slots[st.current].alloc;
+    st.slots.push(Slot {
+        alloc,
+        cell,
+        refs: 1,
+        reservation,
+    });
+    let ptr = st.slots.last().expect("just pushed").cell.get();
+    // The new version is allocated (and this task bound to it) but NOT
+    // yet current: it becomes the handle's value only when the task is
+    // actually inserted (`TaskBuilder::spawn` runs the commit hook). A
+    // builder abandoned before spawn releases its ticket, reclaiming
+    // the never-current version without disturbing the handle.
+    cx.pool().note_rename(recycled, false);
+    let ticket = SlotTicket {
+        inner: inner.clone(),
+        alloc,
+        pool_depth: cx.pool_depth(),
+    };
+    let commit = ticket.clone();
+    Some(ResolvedAccess::bound(
+        Access::bound_to(
+            inner.version_region(alloc),
+            kind,
+            inner.region.clone(),
+            ptr as *mut (),
+            1,
+        ),
+        Box::new(ticket),
+        Some(RenameEvent {
+            from,
+            to: alloc,
+            recycled,
+            chunk: None,
+        }),
+        Some(Box::new(commit)),
+    ))
 }
 
 impl<T: Send + 'static> Accessible for Data<T> {
@@ -416,81 +521,26 @@ impl<T: Send + 'static> Accessible for Data<T> {
         if kind != AccessKind::Output || !cx.renaming_enabled() {
             // Reads (and in-place updates) bind the latest version: true
             // dependences are preserved, `inout` chains still serialise.
-            return self.bind_current(kind, cx, &mut st);
+            return self.bind_current(kind, cx, &mut st, false);
         }
         // First-write rename elision: nobody is bound to the current version
         // (ticket release happens after tracker retirement, so "no bindings"
         // means every earlier task on this version is a tombstone that can
         // take no WAR/WAW edge) — overwrite it in place instead of paying
-        // for a version that would conflict with nothing anyway.
+        // for a version that would conflict with nothing anyway. The binding
+        // is marked elided so the builder can undo it if an `input` on the
+        // same handle follows (the output-before-input corner).
         if cx.elision_enabled() && st.slots[st.current].refs == 0 {
             cx.pool().note_elision();
-            return self.bind_current(kind, cx, &mut st);
+            return self.bind_current(kind, cx, &mut st, true);
         }
-        // Version-count backpressure: the byte budget below is shallow
-        // (`size_of::<T>()`), so this is the bound that actually limits
-        // heap-backed types — no more than `max_versions` live versions of
-        // one handle, however large each version's owned storage is.
-        if st.slots.len() >= cx.max_versions() {
-            cx.pool().note_fallback();
-            return self.bind_current(kind, cx, &mut st);
+        // `output`: rename; if the version bound or the byte budget refuses,
+        // fall back to the current version, serialising like the
+        // non-renaming runtime.
+        match rename_data_version(&self.inner, chain, &mut st, kind, cx) {
+            Some(resolved) => resolved,
+            None => self.bind_current(kind, cx, &mut st, false),
         }
-        // `output`: rename. Prefer recycled storage (no new memory), else
-        // draw on the budget; if the budget is exhausted fall back to the
-        // current version, serialising like the non-renaming runtime.
-        let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
-            (free.cell, free.reservation, true)
-        } else {
-            match cx.pool().try_reserve(chain.bytes_per_version) {
-                Some(res) => (
-                    Box::new(UnsafeCell::new((chain.make)())),
-                    Some(res),
-                    false,
-                ),
-                None => {
-                    cx.pool().note_fallback();
-                    return self.bind_current(kind, cx, &mut st);
-                }
-            }
-        };
-        let alloc = AllocId::fresh();
-        let from = st.slots[st.current].alloc;
-        st.slots.push(Slot {
-            alloc,
-            cell,
-            refs: 1,
-            reservation,
-        });
-        let ptr = st.slots.last().expect("just pushed").cell.get();
-        // The new version is allocated (and this task bound to it) but NOT
-        // yet current: it becomes the handle's value only when the task is
-        // actually inserted (`TaskBuilder::spawn` runs the commit hook). A
-        // builder abandoned before spawn releases its ticket, reclaiming
-        // the never-current version without disturbing the handle.
-        cx.pool().note_rename(recycled, false);
-        let ticket = SlotTicket {
-            inner: self.inner.clone(),
-            alloc,
-            pool_depth: cx.pool_depth(),
-        };
-        let commit = ticket.clone();
-        ResolvedAccess::bound(
-            Access::bound_to(
-                self.version_region(alloc),
-                kind,
-                self.inner.region.clone(),
-                ptr as *mut (),
-                1,
-            ),
-            Box::new(ticket),
-            Some(RenameEvent {
-                from,
-                to: alloc,
-                recycled,
-                chunk: None,
-            }),
-            Some(Box::new(commit)),
-        )
     }
 }
 
@@ -674,7 +724,7 @@ impl<T> Clone for ChunkTicket<T> {
     }
 }
 
-impl<T: Send> VersionTicket for ChunkTicket<T> {
+impl<T: Send + 'static> VersionTicket for ChunkTicket<T> {
     fn release(&self) {
         let mut st = self.chain().lock();
         if let Some(idx) = st.slot_index(self.alloc) {
@@ -682,6 +732,20 @@ impl<T: Send> VersionTicket for ChunkTicket<T> {
             st.slots[idx].refs -= 1;
             st.reclaim(idx, self.pool_depth);
         }
+    }
+
+    fn unelide(&self, cx: &RenameCx<'_>) -> Option<ResolvedAccess> {
+        let mut st = self.chain().lock();
+        let idx = st.slot_index(self.alloc)?;
+        if idx != st.current {
+            return None;
+        }
+        let resolved =
+            rename_chunk_version(&self.inner, self.chunk, &mut st, AccessKind::Output, cx)?;
+        debug_assert!(st.slots[idx].refs > 0, "elided chunk binding already released");
+        st.slots[idx].refs -= 1;
+        cx.pool().note_unelision();
+        Some(resolved)
     }
 }
 
@@ -698,6 +762,84 @@ impl<T: Send> RenameCommit for ChunkTicket<T> {
     }
 }
 
+/// The per-chunk rename arm shared by [`resolve_chunk`] and
+/// [`ChunkTicket::unelide`]: with the chunk's chain lock held, allocate (or
+/// pool-recycle) a fresh chunk version and bind the task to it. The
+/// reservation covers the chunk's deep payload
+/// (`chunk_len * size_of::<T>()`), so the byte budget is meaningful for
+/// partitions however large their element chunks are. Returns `None` —
+/// after counting a fallback — under version-count or byte-budget
+/// backpressure.
+fn rename_chunk_version<T: Send + 'static>(
+    inner: &Arc<PartInner<T>>,
+    chunk: usize,
+    st: &mut ChainState<Vec<T>>,
+    kind: AccessKind,
+    cx: &RenameCx<'_>,
+) -> Option<ResolvedAccess> {
+    let chains = match &inner.storage {
+        PartStorage::Versioned(chains) => chains,
+        PartStorage::Plain(_) => unreachable!("chunk renames require versioned storage"),
+    };
+    let chunk_len = inner.chunks[chunk].len();
+    if st.slots.len() >= cx.max_versions() {
+        cx.pool().note_fallback();
+        return None;
+    }
+    let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
+        (free.cell, free.reservation, true)
+    } else {
+        let bytes = chunk_len * inner.elem_size;
+        match cx.pool().try_reserve(bytes) {
+            Some(res) => {
+                let fresh = (chains.make)(chunk_len);
+                debug_assert_eq!(fresh.len(), chunk_len, "make() returned the wrong length");
+                (Box::new(UnsafeCell::new(fresh)), Some(res), false)
+            }
+            None => {
+                cx.pool().note_fallback();
+                return None;
+            }
+        }
+    };
+    let alloc = AllocId::fresh();
+    let from = st.slots[st.current].alloc;
+    st.slots.push(Slot {
+        alloc,
+        cell,
+        refs: 1,
+        reservation,
+    });
+    // Safety: pointer manufacture only; the chain lock is held and the
+    // version cannot be reclaimed while the returned ticket is live.
+    let ptr = unsafe { (*st.slots.last().expect("just pushed").cell.get()).as_mut_ptr() };
+    cx.pool().note_rename(recycled, true);
+    let ticket = ChunkTicket {
+        inner: inner.clone(),
+        chunk,
+        alloc,
+        pool_depth: cx.pool_depth(),
+    };
+    let commit = ticket.clone();
+    Some(ResolvedAccess::bound(
+        Access::bound_to(
+            inner.chunk_version_region(chunk, alloc),
+            kind,
+            inner.chunk_canonical_region(chunk),
+            ptr as *mut (),
+            chunk_len,
+        ),
+        Box::new(ticket),
+        Some(RenameEvent {
+            from,
+            to: alloc,
+            recycled,
+            chunk: Some(chunk as u32),
+        }),
+        Some(Box::new(commit)),
+    ))
+}
+
 /// Resolve an access to chunk `chunk` of a versioned partition against its
 /// chain — the per-chunk analogue of `Data::resolve`'s versioned arm.
 fn resolve_chunk<T: Send + 'static>(
@@ -712,21 +854,25 @@ fn resolve_chunk<T: Send + 'static>(
     };
     let canonical = inner.chunk_canonical_region(chunk);
     let chunk_len = inner.chunks[chunk].len();
-    let bind_current = |st: &mut ChainState<Vec<T>>| -> ResolvedAccess {
+    let bind_current = |st: &mut ChainState<Vec<T>>, elided: bool| -> ResolvedAccess {
         let current = st.current;
         st.slots[current].refs += 1;
         let alloc = st.slots[current].alloc;
         // Safety: pointer manufacture only; the chain lock is held and the
         // version cannot be reclaimed while the ticket below is live.
         let ptr = unsafe { (*st.slots[current].cell.get()).as_mut_ptr() };
+        let mut access = Access::bound_to(
+            inner.chunk_version_region(chunk, alloc),
+            kind,
+            canonical.clone(),
+            ptr as *mut (),
+            chunk_len,
+        );
+        if elided {
+            access = access.mark_elided();
+        }
         ResolvedAccess::bound(
-            Access::bound_to(
-                inner.chunk_version_region(chunk, alloc),
-                kind,
-                canonical.clone(),
-                ptr as *mut (),
-                chunk_len,
-            ),
+            access,
             Box::new(ChunkTicket {
                 inner: inner.clone(),
                 chunk,
@@ -739,72 +885,21 @@ fn resolve_chunk<T: Send + 'static>(
     };
     let mut st = chains.chains[chunk].lock();
     if kind != AccessKind::Output || !cx.renaming_enabled() {
-        return bind_current(&mut st);
+        return bind_current(&mut st, false);
     }
     // First-write rename elision at chunk granularity (see `Data::resolve`):
-    // an unreferenced current chunk version is overwritten in place.
+    // an unreferenced current chunk version is overwritten in place, marked
+    // elided so the builder can undo it on the output-before-input corner.
     if cx.elision_enabled() && st.slots[st.current].refs == 0 {
         cx.pool().note_elision();
-        return bind_current(&mut st);
+        return bind_current(&mut st, true);
     }
-    if st.slots.len() >= cx.max_versions() {
-        cx.pool().note_fallback();
-        return bind_current(&mut st);
+    // `output`: rename this chunk, falling back to serialising in place
+    // under backpressure.
+    match rename_chunk_version(inner, chunk, &mut st, kind, cx) {
+        Some(resolved) => resolved,
+        None => bind_current(&mut st, false),
     }
-    // `output`: rename this chunk. The reservation covers the chunk's deep
-    // payload (`chunk_len * size_of::<T>()`), so the byte budget is
-    // meaningful for partitions however large their element chunks are.
-    let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
-        (free.cell, free.reservation, true)
-    } else {
-        let bytes = chunk_len * inner.elem_size;
-        match cx.pool().try_reserve(bytes) {
-            Some(res) => {
-                let fresh = (chains.make)(chunk_len);
-                debug_assert_eq!(fresh.len(), chunk_len, "make() returned the wrong length");
-                (Box::new(UnsafeCell::new(fresh)), Some(res), false)
-            }
-            None => {
-                cx.pool().note_fallback();
-                return bind_current(&mut st);
-            }
-        }
-    };
-    let alloc = AllocId::fresh();
-    let from = st.slots[st.current].alloc;
-    st.slots.push(Slot {
-        alloc,
-        cell,
-        refs: 1,
-        reservation,
-    });
-    // Safety: as in bind_current above.
-    let ptr = unsafe { (*st.slots.last().expect("just pushed").cell.get()).as_mut_ptr() };
-    cx.pool().note_rename(recycled, true);
-    let ticket = ChunkTicket {
-        inner: inner.clone(),
-        chunk,
-        alloc,
-        pool_depth: cx.pool_depth(),
-    };
-    let commit = ticket.clone();
-    ResolvedAccess::bound(
-        Access::bound_to(
-            inner.chunk_version_region(chunk, alloc),
-            kind,
-            canonical,
-            ptr as *mut (),
-            chunk_len,
-        ),
-        Box::new(ticket),
-        Some(RenameEvent {
-            from,
-            to: alloc,
-            recycled,
-            chunk: Some(chunk as u32),
-        }),
-        Some(Box::new(commit)),
-    )
 }
 
 /// Resolve a whole-array access on a versioned partition: bind (for

@@ -84,6 +84,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod access;
+pub mod alloc_count;
 pub mod barrier;
 pub mod critical;
 pub mod error;
@@ -101,6 +102,7 @@ pub mod trace;
 mod worker;
 
 pub use access::{Access, AccessKind};
+pub use alloc_count::CountingAllocator;
 pub use barrier::{BarrierKind, BarrierWait, TaskBarrier};
 pub use critical::CriticalSections;
 pub use error::{Error, Result};
@@ -115,7 +117,7 @@ pub use rename::{RenameEvent, RenamePool};
 pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskContext, DEFAULT_TRACKER_GC_INTERVAL};
 pub use scheduler::{IdlePolicy, SchedulerPolicy};
 pub use stats::RuntimeStats;
-pub use task::{TaskId, TaskPriority, TaskState};
+pub use task::{TaskId, TaskPriority, TaskSlabDiagnostics, TaskState};
 pub use taskloop::{taskloop_fill, taskloop_reduce};
 pub use trace::{TraceEvent, TraceRecorder};
 

@@ -47,13 +47,18 @@
 //! [`RuntimeConfig::with_rename_elision(false)`](crate::RuntimeConfig::with_rename_elision)
 //! to force every `output` to allocate, as earlier revisions did.
 //!
-//! One observable corner: a task declaring `output(&x)` *before* `input(&x)`
-//! on the same versioned handle binds both clauses to the same storage when
-//! the write elides, degrading to `inout`-like in-place semantics — exactly
-//! what the budget-exhaustion fallback (and renaming-off mode) already does.
-//! Declare `input` before `output` to keep the copy-free two-version
-//! read-modify-write: a read binding pins the current version, which blocks
-//! the elision.
+//! One corner needs care: a task declaring `output(&x)` *before* `input(&x)`
+//! on the same versioned handle would bind both clauses to the same storage
+//! when the write elides, silently degrading to `inout`-like in-place
+//! semantics. The task builder detects this pattern at bind time — an
+//! `input` clause arriving after an elided `output` on an overlapping
+//! sub-region — and **un-elides** the write ([`VersionTicket::unelide`]):
+//! the output binding is transferred to a freshly allocated (or
+//! pool-recycled) version before the task is inserted, so the read keeps
+//! observing the pre-task value whatever the clause order. Only when
+//! renaming is impossible (budget or version-count backpressure) does the
+//! in-place aliasing remain — the same degradation the budget-exhaustion
+//! fallback (and renaming-off mode) always had.
 //!
 //! ## Region granularity
 //!
@@ -250,6 +255,14 @@ impl RenamePool {
     pub(crate) fn note_elision(&self) {
         self.elided.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Undo one [`RenamePool::note_elision`]: the builder converted the
+    /// elided binding back into a real rename (output-before-input corner),
+    /// so `elided` and `renames` stay disjoint and each access is counted
+    /// exactly once.
+    pub(crate) fn note_unelision(&self) {
+        self.elided.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// RAII share of the rename budget: created by [`RenamePool::try_reserve`],
@@ -316,9 +329,12 @@ impl<'a> RenameCx<'a> {
 /// binding **per chunk chain** — hence the vectors.
 pub struct ResolvedAccess {
     /// The concrete accesses (region of each bound version + access kind).
-    pub(crate) accesses: Vec<crate::access::Access>,
+    /// Stored inline (≤2) so the dominant single-binding resolution
+    /// allocates nothing.
+    pub(crate) accesses: crate::access::AccessVec,
     /// Release hooks decrementing each bound version's in-flight count when
-    /// the task completes (empty for unversioned handles).
+    /// the task completes (empty for unversioned handles). Parallel to the
+    /// version-bound (canonical-carrying) subsequence of `accesses`.
     pub(crate) tickets: Vec<Box<dyn VersionTicket>>,
     /// One entry per sub-region the resolution renamed to a new version.
     pub(crate) renamed: Vec<RenameEvent>,
@@ -331,7 +347,7 @@ impl ResolvedAccess {
     /// An access on an unversioned handle: no binding, no rename.
     pub fn plain(access: crate::access::Access) -> Self {
         ResolvedAccess {
-            accesses: vec![access],
+            accesses: crate::access::AccessVec::one(access),
             tickets: Vec::new(),
             renamed: Vec::new(),
             commits: Vec::new(),
@@ -346,7 +362,7 @@ impl ResolvedAccess {
         commit: Option<Box<dyn RenameCommit>>,
     ) -> Self {
         ResolvedAccess {
-            accesses: vec![access],
+            accesses: crate::access::AccessVec::one(access),
             tickets: vec![ticket],
             renamed: renamed.into_iter().collect(),
             commits: commit.into_iter().collect(),
@@ -356,7 +372,7 @@ impl ResolvedAccess {
     /// An empty resolution to merge per-chunk bindings into.
     pub(crate) fn empty() -> Self {
         ResolvedAccess {
-            accesses: Vec::new(),
+            accesses: crate::access::AccessVec::new(),
             tickets: Vec::new(),
             renamed: Vec::new(),
             commits: Vec::new(),
@@ -365,7 +381,7 @@ impl ResolvedAccess {
 
     /// Fold another resolution (e.g. one chunk's binding) into this one.
     pub(crate) fn merge(&mut self, other: ResolvedAccess) {
-        self.accesses.extend(other.accesses);
+        self.accesses.append(other.accesses);
         self.tickets.extend(other.tickets);
         self.renamed.extend(other.renamed);
         self.commits.extend(other.commits);
@@ -399,6 +415,23 @@ pub(crate) trait VersionTicket: Send {
     /// Decrement the bound version's in-flight count (recycling the version
     /// if it became unreferenced and is no longer current).
     fn release(&self);
+
+    /// Convert an **elided** in-place `output` binding into a real rename:
+    /// allocate (or pool-recycle) a fresh version, transfer the binding to
+    /// it, and return the replacement access/ticket/commit. The handle's
+    /// *current* version is untouched until the commit runs at `spawn()`.
+    ///
+    /// The task builder calls this when it detects the output-before-input
+    /// aliasing corner: an `input` clause arriving after an elided `output`
+    /// on the same sub-region would otherwise read the very storage the
+    /// task overwrites. Returns `None` when renaming is impossible (budget
+    /// or version-count backpressure, or the ticket is not an elided output
+    /// binding), in which case the in-place binding — and the documented
+    /// `inout`-like fallback semantics — stay.
+    fn unelide(&self, cx: &RenameCx<'_>) -> Option<ResolvedAccess> {
+        let _ = cx;
+        None
+    }
 }
 
 /// Deferred half of a rename. `resolve` *allocates* the new version (so the

@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 use crossbeam::deque::Worker as WorkerDeque;
 use parking_lot::{Condvar, Mutex};
 
-use crate::access::{Access, AccessKind};
+use crate::access::{Access, AccessKind, AccessVec};
 use crate::critical::CriticalSections;
 use crate::error::{Error, Result};
 use crate::graph::{self, ShardedTracker, TrackerDiagnostics};
@@ -27,7 +27,10 @@ use crate::rename::{
 };
 use crate::scheduler::{IdlePolicy, SchedState, SchedulerPolicy};
 use crate::stats::{RuntimeStats, StatCounters, StatField};
-use crate::task::{ChildTracker, TaskId, TaskNode, TaskPriority};
+use crate::task::{
+    ChildTracker, TaskId, TaskNode, TaskPriority, TaskSlab, TaskSlabDiagnostics,
+    DEFAULT_TASK_SLAB_CAPACITY,
+};
 use crate::trace::{TraceEvent, TraceRecorder};
 use crate::worker;
 
@@ -88,6 +91,12 @@ pub struct RuntimeConfig {
     /// registrations on a shard being swept fall back to the mutex path for
     /// the duration. Default [`DEFAULT_TRACKER_GC_INTERVAL`].
     pub tracker_gc_interval: u64,
+    /// Whether retired task nodes are recycled through the per-runtime slab
+    /// (the spawn-side allocation diet: a steady-state ≤2-access spawn then
+    /// performs no heap allocation at all). Enabled by default; `false`
+    /// allocates every node fresh — the reference configuration of the
+    /// equivalence suite and the full-spawn `insertion_bench` baseline.
+    pub task_recycler: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -108,6 +117,7 @@ impl Default for RuntimeConfig {
             tracker_fast_path: true,
             rename_elision: true,
             tracker_gc_interval: DEFAULT_TRACKER_GC_INTERVAL,
+            task_recycler: true,
         }
     }
 }
@@ -201,6 +211,15 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable the task-node recycler. With `false` every spawn
+    /// allocates a fresh node (the pre-recycler behaviour); the task-graph
+    /// semantics are identical either way — `tests/tracker_equivalence.rs`
+    /// pins the edge structure across both settings.
+    pub fn with_task_recycler(mut self, recycler: bool) -> Self {
+        self.task_recycler = recycler;
+        self
+    }
+
     /// The shard count a runtime built from this configuration will use.
     pub fn effective_tracker_shards(&self) -> usize {
         if self.tracker_shards == 0 {
@@ -223,6 +242,7 @@ pub(crate) struct RuntimeInner {
     pub(crate) critical: CriticalSections,
     pub(crate) panics: Mutex<Vec<Error>>,
     pub(crate) rename: Arc<RenamePool>,
+    pub(crate) slab: TaskSlab,
     spawn_count: AtomicU64,
 }
 
@@ -235,6 +255,12 @@ impl RuntimeInner {
     ) -> TaskId {
         let id = node.id;
         self.stats.add(StatField::TasksSpawned, 1);
+        // Only the rare spill is counted; inline hits are derived as
+        // `tasks_spawned - spills` at snapshot time, so the common case
+        // adds no extra shared-line RMW to the spawn path.
+        if node.accesses.spilled() {
+            self.stats.add(StatField::AccessInlineSpills, 1);
+        }
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         node.parent_children.add_child();
 
@@ -265,6 +291,7 @@ impl RuntimeInner {
                 name: node.name.clone(),
                 at_ns: self.trace.now_ns(),
                 deps: registration.edges,
+                generation: node.generation,
             });
             for edge in &registration.edge_list {
                 self.trace.record(TraceEvent::Edge {
@@ -350,6 +377,11 @@ impl Runtime {
             critical: CriticalSections::new(),
             panics: Mutex::new(Vec::new()),
             rename: Arc::new(RenamePool::new(config.rename_memory_cap)),
+            slab: TaskSlab::new(if config.task_recycler {
+                DEFAULT_TASK_SLAB_CAPACITY
+            } else {
+                0
+            }),
             spawn_count: AtomicU64::new(0),
             config,
         });
@@ -395,6 +427,22 @@ impl Runtime {
     /// zero — anything else is a retire-path leak.
     pub fn tracker_diagnostics(&self) -> TrackerDiagnostics {
         self.inner.tracker.diagnostics()
+    }
+
+    /// Accounting of the task-node slab (allocations, recycles, free-list
+    /// depth, outstanding nodes). After a [`Runtime::taskwait`] with no
+    /// other threads spawning, `outstanding` is zero — anything else is a
+    /// node leak.
+    pub fn task_slab_diagnostics(&self) -> TaskSlabDiagnostics {
+        self.inner.slab.diagnostics()
+    }
+
+    /// Number of tasks spawned but not yet finished executing, right now.
+    /// A cheap atomic read — unlike [`Runtime::stats`] it allocates nothing,
+    /// so allocation-regression tests can poll it inside their measurement
+    /// window.
+    pub fn in_flight_tasks(&self) -> usize {
+        self.inner.in_flight.load(Ordering::SeqCst)
     }
 
     /// Register a value with the runtime, obtaining a dependence handle.
@@ -602,6 +650,13 @@ impl Runtime {
             sched_global_wakeups: s.global_wakeups.load(Ordering::Relaxed),
             sched_priority_pops: s.priority_pops.load(Ordering::Relaxed),
             sched_affinity_wakeups: s.affinity_wakeups.load(Ordering::Relaxed),
+            sched_affinity_steals: s.affinity_steals.load(Ordering::Relaxed),
+            task_nodes_recycled: self.inner.slab.recycled_count(),
+            task_nodes_allocated: self.inner.slab.allocated_count(),
+            access_inline_hits: c
+                .get(StatField::TasksSpawned)
+                .saturating_sub(c.get(StatField::AccessInlineSpills)),
+            access_inline_spills: c.get(StatField::AccessInlineSpills),
             tracker_shards: self.inner.tracker.num_shards(),
             tracker_shard_hits: self.inner.tracker.counters().hits(),
             tracker_lock_contention: self.inner.tracker.counters().contention(),
@@ -692,7 +747,10 @@ pub struct TaskBuilder<'r> {
     deque: Option<&'r WorkerDeque<Arc<TaskNode>>>,
     name: Option<Arc<str>>,
     priority: TaskPriority,
-    accesses: Vec<Access>,
+    /// Declared accesses: ≤2 inline, so the dominant builder shapes never
+    /// touch the heap. The version tickets in `tickets` run parallel to the
+    /// version-bound (canonical-carrying) subsequence of this list.
+    accesses: AccessVec,
     tickets: Vec<Box<dyn crate::rename::VersionTicket>>,
     commits: Vec<Box<dyn crate::rename::RenameCommit>>,
     renames: Vec<RenameEvent>,
@@ -710,7 +768,7 @@ impl<'r> TaskBuilder<'r> {
             deque,
             name: None,
             priority: TaskPriority::default(),
-            accesses: Vec::new(),
+            accesses: AccessVec::new(),
             tickets: Vec::new(),
             commits: Vec::new(),
             renames: Vec::new(),
@@ -770,11 +828,74 @@ impl<'r> TaskBuilder<'r> {
                 canon.id
             );
         }
-        self.accesses.extend(resolved.accesses);
+        // The output-before-input corner: a reading clause that overlaps an
+        // *elided* earlier output of this same task would read the very
+        // storage the task overwrites (inout-like aliasing). Un-elide the
+        // write now — transfer its binding to a real fresh version — so the
+        // read keeps observing the pre-task value whatever the clause order.
+        // Only backpressure (budget / version bound) leaves the aliasing in
+        // place, exactly like the rename fallback always has.
+        if kind.reads() {
+            self.unelide_overlapping(&resolved, &cx);
+        }
+        self.accesses.append(resolved.accesses);
         self.tickets.extend(resolved.tickets);
         self.commits.extend(resolved.commits);
         self.renames.extend(resolved.renamed);
+        // Pin the invariant `unelide_overlapping` indexes by: version
+        // tickets run 1:1, in order, with the canonical-carrying accesses
+        // (every `ResolvedAccess` constructor pairs them).
+        debug_assert_eq!(
+            self.tickets.len(),
+            self.accesses
+                .iter()
+                .filter(|a| a.canonical_region().is_some())
+                .count(),
+            "version tickets must parallel the version-bound accesses"
+        );
         self
+    }
+
+    /// Un-elide every earlier elided `output` binding of this builder whose
+    /// canonical sub-region overlaps a (reading) access in `resolved`. See
+    /// [`crate::rename`], "First-write rename elision".
+    fn unelide_overlapping(
+        &mut self,
+        resolved: &crate::rename::ResolvedAccess,
+        cx: &RenameCx<'_>,
+    ) {
+        for j in 0..self.accesses.len() {
+            let earlier = &self.accesses[j];
+            if !earlier.is_elided() {
+                continue;
+            }
+            let Some(canon) = earlier.canonical_region() else {
+                continue;
+            };
+            let overlaps = resolved.accesses.iter().any(|r| {
+                r.canonical_region().is_some_and(|c| c.overlaps(canon))
+            });
+            if !overlaps {
+                continue;
+            }
+            // Tickets run parallel to the version-bound subsequence of the
+            // access list: the ticket of access `j` is at the index counting
+            // the canonical-carrying accesses before it.
+            let tj = self.accesses[..j]
+                .iter()
+                .filter(|a| a.canonical_region().is_some())
+                .count();
+            if let Some(mut repl) = self.tickets[tj].unelide(cx) {
+                debug_assert_eq!(repl.accesses.len(), 1);
+                debug_assert_eq!(repl.accesses[0].kind, self.accesses[j].kind);
+                self.accesses.as_mut_slice()[j] = repl.accesses[0].clone();
+                // The old ticket's reference was released inside unelide();
+                // dropping the box itself releases nothing.
+                self.tickets[tj] = repl.tickets.pop().expect("replacement carries its ticket");
+                self.commits.extend(repl.commits);
+                self.renames.extend(repl.renamed);
+            }
+        }
     }
 
     /// Declare a read access (`input(x)`).
@@ -814,20 +935,24 @@ impl<'r> TaskBuilder<'r> {
         // where its renames take effect. Committing here (not at clause
         // declaration) means an abandoned builder never changes the
         // handle's value.
-        for commit in std::mem::take(&mut self.commits) {
+        for commit in self.commits.drain(..) {
             commit.commit();
         }
         let accesses = std::mem::take(&mut self.accesses);
         let tickets = std::mem::take(&mut self.tickets);
         let renames = std::mem::take(&mut self.renames);
-        let node = TaskNode::new(
+        // The node comes from the runtime's slab: recycled storage when a
+        // retired node is available, a fresh allocation otherwise. Small
+        // bodies are written into the node's inline buffer — a steady-state
+        // ≤2-access spawn allocates nothing here at all.
+        let node = self.inner.slab.acquire(
             self.name.take(),
             self.priority,
-            Arc::from(accesses.into_boxed_slice()),
-            Box::new(body),
+            accesses,
+            tickets,
+            body,
             self.parent_children.clone(),
         );
-        *node.tickets.lock() = tickets;
         self.inner.spawn_node(node, self.deque, renames)
     }
 }
@@ -1123,10 +1248,11 @@ impl<'a> TaskContext<'a> {
     pub fn taskwait(&self) {
         self.inner.stats.add(StatField::Taskwaits, 1);
         let mut spins = 0u32;
+        let mut ready = Vec::new();
         while self.node.children.live_children() > 0 {
             let helper_id = self.worker.unwrap_or(0);
             if let Some(task) = self.inner.sched.pop(helper_id, None) {
-                worker::execute_task(self.inner, task, self.worker, None);
+                worker::execute_task(self.inner, task, self.worker, None, &mut ready);
                 spins = 0;
             } else {
                 backoff(&mut spins);
@@ -1140,13 +1266,14 @@ impl<'a> TaskContext<'a> {
     pub fn taskwait_on(&self, handle: &impl Accessible) {
         self.inner.stats.add(StatField::TaskwaitOns, 1);
         let helper_id = self.worker.unwrap_or(0);
+        let mut ready = Vec::new();
         for region in handle.sync_regions() {
             let touching = self.inner.tracker.tasks_touching(&region);
             for task in touching {
                 let mut spins = 0u32;
                 while !task.is_completed() {
                     if let Some(t) = self.inner.sched.pop(helper_id, None) {
-                        worker::execute_task(self.inner, t, self.worker, None);
+                        worker::execute_task(self.inner, t, self.worker, None, &mut ready);
                         spins = 0;
                     } else {
                         backoff(&mut spins);

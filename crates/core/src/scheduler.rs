@@ -88,6 +88,10 @@ pub struct SchedCounters {
     /// completed work on the woken task's tracker shard
     /// ([`SchedulerPolicy::ShardAffinity`]).
     pub affinity_wakeups: AtomicU64,
+    /// Steals served from a *preferred* victim inbox: one whose most
+    /// recently routed work belongs to a shard the stealing worker itself
+    /// recently completed work on ([`SchedulerPolicy::ShardAffinity`]).
+    pub affinity_steals: AtomicU64,
     /// Tasks scheduled through the priority heap.
     pub priority_pops: AtomicU64,
 }
@@ -135,6 +139,15 @@ pub(crate) struct SchedState {
     /// Last worker to complete a task on each tracker shard (relaxed;
     /// `usize::MAX` = never). Indexed by shard id.
     shard_homes: Box<[AtomicUsize]>,
+    /// Per worker: the tracker shard of the task it most recently completed
+    /// (`usize::MAX` = none yet). The thief-side half of the affinity
+    /// signal: an idle worker prefers stealing inbox work tagged with its
+    /// own recent shard.
+    recent_shard: Box<[AtomicUsize]>,
+    /// Per worker inbox: the shard of the wakeup most recently routed to it
+    /// (`usize::MAX` = never). A cheap single-slot tag — enough to bias the
+    /// steal order without inspecting queue contents.
+    inbox_last_shard: Box<[AtomicUsize]>,
     prio_seq: AtomicU64,
     /// Number of ready-but-not-yet-executing tasks.
     ready_count: AtomicUsize,
@@ -163,6 +176,8 @@ impl SchedState {
             stealers,
             inboxes: (0..workers).map(|_| Injector::new()).collect(),
             shard_homes: (0..tracker_shards).map(|_| AtomicUsize::new(usize::MAX)).collect(),
+            recent_shard: (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect(),
+            inbox_last_shard: (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect(),
             prio_seq: AtomicU64::new(0),
             ready_count: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
@@ -172,10 +187,15 @@ impl SchedState {
     }
 
     /// Record that `worker` just completed a task whose dominant allocation
-    /// lives on tracker shard `shard` (the shard-affinity locality key).
+    /// lives on tracker shard `shard` (the shard-affinity locality key, on
+    /// both sides: the shard remembers its home worker for wakeup routing,
+    /// and the worker remembers its recent shard for steal preference).
     pub(crate) fn note_shard_completion(&self, shard: usize, worker: usize) {
         if let Some(home) = self.shard_homes.get(shard) {
             home.store(worker, Ordering::Relaxed);
+        }
+        if let Some(recent) = self.recent_shard.get(worker) {
+            recent.store(shard, Ordering::Relaxed);
         }
     }
 
@@ -287,14 +307,15 @@ impl SchedState {
                     .map(|h| h.load(Ordering::Relaxed))
                     .filter(|&h| h < self.inboxes.len());
                 match (home, worker, local) {
-                    (Some(h), Some(w), _) if h != w => {
+                    // The shard's home is another worker — or the waker is a
+                    // helper thread with no deque of its own: route to the
+                    // home worker's inbox, tagging it with the shard so
+                    // affinity-aware thieves can find the work.
+                    (Some(h), w, _) if w != Some(h) => {
                         self.counters.affinity_wakeups.fetch_add(1, Ordering::Relaxed);
-                        self.inboxes[h].push(node);
-                    }
-                    (Some(h), None, _) => {
-                        // Helper thread (no deque of its own): still route
-                        // to the shard's home worker.
-                        self.counters.affinity_wakeups.fetch_add(1, Ordering::Relaxed);
+                        if let (Some(s), Some(tag)) = (shard, self.inbox_last_shard.get(h)) {
+                            tag.store(s, Ordering::Relaxed);
+                        }
                         self.inboxes[h].push(node);
                     }
                     (_, _, Some(dq)) => {
@@ -375,10 +396,57 @@ impl SchedState {
                 }
             },
         }
-        // 4. Steal from another worker — its deque first, then its inbox
-        // (so shard-affinity-routed work never strands on a busy worker).
+        // 4. Steal from another worker. Under shard affinity, first probe
+        // *preferred* inboxes — victims whose most recently routed wakeup
+        // belongs to the shard this worker itself last completed work on
+        // (the data is warm here; plain round-robin would discard the
+        // affinity signal exactly when it matters, at steal time). Then the
+        // usual round-robin over deques, then the remaining inboxes (so
+        // shard-affinity-routed work never strands on a busy worker).
         let n = self.stealers.len();
         if n > 0 {
+            if affinity {
+                let recent = self
+                    .recent_shard
+                    .get(worker_id)
+                    .map(|r| r.load(Ordering::Relaxed))
+                    .unwrap_or(usize::MAX);
+                if recent != usize::MAX {
+                    for offset in 1..=n {
+                        let victim = (worker_id + offset) % n;
+                        if victim == worker_id
+                            || self.inbox_last_shard[victim].load(Ordering::Relaxed) != recent
+                        {
+                            continue;
+                        }
+                        loop {
+                            match self.inboxes[victim].steal() {
+                                Steal::Success(node) => {
+                                    self.counters.affinity_steals.fetch_add(1, Ordering::Relaxed);
+                                    self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                                    self.note_pop();
+                                    return Some(node);
+                                }
+                                Steal::Empty => {
+                                    // Drop the stale tag (only if it is
+                                    // still the one we matched — a racing
+                                    // router may have re-tagged the inbox),
+                                    // so idle spins stop probing an empty
+                                    // inbox ahead of the deque sweep.
+                                    let _ = self.inbox_last_shard[victim].compare_exchange(
+                                        recent,
+                                        usize::MAX,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    );
+                                    break;
+                                }
+                                Steal::Retry => continue,
+                            }
+                        }
+                    }
+                }
+            }
             for offset in 1..=n {
                 let victim = (worker_id + offset) % n;
                 if victim == worker_id && local.is_some() {
@@ -449,14 +517,15 @@ impl SchedState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::access::AccessVec;
     use crate::task::{ChildTracker, TaskPriority};
 
     fn node(priority: i32) -> Arc<TaskNode> {
         TaskNode::new(
             None,
             TaskPriority(priority),
-            Arc::from(Vec::new().into_boxed_slice()),
-            Box::new(|_| {}),
+            AccessVec::new(),
+            |_| {},
             ChildTracker::new(),
         )
     }
@@ -572,6 +641,41 @@ mod tests {
         assert_eq!(s.counters.local_wakeups.load(Ordering::Relaxed), 2);
         assert_eq!(s.counters.affinity_wakeups.load(Ordering::Relaxed), 0);
         assert_eq!(s.pop(0, Some(&deques[0])).unwrap().id, b.id);
+    }
+
+    #[test]
+    fn thief_prefers_inboxes_holding_its_recent_shard() {
+        let (s, deques) = sched(SchedulerPolicy::ShardAffinity, 3);
+        // Worker 0 once completed shard-3 work; shard 3's home then moved to
+        // worker 1 (it completed shard 3 last), so a shard-3 wakeup from
+        // worker 2 is routed to worker 1's inbox.
+        s.note_shard_completion(3, 0);
+        s.note_shard_completion(3, 1);
+        let w = node(0);
+        s.push_wakeup(w.clone(), Some(&deques[2]), Some(2), Some(3));
+        assert_eq!(s.counters.affinity_wakeups.load(Ordering::Relaxed), 1);
+        // Worker 0 is idle: its recent shard (3) matches worker 1's inbox
+        // tag, so the steal comes from the preferred inbox — before any
+        // round-robin deque steal — and is counted.
+        let got = s.pop(0, Some(&deques[0])).unwrap();
+        assert_eq!(got.id, w.id);
+        assert_eq!(s.counters.affinity_steals.load(Ordering::Relaxed), 1);
+        assert_eq!(s.counters.steals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn thief_without_matching_recent_shard_steals_round_robin() {
+        let (s, deques) = sched(SchedulerPolicy::ShardAffinity, 2);
+        s.note_shard_completion(1, 1);
+        let w = node(0);
+        // Routed to worker 1's inbox with tag 1; worker 0 never completed
+        // anything, so no preferred probe happens — the last-resort inbox
+        // steal still finds the task, but the affinity-steal counter stays 0.
+        s.push_wakeup(w.clone(), Some(&deques[0]), Some(0), Some(1));
+        let got = s.pop(0, Some(&deques[0])).unwrap();
+        assert_eq!(got.id, w.id);
+        assert_eq!(s.counters.affinity_steals.load(Ordering::Relaxed), 0);
+        assert_eq!(s.counters.steals.load(Ordering::Relaxed), 1);
     }
 
     #[test]

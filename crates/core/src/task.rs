@@ -5,13 +5,41 @@
 //! [`TaskNode`] that carries the closure to run, the declared accesses, a
 //! count of unresolved predecessors, and the list of successors to wake up on
 //! completion.
+//!
+//! ## The node slab
+//!
+//! Fine-grained workloads spawn nodes faster than their bodies run, so node
+//! construction sits squarely on the insertion hot path. Two mechanisms make
+//! the steady-state spawn of a ≤2-access task on plain (unversioned)
+//! handles **allocation-free** (versioned bindings still box one version
+//! ticket each):
+//!
+//! * **Inline storage.** Accesses live in an [`AccessVec`] (≤2 inline, heap
+//!   beyond), and small task closures (≤ [`INLINE_BODY_BYTES`] bytes,
+//!   alignment ≤ 16) are written into a [`BodySlot`] buffer inside the node
+//!   itself instead of a fresh `Box`.
+//! * **Recycling.** Retired nodes return to a per-runtime [`TaskSlab`]: when
+//!   the executing worker holds the *last* reference to a completed node
+//!   (verified with `Arc::get_mut`, so reuse is provably exclusive), the
+//!   node is reset — the successor-list capacity staying warm for its next
+//!   life — and pushed onto a lock-free free list (the vendored crossbeam
+//!   `Injector`). The next spawn pops it back instead of allocating.
+//!
+//! Staleness is guarded twice over: [`TaskId`]s are minted from a global
+//! never-reused serial (an id can therefore never alias across reuses —
+//! tracker tombstones and trace events stay ABA-proof), and each node
+//! carries a [`TaskNode::generation`] reuse counter, bumped on every
+//! recycle, that the worker asserts against mid-execution and the trace
+//! records per spawn.
 
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crossbeam::deque::{Injector, Steal};
 use parking_lot::Mutex;
 
-use crate::access::Access;
+use crate::access::AccessVec;
 use crate::rename::VersionTicket;
 use crate::runtime::TaskContext;
 
@@ -69,8 +97,158 @@ impl TaskState {
     }
 }
 
-/// The closure type stored in a task node.
-pub(crate) type TaskBody = Box<dyn FnOnce(&TaskContext<'_>) + Send + 'static>;
+/// Boxed fallback for task closures too large (or too aligned) for the
+/// node's inline body buffer.
+pub(crate) type BoxedBody = Box<dyn FnOnce(&TaskContext<'_>) + Send + 'static>;
+
+/// Bytes of closure storage inlined in every [`TaskNode`] (see [`BodySlot`]).
+/// 64 bytes hold the dominant capture shapes — a few handle clones plus loop
+/// indices — while keeping the node compact.
+pub(crate) const INLINE_BODY_BYTES: usize = 64;
+
+/// Alignment of the inline body buffer; closures needing more fall back to a
+/// `Box`.
+const INLINE_BODY_ALIGN: usize = 16;
+
+/// Raw closure bytes, aligned for any capture the inline path accepts.
+#[repr(align(16))]
+#[derive(Clone, Copy)]
+struct InlineBuf([MaybeUninit<u8>; INLINE_BODY_BYTES]);
+
+impl InlineBuf {
+    const fn uninit() -> Self {
+        InlineBuf([const { MaybeUninit::uninit() }; INLINE_BODY_BYTES])
+    }
+}
+
+type CallThunk = unsafe fn(*mut u8, &TaskContext<'_>);
+type DropThunk = unsafe fn(*mut u8);
+
+unsafe fn call_thunk<F: FnOnce(&TaskContext<'_>)>(p: *mut u8, ctx: &TaskContext<'_>) {
+    // Safety: the caller guarantees `p` holds an initialised `F` that is
+    // consumed exactly once by this read.
+    let f = unsafe { (p as *mut F).read() };
+    f(ctx)
+}
+
+unsafe fn drop_thunk<F>(p: *mut u8) {
+    // Safety: as in `call_thunk`, but the closure is dropped unrun.
+    unsafe { (p as *mut F).drop_in_place() }
+}
+
+/// The closure storage of one task: small closures are written into the
+/// node-resident inline buffer (no allocation), everything else goes in a
+/// `Box`. The slot is re-armed in place when the node is recycled.
+pub(crate) struct BodySlot {
+    buf: InlineBuf,
+    /// Set while `buf` holds a live (not yet taken) closure.
+    inline: Option<(CallThunk, DropThunk)>,
+    boxed: Option<BoxedBody>,
+}
+
+impl Default for BodySlot {
+    fn default() -> Self {
+        BodySlot {
+            buf: InlineBuf::uninit(),
+            inline: None,
+            boxed: None,
+        }
+    }
+}
+
+impl BodySlot {
+    /// Store `f`, inline when it fits.
+    pub(crate) fn set<F>(&mut self, f: F)
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        debug_assert!(self.is_empty(), "body slot armed twice");
+        if std::mem::size_of::<F>() <= INLINE_BODY_BYTES
+            && std::mem::align_of::<F>() <= INLINE_BODY_ALIGN
+        {
+            // Safety: the buffer is large and aligned enough for `F`, and the
+            // thunks recorded alongside are instantiated for this exact `F`.
+            unsafe { (self.buf.0.as_mut_ptr() as *mut F).write(f) };
+            self.inline = Some((call_thunk::<F>, drop_thunk::<F>));
+        } else {
+            self.boxed = Some(Box::new(f));
+        }
+    }
+
+    /// Whether the slot currently holds no closure.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.inline.is_none() && self.boxed.is_none()
+    }
+
+    /// Whether the armed closure lives inline (diagnostics / tests).
+    #[cfg(test)]
+    pub(crate) fn is_inline(&self) -> bool {
+        self.inline.is_some()
+    }
+
+    /// Take the closure out for execution. Returns `None` if the slot is
+    /// empty (body already taken).
+    pub(crate) fn take(&mut self) -> Option<TakenBody> {
+        if let Some((call, drop)) = self.inline.take() {
+            // The buffer bytes move into the taken body; `inline` is already
+            // cleared so the slot no longer owns the closure.
+            return Some(TakenBody {
+                inline: Some((self.buf, call, drop)),
+                boxed: None,
+            });
+        }
+        self.boxed.take().map(|b| TakenBody {
+            inline: None,
+            boxed: Some(b),
+        })
+    }
+
+    /// Drop an armed-but-never-run closure (runtime shutdown paths).
+    pub(crate) fn clear(&mut self) {
+        if let Some((_, drop)) = self.inline.take() {
+            // Safety: the buffer held a live closure; `inline` is cleared so
+            // this drop happens exactly once.
+            unsafe { drop(self.buf.0.as_mut_ptr() as *mut u8) };
+        }
+        self.boxed = None;
+    }
+}
+
+impl Drop for BodySlot {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+/// A closure moved out of a [`BodySlot`], ready to run exactly once.
+/// Dropping it unrun drops the closure (and its captures) cleanly.
+pub(crate) struct TakenBody {
+    inline: Option<(InlineBuf, CallThunk, DropThunk)>,
+    boxed: Option<BoxedBody>,
+}
+
+impl TakenBody {
+    /// Execute the closure.
+    pub(crate) fn run(mut self, ctx: &TaskContext<'_>) {
+        if let Some((mut buf, call, _)) = self.inline.take() {
+            // Safety: the buffer holds the closure moved out of the slot;
+            // `inline` is cleared first so `Drop` cannot double-free, even
+            // if the closure panics.
+            unsafe { call(buf.0.as_mut_ptr() as *mut u8, ctx) }
+        } else if let Some(boxed) = self.boxed.take() {
+            boxed(ctx)
+        }
+    }
+}
+
+impl Drop for TakenBody {
+    fn drop(&mut self) {
+        if let Some((mut buf, _, drop)) = self.inline.take() {
+            // Safety: the closure was never run; drop it in place once.
+            unsafe { drop(buf.0.as_mut_ptr() as *mut u8) }
+        }
+    }
+}
 
 /// Tracks the number of live direct children of a task (or of the main
 /// program context). `taskwait` waits for this to reach zero.
@@ -110,17 +288,27 @@ pub(crate) struct NodeLinks {
 }
 
 /// Internal representation of a spawned task.
+///
+/// Nodes are re-initialised and reused through the [`TaskSlab`]; every field
+/// written per spawn is set either through `Arc::get_mut` (provably unique
+/// ownership — fresh nodes and nodes just popped from the free list) or
+/// through its own synchronisation (atomics, mutexes).
 pub(crate) struct TaskNode {
-    /// Unique id.
+    /// Unique id, minted from a global never-reused serial (re-minted on
+    /// every slab reuse, so a stale id can never alias a recycled node).
     pub id: TaskId,
     /// Optional human-readable name (used in traces and panics).
     pub name: Option<Arc<str>>,
     /// Scheduling priority.
     pub priority: TaskPriority,
-    /// Declared data accesses (immutable after creation).
-    pub accesses: Arc<[Access]>,
+    /// Declared data accesses (immutable after publication; ≤2 inline).
+    pub accesses: AccessVec,
+    /// Times this node's storage has been recycled (0 for a fresh node);
+    /// recorded in `TraceEvent::Spawned` and asserted stable across one
+    /// execution.
+    pub generation: u32,
     /// The closure to execute; taken (and dropped) exactly once.
-    pub body: Mutex<Option<TaskBody>>,
+    pub body: Mutex<BodySlot>,
     /// Number of unresolved predecessors plus one registration sentinel.
     pub pending: AtomicUsize,
     /// Successor list + completion flag.
@@ -142,34 +330,49 @@ pub(crate) struct TaskNode {
     /// dependence tracker, making retirement idempotent (see
     /// [`TaskNode::mark_retired`]).
     pub retired: AtomicBool,
+    /// Slab-accounting token: present while the node is checked out of (or
+    /// was never in) a slab's free list, dropped — decrementing the slab's
+    /// outstanding count — when the node returns to the free list or is
+    /// deallocated. `None` for nodes built outside a slab (tests, benches).
+    live_token: Option<LiveToken>,
 }
 
 // Safety: `TaskNode` stops being auto-Send/Sync because each version-bound
 // `Access` carries the raw storage pointer of the version it bound (resolved
-// once at bind time — see `crate::access`). Sharing those pointers across
-// workers is sound: the pointed-to version storage is address-stable and kept
-// alive by the `tickets` this node holds until completion, and dereferencing
-// is gated by the `TaskContext` guard rules (declared-access checks plus
-// dependence ordering of conflicting tasks). Everything else in the node is
-// already thread-safe (atomics, mutexes, `Arc`s).
+// once at bind time — see `crate::access`), and `BodySlot` stores a closure
+// as raw bytes. Sharing the pointers across workers is sound: the pointed-to
+// version storage is address-stable and kept alive by the `tickets` this
+// node holds until completion, and dereferencing is gated by the
+// `TaskContext` guard rules (declared-access checks plus dependence ordering
+// of conflicting tasks). The body bytes always represent a `Send + 'static`
+// closure (enforced by `BodySlot::set`'s bounds). Everything else in the
+// node is already thread-safe (atomics, mutexes, `Arc`s), and the per-spawn
+// re-initialised plain fields (`id`, `name`, `accesses`, …) are only ever
+// written through `Arc::get_mut`, i.e. under provably unique ownership.
 unsafe impl Send for TaskNode {}
 unsafe impl Sync for TaskNode {}
 
 impl TaskNode {
-    /// Create a node with the registration sentinel held (pending = 1).
-    pub(crate) fn new(
+    /// Create a fresh node with the registration sentinel held (pending = 1).
+    pub(crate) fn new<F>(
         name: Option<Arc<str>>,
         priority: TaskPriority,
-        accesses: Arc<[Access]>,
-        body: TaskBody,
+        accesses: AccessVec,
+        body: F,
         parent_children: Arc<ChildTracker>,
-    ) -> Arc<Self> {
+    ) -> Arc<Self>
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        let mut slot = BodySlot::default();
+        slot.set(body);
         Arc::new(TaskNode {
             id: TaskId::fresh(),
             name,
             priority,
             accesses,
-            body: Mutex::new(Some(body)),
+            generation: 0,
+            body: Mutex::new(slot),
             pending: AtomicUsize::new(1),
             links: Mutex::new(NodeLinks::default()),
             children: ChildTracker::new(),
@@ -178,7 +381,86 @@ impl TaskNode {
             in_edges: AtomicUsize::new(0),
             tickets: Mutex::new(Vec::new()),
             retired: AtomicBool::new(false),
+            live_token: None,
         })
+    }
+
+    /// Re-arm a recycled node for its next task. The caller holds the only
+    /// reference (`&mut` through `Arc::get_mut`), so plain field writes are
+    /// unique; the node was reset by [`TaskSlab::try_recycle`] before it
+    /// entered the free list. (One argument per re-armed field — splitting
+    /// the parameter list would only add a struct the hot path then builds.)
+    #[allow(clippy::too_many_arguments)]
+    fn reinit<F>(
+        &mut self,
+        name: Option<Arc<str>>,
+        priority: TaskPriority,
+        accesses: AccessVec,
+        tickets: Vec<Box<dyn VersionTicket>>,
+        body: F,
+        parent_children: Arc<ChildTracker>,
+        live_token: LiveToken,
+    ) where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        debug_assert_eq!(self.pending.load(Ordering::Relaxed), 1);
+        debug_assert_eq!(self.task_state(), TaskState::WaitingDeps);
+        debug_assert!(self.body.get_mut().is_empty());
+        self.id = TaskId::fresh();
+        self.name = name;
+        self.priority = priority;
+        self.accesses = accesses;
+        self.body.get_mut().set(body);
+        if !tickets.is_empty() {
+            // Move the hooks into the node-resident vector, which kept its
+            // capacity across the in-place release at last completion.
+            self.tickets.get_mut().extend(tickets);
+        }
+        self.parent_children = parent_children;
+        // The child tracker is reused when nothing else holds it; children
+        // of the node's previous task may legitimately outlive their parent
+        // and still hold (and later decrement) the old tracker.
+        if let Some(children) = Arc::get_mut(&mut self.children) {
+            debug_assert_eq!(children.live_children(), 0);
+        } else {
+            self.children = ChildTracker::new();
+        }
+        self.live_token = Some(live_token);
+    }
+
+    /// Reset a just-completed node for reuse. The successor-list capacity is
+    /// kept warm (it survives `reinit` — the wakeup path drains it in
+    /// place); the access and ticket storage is merely dropped here, since
+    /// the next task moves its own builder-owned vectors in. Called with
+    /// the only reference; `detached` replaces the stale parent pointer so
+    /// a parked node pins nothing of its previous task. Returns the
+    /// accounting token to drop.
+    fn reset_for_reuse(&mut self, detached: &Arc<ChildTracker>) -> (Option<LiveToken>, Arc<ChildTracker>) {
+        debug_assert!(self.retired.load(Ordering::Relaxed) || self.accesses.is_empty());
+        self.name = None;
+        self.accesses.clear();
+        self.body.get_mut().clear();
+        debug_assert!(self.tickets.get_mut().is_empty(), "tickets released at completion");
+        self.tickets.get_mut().clear();
+        // Hand the previous parent's child tracker back to the caller (the
+        // worker still owes it a `child_done`) and point the parked node at
+        // the slab's detached placeholder: the free list must not keep a
+        // real parent's tracker alive, nor keep the parent's own node from
+        // reusing it via `Arc::get_mut`. The placeholder clone touches only
+        // slab-private state, so no sibling-contended line is involved.
+        let parent = std::mem::replace(&mut self.parent_children, detached.clone());
+        let links = self.links.get_mut();
+        debug_assert!(links.completed, "recycling a node that never completed");
+        debug_assert!(links.successors.is_empty(), "successors drained at completion");
+        links.completed = false;
+        links.successors.clear();
+        self.pending.store(1, Ordering::Relaxed);
+        self.state
+            .store(TaskState::WaitingDeps as u8, Ordering::Relaxed);
+        self.in_edges.store(0, Ordering::Relaxed);
+        self.retired.store(false, Ordering::Relaxed);
+        self.generation = self.generation.wrapping_add(1);
+        (self.live_token.take(), parent)
     }
 
     /// Claim the right to retire this task from the dependence history.
@@ -188,9 +470,13 @@ impl TaskNode {
         !self.retired.swap(true, Ordering::AcqRel)
     }
 
-    /// Drain the version-release hooks (called once, at completion).
-    pub(crate) fn take_tickets(&self) -> Vec<Box<dyn VersionTicket>> {
-        std::mem::take(&mut *self.tickets.lock())
+    /// Release the version-binding hooks in place (called once, at
+    /// completion), keeping the vector's capacity for the node's next life.
+    pub(crate) fn release_tickets(&self) {
+        let mut tickets = self.tickets.lock();
+        for ticket in tickets.drain(..) {
+            ticket.release();
+        }
     }
 
     /// Current coarse state.
@@ -224,7 +510,202 @@ impl std::fmt::Debug for TaskNode {
             .field("priority", &self.priority)
             .field("pending", &self.pending.load(Ordering::SeqCst))
             .field("state", &self.task_state())
+            .field("generation", &self.generation)
             .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskSlab: the per-runtime node recycler
+// ---------------------------------------------------------------------------
+
+/// Default bound on the number of retired nodes a runtime keeps for reuse.
+pub(crate) const DEFAULT_TASK_SLAB_CAPACITY: usize = 4096;
+
+/// Shared slab accounting counters (separate from the slab so each node can
+/// hold a handle and decrement on its final drop).
+#[derive(Debug, Default)]
+struct SlabCounters {
+    /// Nodes currently checked out: acquired and neither returned to the
+    /// free list nor deallocated.
+    outstanding: AtomicUsize,
+}
+
+/// RAII share of a slab's outstanding-node count: created per acquisition,
+/// dropped when the node returns to the free list or is deallocated.
+struct LiveToken {
+    counters: Arc<SlabCounters>,
+}
+
+impl Drop for LiveToken {
+    fn drop(&mut self) {
+        let prev = self.counters.outstanding.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "slab outstanding count underflow");
+    }
+}
+
+/// Point-in-time accounting of a runtime's task-node slab, from
+/// [`Runtime::task_slab_diagnostics`](crate::Runtime::task_slab_diagnostics).
+/// After a quiescent `taskwait` with no other threads spawning,
+/// `outstanding` reads zero — anything else is a node leak (the
+/// tracker-diagnostics drain check, applied to nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSlabDiagnostics {
+    /// Nodes allocated fresh from the heap (monotonic).
+    pub allocated: u64,
+    /// Acquisitions served from the free list instead of the heap
+    /// (monotonic).
+    pub recycled: u64,
+    /// Nodes currently parked in the free list.
+    pub free: usize,
+    /// Nodes checked out right now: allocated or recycled, and neither back
+    /// in the free list nor deallocated. Zero after a drained `taskwait`.
+    pub outstanding: usize,
+}
+
+impl TaskSlabDiagnostics {
+    /// Fraction of acquisitions served from the free list. `None` before the
+    /// first acquisition.
+    pub fn recycle_rate(&self) -> Option<f64> {
+        let total = self.allocated + self.recycled;
+        if total == 0 {
+            None
+        } else {
+            Some(self.recycled as f64 / total as f64)
+        }
+    }
+}
+
+/// The per-runtime task-node recycler: a bounded free list of retired nodes.
+///
+/// The free list is the (vendored) crossbeam `Injector`, so pushes and pops
+/// are lock-free with the real crate and remain correct with the in-tree
+/// mutex stand-in. Every `Arc` in the free list is *unique* by construction
+/// — a node is only pushed after `Arc::get_mut` proved the worker held the
+/// last reference — which is what makes re-initialising plain fields on
+/// reuse safe without any interior mutability.
+pub(crate) struct TaskSlab {
+    free: Injector<Arc<TaskNode>>,
+    /// Bound on the free list; 0 disables recycling entirely
+    /// ([`RuntimeConfig::with_task_recycler`](crate::RuntimeConfig::with_task_recycler)).
+    capacity: usize,
+    /// Approximate free-list length (push/pop race only costs a slot or two
+    /// of the bound).
+    free_len: AtomicUsize,
+    allocated: AtomicU64,
+    recycled: AtomicU64,
+    counters: Arc<SlabCounters>,
+    /// Placeholder parent tracker parked nodes point at, so the free list
+    /// never pins a real parent's `ChildTracker`.
+    detached: Arc<ChildTracker>,
+}
+
+impl TaskSlab {
+    /// Create a slab keeping at most `capacity` retired nodes (0 = recycling
+    /// off).
+    pub(crate) fn new(capacity: usize) -> Self {
+        TaskSlab {
+            free: Injector::new(),
+            capacity,
+            free_len: AtomicUsize::new(0),
+            allocated: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            counters: Arc::new(SlabCounters::default()),
+            detached: ChildTracker::new(),
+        }
+    }
+
+    /// Obtain a node armed for `body` — recycled from the free list when
+    /// possible, freshly allocated otherwise. The node has the registration
+    /// sentinel held (pending = 1) and a fresh [`TaskId`].
+    pub(crate) fn acquire<F>(
+        &self,
+        name: Option<Arc<str>>,
+        priority: TaskPriority,
+        accesses: AccessVec,
+        tickets: Vec<Box<dyn VersionTicket>>,
+        body: F,
+        parent_children: Arc<ChildTracker>,
+    ) -> Arc<TaskNode>
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        let token = LiveToken {
+            counters: self.counters.clone(),
+        };
+        token.counters.outstanding.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match self.free.steal() {
+                Steal::Success(mut node) => {
+                    self.free_len.fetch_sub(1, Ordering::Relaxed);
+                    let Some(n) = Arc::get_mut(&mut node) else {
+                        // Unreachable by construction (free-list entries are
+                        // unique); tolerate by falling through to a fresh
+                        // allocation rather than risking shared re-init.
+                        debug_assert!(false, "shared node in the slab free list");
+                        continue;
+                    };
+                    n.reinit(name, priority, accesses, tickets, body, parent_children, token);
+                    self.recycled.fetch_add(1, Ordering::Relaxed);
+                    return node;
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        let mut node = TaskNode::new(name, priority, accesses, body, parent_children);
+        let n = Arc::get_mut(&mut node).expect("freshly allocated node is unique");
+        if !tickets.is_empty() {
+            *n.tickets.get_mut() = tickets;
+        }
+        n.live_token = Some(token);
+        node
+    }
+
+    /// Return a completed node to the free list, if the caller holds the
+    /// last reference and the slab has room. Nodes still referenced
+    /// elsewhere (a `taskwait_on` spinner, a trace reader) simply drop
+    /// normally — correctness never depends on recycling succeeding.
+    ///
+    /// Returns the node's parent child-tracker in every case (the worker
+    /// still owes it a `child_done`): taken out of the node when it is
+    /// parked, cloned only on the non-recycling paths — so the steady state
+    /// adds no refcount traffic on the sibling-shared tracker line.
+    pub(crate) fn try_recycle(&self, mut node: Arc<TaskNode>) -> Arc<ChildTracker> {
+        if self.capacity != 0 && self.free_len.load(Ordering::Relaxed) < self.capacity {
+            if let Some(n) = Arc::get_mut(&mut node) {
+                let (token, parent) = n.reset_for_reuse(&self.detached);
+                drop(token);
+                self.free_len.fetch_add(1, Ordering::Relaxed);
+                self.free.push(node);
+                return parent;
+            }
+        }
+        // Recycling refused (disabled, full, or the node is still shared):
+        // the node — and its accounting token, via Drop — deallocates when
+        // the last reference goes.
+        node.parent_children.clone()
+    }
+
+    /// Current accounting snapshot.
+    pub(crate) fn diagnostics(&self) -> TaskSlabDiagnostics {
+        TaskSlabDiagnostics {
+            allocated: self.allocated.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            free: self.free_len.load(Ordering::Relaxed),
+            outstanding: self.counters.outstanding.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total acquisitions served from the free list (stats).
+    pub(crate) fn recycled_count(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Total fresh heap allocations (stats).
+    pub(crate) fn allocated_count(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
     }
 }
 
@@ -236,8 +717,8 @@ mod tests {
         TaskNode::new(
             Some("dummy".into()),
             TaskPriority(2),
-            Arc::from(Vec::new().into_boxed_slice()),
-            Box::new(|_ctx| {}),
+            AccessVec::new(),
+            |_ctx| {},
             ChildTracker::new(),
         )
     }
@@ -265,8 +746,8 @@ mod tests {
         let n = TaskNode::new(
             None,
             TaskPriority::default(),
-            Arc::from(Vec::new().into_boxed_slice()),
-            Box::new(|_ctx| {}),
+            AccessVec::new(),
+            |_ctx| {},
             ChildTracker::new(),
         );
         assert_eq!(n.display_name(), format!("{}", n.id));
@@ -316,5 +797,126 @@ mod tests {
         let s = format!("{n:?}");
         assert!(s.contains("TaskNode"));
         assert!(s.contains("WaitingDeps"));
+    }
+
+    #[test]
+    fn small_bodies_store_inline_large_bodies_box() {
+        let mut slot = BodySlot::default();
+        let small = [7u64; 2];
+        slot.set(move |_ctx: &TaskContext<'_>| {
+            std::hint::black_box(small);
+        });
+        assert!(slot.is_inline());
+        slot.clear();
+        assert!(slot.is_empty());
+        let big = [0u64; 32]; // 256 bytes: over the inline bound
+        slot.set(move |_ctx: &TaskContext<'_>| {
+            std::hint::black_box(big);
+        });
+        assert!(!slot.is_inline());
+        assert!(!slot.is_empty());
+        assert!(slot.take().is_some());
+        assert!(slot.is_empty());
+        assert!(slot.take().is_none());
+    }
+
+    #[test]
+    fn unrun_taken_body_drops_its_captures() {
+        let marker = Arc::new(());
+        let mut slot = BodySlot::default();
+        let held = marker.clone();
+        slot.set(move |_ctx: &TaskContext<'_>| {
+            let _ = &held;
+        });
+        assert!(slot.is_inline());
+        let taken = slot.take().expect("armed");
+        assert_eq!(Arc::strong_count(&marker), 2);
+        drop(taken);
+        assert_eq!(Arc::strong_count(&marker), 1, "captures dropped unrun");
+        // And clearing an armed slot drops the captures too.
+        let held = marker.clone();
+        slot.set(move |_ctx: &TaskContext<'_>| {
+            let _ = &held;
+        });
+        slot.clear();
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn slab_recycles_the_same_storage_with_bumped_generation() {
+        let slab = TaskSlab::new(8);
+        let n1 = slab.acquire(
+            None,
+            TaskPriority::default(),
+            AccessVec::new(),
+            Vec::new(),
+            |_ctx| {},
+            ChildTracker::new(),
+        );
+        let first_id = n1.id;
+        assert_eq!(n1.generation, 0);
+        let d = slab.diagnostics();
+        assert_eq!((d.allocated, d.recycled, d.outstanding), (1, 0, 1));
+        // Complete the node by hand, then recycle it.
+        let _ = n1.body.lock().take();
+        n1.links.lock().completed = true;
+        n1.pending.store(1, Ordering::Relaxed);
+        n1.set_state(TaskState::WaitingDeps);
+        let raw = Arc::as_ptr(&n1);
+        slab.try_recycle(n1);
+        let d = slab.diagnostics();
+        assert_eq!((d.free, d.outstanding), (1, 0));
+        let n2 = slab.acquire(
+            None,
+            TaskPriority::default(),
+            AccessVec::new(),
+            Vec::new(),
+            |_ctx| {},
+            ChildTracker::new(),
+        );
+        assert_eq!(Arc::as_ptr(&n2), raw, "storage reused");
+        assert_eq!(n2.generation, 1, "generation bumped on recycle");
+        assert!(n2.id.raw() > first_id.raw(), "fresh id per reuse");
+        let d = slab.diagnostics();
+        assert_eq!((d.allocated, d.recycled), (1, 1));
+        assert!(d.recycle_rate().unwrap() > 0.49);
+    }
+
+    #[test]
+    fn shared_nodes_and_disabled_slabs_are_never_recycled() {
+        let slab = TaskSlab::new(8);
+        let n = slab.acquire(
+            None,
+            TaskPriority::default(),
+            AccessVec::new(),
+            Vec::new(),
+            |_ctx| {},
+            ChildTracker::new(),
+        );
+        let _ = n.body.lock().take();
+        n.links.lock().completed = true;
+        let held = n.clone();
+        slab.try_recycle(n); // shared: plain drop path
+        assert_eq!(slab.diagnostics().free, 0);
+        drop(held);
+        assert_eq!(
+            slab.diagnostics().outstanding,
+            0,
+            "final drop released the accounting token"
+        );
+        let off = TaskSlab::new(0);
+        let n = off.acquire(
+            None,
+            TaskPriority::default(),
+            AccessVec::new(),
+            Vec::new(),
+            |_ctx| {},
+            ChildTracker::new(),
+        );
+        let _ = n.body.lock().take();
+        n.links.lock().completed = true;
+        off.try_recycle(n);
+        assert_eq!(off.diagnostics().free, 0, "capacity 0 disables recycling");
+        assert_eq!(off.diagnostics().outstanding, 0);
     }
 }

@@ -26,6 +26,10 @@ pub enum TraceEvent {
         at_ns: u64,
         /// Number of dependence edges the task was created with.
         deps: usize,
+        /// Reuse count of the slab node the task was spawned into (0 for a
+        /// freshly allocated node). Together with the never-reused id it
+        /// makes node recycling visible — and ABA-detectable — in traces.
+        generation: u32,
     },
     /// A task became ready (all dependencies satisfied).
     Ready {
@@ -300,6 +304,7 @@ mod tests {
             name: Some("a".into()),
             at_ns: 1,
             deps: 0,
+            generation: 0,
         });
         r.record(TraceEvent::Ready {
             task: tid(1),
@@ -400,6 +405,7 @@ mod tests {
             name: Some("render".into()),
             at_ns: 0,
             deps: 0,
+            generation: 0,
         });
         r.record(TraceEvent::Started {
             task: tid(1),

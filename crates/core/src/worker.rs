@@ -24,10 +24,13 @@ pub(crate) fn worker_loop(
     deque: WorkerDeque<Arc<TaskNode>>,
     worker_id: usize,
 ) {
+    // Reused across every task this worker executes, so the steady-state
+    // wakeup path allocates nothing (see `graph::complete_into`).
+    let mut ready = Vec::new();
     loop {
         match inner.sched.pop(worker_id, Some(&deque)) {
             Some(node) => {
-                execute_task(&inner, node, Some(worker_id), Some(&deque));
+                execute_task(&inner, node, Some(worker_id), Some(&deque), &mut ready);
             }
             None => {
                 if inner.shutdown.load(Ordering::SeqCst)
@@ -41,21 +44,28 @@ pub(crate) fn worker_loop(
     }
 }
 
-/// Execute one task: run the body, notify successors, update counters.
+/// Execute one task: run the body, notify successors, update counters, and
+/// hand the node back to the slab when this worker held its last reference.
 ///
 /// Also used by nested `taskwait` helpers (with `deque = None`), in which
 /// case woken successors go to the global queue instead of a local deque.
+/// `ready` is the caller's reusable wakeup buffer; it is drained before
+/// returning.
 pub(crate) fn execute_task(
     inner: &Arc<RuntimeInner>,
     node: Arc<TaskNode>,
     worker: Option<usize>,
     deque: Option<&WorkerDeque<Arc<TaskNode>>>,
+    ready: &mut Vec<Arc<TaskNode>>,
 ) {
     node.set_state(TaskState::Running);
+    // Snapshot the identity: the node must not be re-initialised (a recycle
+    // would mint a new id and bump the generation) while we execute it.
+    let (task_id, generation) = (node.id, node.generation);
     let trace_enabled = inner.trace.is_enabled();
     if trace_enabled {
         inner.trace.record(TraceEvent::Started {
-            task: node.id,
+            task: task_id,
             worker: worker.unwrap_or(usize::MAX),
             at_ns: inner.trace.now_ns(),
         });
@@ -73,7 +83,7 @@ pub(crate) fn execute_task(
             worker,
             deque,
         };
-        let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+        let result = catch_unwind(AssertUnwindSafe(|| body.run(&ctx)));
         match result {
             Ok(()) => false,
             Err(payload) => {
@@ -89,7 +99,7 @@ pub(crate) fn execute_task(
 
     if trace_enabled {
         inner.trace.record(TraceEvent::Finished {
-            task: node.id,
+            task: task_id,
             worker: worker.unwrap_or(usize::MAX),
             at_ns: inner.trace.now_ns(),
             panicked,
@@ -101,8 +111,9 @@ pub(crate) fn execute_task(
     // Wake successors (a panicked task still releases its dependants so the
     // graph always drains). Under shard-affinity scheduling each successor
     // carries its dominant tracker shard as a placement hint.
-    let ready = graph::complete(&node);
-    for succ in ready {
+    debug_assert!(ready.is_empty());
+    graph::complete_into(&node, ready);
+    for succ in ready.drain(..) {
         if trace_enabled {
             inner.trace.record(TraceEvent::Ready {
                 task: succ.id,
@@ -133,9 +144,7 @@ pub(crate) fn execute_task(
     // zero then guarantees every earlier task on the version is already a
     // tombstone in the tracker — an elided overwrite can inherit no WAR/WAW
     // edge.
-    for ticket in node.take_tickets() {
-        ticket.release();
-    }
+    node.release_tickets();
 
     // Record this worker as the shard's last completer (the shard-affinity
     // locality key) — after retirement, so the data really is done here.
@@ -148,7 +157,23 @@ pub(crate) fn execute_task(
     }
 
     inner.stats.add(StatField::TasksExecuted, 1);
-    node.parent_children.child_done();
+    debug_assert!(
+        node.id == task_id && node.generation == generation,
+        "task node was recycled while executing"
+    );
+
+    // Retired, tickets released, bookkeeping done: if this worker holds the
+    // last reference, the node's storage goes back to the slab for the next
+    // spawn (transient holders — a `taskwait_on` spinner, a fetch — simply
+    // make it drop normally; recycling is best-effort). This happens
+    // *before* the completion counters tick over, so once `taskwait`
+    // observes a drained runtime every node really is parked or freed —
+    // `task_slab_diagnostics().outstanding == 0` is a firm post-drain
+    // invariant, not a race. The parent tracker comes back out of the node
+    // (the worker still owes it the `child_done` below).
+    let parent_children = inner.slab.try_recycle(node);
+
+    parent_children.child_done();
     inner.in_flight.fetch_sub(1, Ordering::SeqCst);
 }
 

@@ -176,6 +176,94 @@ fn single_pass_chunk_writes_elide_every_rename() {
 }
 
 // ---------------------------------------------------------------------------
+// 2b. The output-before-input aliasing corner is un-elided at bind time
+// ---------------------------------------------------------------------------
+
+#[test]
+fn output_before_input_unelides_instead_of_aliasing() {
+    // Regression test for the elision corner PR 4 documented: with the
+    // current version unreferenced, `output(&x)` elides its rename in place;
+    // an `input(&x)` declared *afterwards* on the same task would then read
+    // the very storage the task overwrites. The builder must detect the
+    // pattern and un-elide the write, so the read observes the pre-task
+    // value whatever the clause order.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+    let x = rt.versioned_data(42u64);
+    let (w, r) = (x.clone(), x.clone());
+    rt.task().output(&w).input(&r).spawn(move |ctx| {
+        // Write first, then read: under the old aliasing behaviour the read
+        // would see 100 (inout-like in-place semantics).
+        *ctx.write(&w) = 100;
+        assert_eq!(*ctx.read(&r), 42, "input must observe the pre-task value");
+    });
+    rt.taskwait();
+    assert!(rt.take_panics().is_empty(), "body assertions all held");
+    let stats = rt.stats();
+    assert_eq!(stats.renames, 1, "the elided output was converted to a rename");
+    assert_eq!(stats.renames_elided, 0, "the elision was un-counted");
+    assert_eq!(stats.tasks_panicked, 0);
+    assert_eq!(rt.into_inner(x), 100, "the fresh version was committed");
+    rt.shutdown();
+}
+
+#[test]
+fn chunk_output_before_whole_input_unelides_just_that_chunk() {
+    // The same corner at region granularity: an elided chunk `output`
+    // followed by a whole-array `input` on the same partition.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+    let part = rt.versioned_partitioned(vec![1u64; 12], 4);
+    let chunk0 = part.chunk(0);
+    let whole = part.whole();
+    rt.task()
+        .output(&chunk0)
+        .input(&whole)
+        .spawn(move |ctx| {
+            ctx.write_chunk(&chunk0).fill(9);
+            let snapshot = ctx.gather_whole(&whole);
+            assert_eq!(
+                snapshot,
+                vec![1u64; 12],
+                "the whole-array read sees every pre-task chunk value"
+            );
+        });
+    rt.taskwait();
+    assert!(rt.take_panics().is_empty());
+    let stats = rt.stats();
+    assert_eq!(stats.chunk_renames, 1, "only the written chunk renamed");
+    assert_eq!(stats.renames_elided, 0);
+    let out = rt.into_vec(part);
+    assert_eq!(out[..4], [9, 9, 9, 9]);
+    assert_eq!(out[4..], [1; 8][..]);
+    rt.shutdown();
+}
+
+#[test]
+fn unelide_under_exhausted_budget_keeps_documented_fallback_aliasing() {
+    // With a zero rename budget the un-elide cannot allocate a version, so
+    // the in-place binding — and the documented inout-like degradation —
+    // remain, counted as a fallback.
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_rename_memory_cap(0),
+    );
+    let x = rt.versioned_data(7u64);
+    let (w, r) = (x.clone(), x.clone());
+    rt.task().output(&w).input(&r).spawn(move |ctx| {
+        *ctx.write(&w) = 50;
+        assert_eq!(*ctx.read(&r), 50, "budget fallback aliases in place");
+    });
+    rt.taskwait();
+    assert!(rt.take_panics().is_empty());
+    let stats = rt.stats();
+    assert_eq!(stats.renames, 0);
+    assert_eq!(stats.renames_elided, 1, "the elision stays counted");
+    assert!(stats.rename_fallbacks >= 1, "the refused un-elide is a fallback");
+    assert_eq!(rt.into_inner(x), 50);
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
 // 3. Optimistic-path fallback under a GC storm
 // ---------------------------------------------------------------------------
 

@@ -157,12 +157,19 @@ struct EdgeStructure {
     counters: (u64, u64, u64, u64, u64),
 }
 
-fn edge_structure(shards: usize, fast_path: bool, cells: usize, ops: &[Op]) -> EdgeStructure {
+fn edge_structure(
+    shards: usize,
+    fast_path: bool,
+    recycler: bool,
+    cells: usize,
+    ops: &[Op],
+) -> EdgeStructure {
     let rt = Runtime::new(
         RuntimeConfig::default()
             .with_workers(2)
             .with_tracker_shards(shards)
             .with_tracker_fast_path(fast_path)
+            .with_task_recycler(recycler)
             .with_tracing(true),
     );
     assert_eq!(rt.tracker_shards(), shards);
@@ -226,12 +233,13 @@ fn edge_structure(shards: usize, fast_path: bool, cells: usize, ops: &[Op]) -> E
     }
 }
 
-fn final_values(shards: usize, fast_path: bool, cells: usize, ops: &[Op]) -> Vec<u64> {
+fn final_values(shards: usize, fast_path: bool, recycler: bool, cells: usize, ops: &[Op]) -> Vec<u64> {
     let rt = Runtime::new(
         RuntimeConfig::default()
             .with_workers(3)
             .with_tracker_shards(shards)
-            .with_tracker_fast_path(fast_path),
+            .with_tracker_fast_path(fast_path)
+            .with_task_recycler(recycler),
     );
     let handles: Vec<Data<u64>> = (0..cells).map(|_| rt.data(0u64)).collect();
     spawn_program(&rt, &handles, ops, None);
@@ -247,38 +255,48 @@ proptest! {
     /// With task completion gated off during spawning, the sharded tracker —
     /// optimistic fast path enabled — discovers exactly the edge multiset,
     /// per-task dependence counts and edge-class counters of the
-    /// forced-locked single-shard tracker, for every shard count; and the
-    /// forced-locked configuration agrees at every shard count too.
+    /// forced-locked single-shard tracker, for every shard count; the
+    /// forced-locked configuration agrees at every shard count too, and the
+    /// task-node recycler is invisible to the structure at every shard
+    /// count ({recycler on, off} × shards).
     #[test]
     fn sharded_edge_structure_equals_single_shard(
         ops in proptest::collection::vec(op_strategy(4), 1..32),
     ) {
-        // Reference: 1 shard, forced-locked (the historical tracker).
-        let reference = edge_structure(1, false, 4, &ops);
+        // Reference: 1 shard, forced-locked (the historical tracker),
+        // recycler on (the default).
+        let reference = edge_structure(1, false, true, 4, &ops);
         prop_assert_eq!(reference.edges.len() as u64, reference.counters.0);
         for shards in SHARD_COUNTS {
-            let optimistic = edge_structure(shards, true, 4, &ops);
+            let optimistic = edge_structure(shards, true, true, 4, &ops);
             prop_assert_eq!(&optimistic, &reference, "optimistic, shards = {}", shards);
+            let no_recycler = edge_structure(shards, true, false, 4, &ops);
+            prop_assert_eq!(&no_recycler, &reference, "recycler off, shards = {}", shards);
         }
         for shards in &SHARD_COUNTS[1..] {
-            let locked = edge_structure(*shards, false, 4, &ops);
+            let locked = edge_structure(*shards, false, true, 4, &ops);
             prop_assert_eq!(&locked, &reference, "forced-locked, shards = {}", shards);
         }
     }
 
     /// Ungated execution on every shard count — optimistic and
-    /// forced-locked — ends in exactly the sequential final values.
+    /// forced-locked, recycler on and off — ends in exactly the sequential
+    /// final values.
     #[test]
     fn sharded_execution_matches_sequential_semantics(
         ops in proptest::collection::vec(op_strategy(5), 1..48),
     ) {
         let expected = run_sequential_matching_tasks(5, &ops);
         for shards in SHARD_COUNTS {
-            let got = final_values(shards, true, 5, &ops);
+            let got = final_values(shards, true, true, 5, &ops);
             prop_assert_eq!(&got, &expected, "optimistic, shards = {}", shards);
         }
-        let got = final_values(7, false, 5, &ops);
+        let got = final_values(7, false, true, 5, &ops);
         prop_assert_eq!(&got, &expected, "forced-locked, shards = 7");
+        for shards in [1usize, 16] {
+            let got = final_values(shards, true, false, 5, &ops);
+            prop_assert_eq!(&got, &expected, "recycler off, shards = {}", shards);
+        }
     }
 }
 
