@@ -1,0 +1,180 @@
+//! Template replay vs full spawning: the insertion-side payoff of graph
+//! capture (`ompss::CaptureScope` / `Runtime::replay`).
+//!
+//! The workload is the steady-state insertion storm of the spawn-rate
+//! ablation: batches of `BATCH` one-`output` tasks over a small set of
+//! shared cells, so consecutive writers of one cell chain on WAW hazards
+//! and every registration contends on the cell's tracker shard. Two ways to
+//! stamp the same stream of batches:
+//!
+//! 1. **full-spawn** — `SPAWNERS` OS threads hammer `rt.task()` concurrently
+//!    (the per-task insertion hot path: one optimistic gate acquisition,
+//!    one in-flight/stat update and one wakeup per task).
+//! 2. **replay** — the batch is captured once into a `GraphTemplate` and
+//!    every subsequent batch is stamped with `Runtime::replay`: clause
+//!    re-resolution per task, but one multi-gate acquisition, one batched
+//!    bookkeeping update and one batched wakeup per 256 tasks — and zero
+//!    heap allocations once warm (`tests/spawn_alloc.rs`).
+//!
+//! Both sides drain between batches outside the timed window; the timers
+//! cover insertion only. The headline claim — warm replay beats the
+//! 8-spawner full-spawn insertion throughput by ≥2× — is asserted at the
+//! bottom (relaxed when the host has fewer than 4 hardware threads, where
+//! the spawner storm cannot actually run concurrently).
+//!
+//! Run with `cargo run --release -p bench-harness --bin graph_replay
+//! [batches]`.
+
+use std::time::{Duration, Instant};
+
+use ompss::{Data, ReplayBindings, Runtime, RuntimeConfig};
+
+/// Tasks per batch (matching the allocation-diet pin in spawn_alloc.rs).
+const BATCH: usize = 256;
+/// Shared cells the batch writes (WAW chains, 16 tracker-contended regions).
+const CELLS: usize = 16;
+/// Concurrently spawning threads on the full-spawn side.
+const SPAWNERS: usize = 8;
+
+fn runtime() -> Runtime {
+    Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(2)
+            .with_tracker_shards(4)
+            .with_tracker_gc_interval(0),
+    )
+}
+
+/// Busy-wait for the graph to drain without entering `taskwait` (which runs
+/// a GC sweep and would disturb the warmed tracker maps).
+fn drain(rt: &Runtime) {
+    while rt.in_flight_tasks() > 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Insertion rate of `batches * BATCH` tasks spawned from `SPAWNERS`
+/// concurrent threads; the timer covers the spawn phase only.
+fn full_spawn_rate(batches: usize) -> f64 {
+    let rt = runtime();
+    let cells: Vec<Data<u64>> = (0..CELLS).map(|_| rt.data(0u64)).collect();
+    let per_spawner = batches * BATCH / SPAWNERS;
+    // Warm the slab, queues and tracker maps like the replay side warms its
+    // template scratch.
+    for i in 0..BATCH {
+        let c = cells[i % CELLS].clone();
+        rt.task().output(&c).spawn(move |ctx| {
+            *ctx.write(&c) = i as u64;
+        });
+    }
+    drain(&rt);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..SPAWNERS {
+            let rt = &rt;
+            let cells = &cells;
+            scope.spawn(move || {
+                for i in 0..per_spawner {
+                    let c = cells[(s + i) % CELLS].clone();
+                    rt.task().output(&c).spawn(move |ctx| {
+                        *ctx.write(&c) = i as u64;
+                    });
+                }
+            });
+        }
+    });
+    let spawn_time = start.elapsed();
+    drain(&rt);
+    let stats = rt.stats();
+    assert_eq!(
+        stats.tasks_spawned as usize,
+        BATCH + SPAWNERS * per_spawner,
+        "full-spawn run lost tasks"
+    );
+    rt.shutdown();
+    (SPAWNERS * per_spawner) as f64 / spawn_time.as_secs_f64()
+}
+
+/// Insertion rate of `batches` warm replays of a captured `BATCH`-task
+/// batch; the timer covers the `replay` calls only.
+fn replay_rate(batches: usize) -> f64 {
+    let rt = runtime();
+    let cells: Vec<Data<u64>> = (0..CELLS).map(|_| rt.data(0u64)).collect();
+    let mut scope = rt.capture();
+    for i in 0..BATCH {
+        let c = cells[i % CELLS].clone();
+        scope.task().output(&c).spawn(move |ctx| {
+            *ctx.write(&c) = i as u64;
+        });
+    }
+    let template = scope.finish();
+    drain(&rt);
+    let bindings = ReplayBindings::new();
+    for _ in 0..4 {
+        rt.replay(&template, &bindings);
+        drain(&rt);
+    }
+    let mut stamping = Duration::ZERO;
+    for _ in 0..batches {
+        let start = Instant::now();
+        rt.replay(&template, &bindings);
+        stamping += start.elapsed();
+        drain(&rt);
+    }
+    let stats = rt.stats();
+    assert_eq!(
+        stats.tasks_spawned as usize,
+        (5 + batches) * BATCH,
+        "replay run lost tasks"
+    );
+    rt.shutdown();
+    (batches * BATCH) as f64 / stamping.as_secs_f64()
+}
+
+fn best_of_3(f: impl Fn() -> f64) -> f64 {
+    (0..3).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let batches: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("batches must be a number"))
+        .unwrap_or(32);
+    assert!(
+        (batches * BATCH).is_multiple_of(SPAWNERS),
+        "batches * {BATCH} must divide evenly over {SPAWNERS} spawners"
+    );
+
+    println!("graph_replay: {batches} batches of {BATCH} one-output tasks over {CELLS} cells");
+    println!();
+
+    let spawn = best_of_3(|| full_spawn_rate(batches));
+    let replay = best_of_3(|| replay_rate(batches));
+    let speedup = replay / spawn;
+
+    println!(
+        "  {:<28} {:>14} {:>10}",
+        "insertion side", "tasks/sec", "speedup"
+    );
+    println!(
+        "  {:<28} {:>14.0} {:>10}",
+        format!("full-spawn ({SPAWNERS} threads)"),
+        spawn,
+        "1.00x"
+    );
+    println!(
+        "  {:<28} {:>14.0} {:>9.2}x",
+        "warm template replay", replay, speedup
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let floor = if cores >= 4 { 2.0 } else { 1.1 };
+    println!();
+    println!("  {cores} hardware threads -> required speedup >= {floor:.1}x");
+    assert!(
+        speedup >= floor,
+        "warm replay must beat {SPAWNERS}-spawner full-spawn insertion by \
+         {floor:.1}x, measured {speedup:.2}x"
+    );
+    println!("  ok");
+}

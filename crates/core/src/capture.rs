@@ -1,0 +1,601 @@
+//! Graph capture & batch replay: record one iteration's task graph, stamp
+//! the rest.
+//!
+//! Every benchmark in this reproduction is an outer loop whose iteration *k*
+//! has the same dependence shape as iteration *k−1*, yet each spawn re-runs
+//! clause resolution and a full tracker registration — the per-task
+//! insertion overhead the paper identifies as the scalability ceiling of
+//! task-superscalar runtimes. Capture/replay amortises that overhead across
+//! the batch (à la CUDA graphs / OpenMP taskloop fusion):
+//!
+//! * [`Runtime::capture`] opens a [`CaptureScope`]. Tasks spawned through
+//!   the scope **execute normally** — the capture iteration *is* a regular
+//!   iteration, going through the ordinary [`TaskBuilder`] path — and are
+//!   additionally recorded as *recipes*: the clause list (kind + handle),
+//!   the body, name and priority.
+//! * [`CaptureScope::finish`] freezes the recipes into a [`GraphTemplate`].
+//! * [`Runtime::replay`] re-stamps the whole batch: every recipe's clauses
+//!   are re-resolved (optionally substituted through [`ReplayBindings`]),
+//!   the nodes are acquired from the task slab, and the entire batch is
+//!   registered with the dependence tracker under **one** multi-gate
+//!   acquisition instead of one per task, then the ready roots are queued
+//!   with one batched scheduler wakeup.
+//!
+//! # Why replay re-resolves instead of copying edges
+//!
+//! A template does *not* store the captured iteration's resolved accesses
+//! or successor edges. Both depend on mutable version state: renaming binds
+//! each `output` clause to a fresh version, first-write elision depends on
+//! the live reference count of the current version, and the
+//! output-before-elided-input corner can force a bind-time un-elision.
+//! Baking any of that in would replay yesterday's decisions against today's
+//! state (and would bake in the aliased write of a template captured before
+//! an un-elision). Instead each replay pass re-runs resolution — the same
+//! [`crate::rename`] machinery, the same write-clash rejection, the same
+//! un-elision check the builder path uses — and re-derives the edges inside
+//! the batch registration: node *i*'s history update lands before node
+//! *i+1*'s predecessor scan, so intra-batch edges fall out of the ordinary
+//! three-pass dance, and cross-batch predecessors (tasks of the previous
+//! iteration still in flight) are discovered exactly as a fresh spawn would
+//! discover them. What the batch *saves* is the per-task synchronisation
+//! and scheduling overhead: one gate acquisition, one in-flight/stat/GC
+//! update, one wakeup notification for the whole batch.
+//!
+//! # Bindings
+//!
+//! [`ReplayBindings`] substitutes handles at clause-resolution time, keyed
+//! by [`Accessible::replay_key`] (the canonical region id, stable across
+//! renames). Bodies still reference the handles they captured: a binding
+//! redirects the *dependence* (and, for versioned handles, the version
+//! chain being advanced), so the idiomatic pairing is clause substitution
+//! plus a body that derives its storage from
+//! [`TaskContext::replay_pass`](crate::TaskContext::replay_pass) — see
+//! [`RenameRing::rebind`](crate::RenameRing::rebind) for the pipeline
+//! pattern. For plain same-handle iteration (the dominant benchmark shape),
+//! replay with empty bindings re-runs the captured iteration as-is.
+//!
+//! # Invalidation rules
+//!
+//! A template never dangles — recipes hold owning handles — but it must be
+//! **dropped and re-captured** when the graph it describes is no longer the
+//! graph the program wants:
+//!
+//! * the per-iteration task structure changes (different task count, bodies,
+//!   clause lists, or clause order);
+//! * a handle it captured is retired from the computation and no
+//!   [`ReplayBindings`] entry redirects it;
+//! * the runtime it was captured on shuts down ([`Runtime::replay`] panics
+//!   if handed a template captured on a different runtime).
+//!
+//! Version state is *not* an invalidation concern: re-resolution picks up
+//! current versions, budgets and elision opportunities on every pass.
+//!
+//! Equivalence with fresh spawning is pinned by
+//! `tests/replay_equivalence.rs` (edge multisets and final values across
+//! shard counts and recycler settings) and the replay extension of
+//! `tests/property_runtime.rs` (sequential-semantics oracle).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::access::{AccessKind, AccessVec};
+use crate::graph;
+use crate::handle::Accessible;
+use crate::region::RegionId;
+use crate::rename::{RenameCommit, RenameEvent, VersionTicket};
+use crate::runtime::{
+    reject_write_clash, unelide_overlapping, Runtime, RuntimeInner, TaskBuilder, TaskContext,
+};
+use crate::stats::StatField;
+use crate::task::{TaskId, TaskNode, TaskPriority};
+use crate::trace::TraceEvent;
+
+/// A recorded task body: shared by the capture iteration and every replay
+/// pass, so it is `Fn` (re-runnable) rather than the builder's `FnOnce`.
+type CapturedBody = Arc<dyn Fn(&TaskContext<'_>) + Send + Sync + 'static>;
+
+/// One recorded access clause: the kind, the handle it named (owned, so the
+/// template keeps the data alive), and the handle's stable replay key.
+struct CapturedClause {
+    kind: AccessKind,
+    key: RegionId,
+    handle: Arc<dyn Accessible + Send + Sync>,
+}
+
+/// One recorded task recipe, replayed in capture order.
+struct CapturedTask {
+    name: Option<Arc<str>>,
+    priority: TaskPriority,
+    clauses: Vec<CapturedClause>,
+    body: CapturedBody,
+}
+
+/// Records one iteration's task graph while it is being spawned (and
+/// executed) normally. Obtained from [`Runtime::capture`]; finished into a
+/// [`GraphTemplate`] with [`CaptureScope::finish`].
+pub struct CaptureScope<'r> {
+    rt: &'r Runtime,
+    tasks: Vec<CapturedTask>,
+    first: Option<TaskId>,
+}
+
+impl<'r> CaptureScope<'r> {
+    /// Begin building a task that is spawned normally **and** recorded into
+    /// the template under construction.
+    pub fn task(&mut self) -> CapturedTaskBuilder<'_, 'r> {
+        let builder = self.rt.task();
+        CapturedTaskBuilder {
+            scope: self,
+            builder,
+            name: None,
+            priority: TaskPriority::default(),
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of tasks recorded so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Freeze the recorded recipes into a [`GraphTemplate`]. Records a
+    /// [`TraceEvent::Captured`] event when tracing is enabled.
+    pub fn finish(self) -> GraphTemplate {
+        let inner = &self.rt.inner;
+        if inner.trace.is_enabled() {
+            inner.trace.record(TraceEvent::Captured {
+                task: self.first.unwrap_or(TaskId(0)),
+                tasks: self.tasks.len(),
+                at_ns: inner.trace.now_ns(),
+            });
+        }
+        GraphTemplate {
+            owner: Arc::downgrade(inner),
+            tasks: self.tasks,
+            scratch: Mutex::new(ReplayScratch::default()),
+            passes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for CaptureScope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaptureScope")
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+/// Builder for a task spawned through a [`CaptureScope`]: mirrors
+/// [`TaskBuilder`]'s clause methods, forwarding each clause to a real
+/// builder (the capture iteration resolves, registers and executes
+/// normally) while recording the clause recipe for replay.
+///
+/// Handles must additionally be `Clone + Send + Sync` (the template owns a
+/// clone of each), and the body must be a re-runnable `Fn + Send + Sync`
+/// rather than the builder's `FnOnce`.
+pub struct CapturedTaskBuilder<'s, 'r> {
+    scope: &'s mut CaptureScope<'r>,
+    builder: TaskBuilder<'r>,
+    name: Option<Arc<str>>,
+    priority: TaskPriority,
+    clauses: Vec<CapturedClause>,
+}
+
+impl CapturedTaskBuilder<'_, '_> {
+    /// Give the task a name (shown in traces and panic reports).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(Arc::from(name));
+        self.builder = self.builder.name(name);
+        self
+    }
+
+    /// Set the scheduling priority (higher runs earlier among ready tasks).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = TaskPriority(priority);
+        self.builder = self.builder.priority(priority);
+        self
+    }
+
+    /// Declare an access with an explicit kind, recording it for replay.
+    pub fn access<H>(mut self, kind: AccessKind, handle: &H) -> Self
+    where
+        H: Accessible + Clone + Send + Sync + 'static,
+    {
+        self.clauses.push(CapturedClause {
+            kind,
+            key: handle.replay_key(),
+            handle: Arc::new(handle.clone()),
+        });
+        self.builder = self.builder.access(kind, handle);
+        self
+    }
+
+    /// Declare a read access (`input(x)`).
+    pub fn input<H>(self, handle: &H) -> Self
+    where
+        H: Accessible + Clone + Send + Sync + 'static,
+    {
+        self.access(AccessKind::Input, handle)
+    }
+
+    /// Declare a write access (`output(x)`).
+    pub fn output<H>(self, handle: &H) -> Self
+    where
+        H: Accessible + Clone + Send + Sync + 'static,
+    {
+        self.access(AccessKind::Output, handle)
+    }
+
+    /// Declare a read-write access (`inout(x)`).
+    pub fn inout<H>(self, handle: &H) -> Self
+    where
+        H: Accessible + Clone + Send + Sync + 'static,
+    {
+        self.access(AccessKind::InOut, handle)
+    }
+
+    /// Declare a commutative-update access (`concurrent(x)`).
+    pub fn concurrent<H>(self, handle: &H) -> Self
+    where
+        H: Accessible + Clone + Send + Sync + 'static,
+    {
+        self.access(AccessKind::Concurrent, handle)
+    }
+
+    /// Spawn the task now (through the ordinary builder path — the capture
+    /// iteration executes like any other) and record its recipe in the
+    /// scope. Returns the capture iteration's task id.
+    pub fn spawn<F>(self, body: F) -> TaskId
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        let body: CapturedBody = Arc::new(body);
+        let run = body.clone();
+        let id = self.builder.spawn(move |ctx| run(ctx));
+        self.scope.first.get_or_insert(id);
+        self.scope.tasks.push(CapturedTask {
+            name: self.name,
+            priority: self.priority,
+            clauses: self.clauses,
+            body,
+        });
+        id
+    }
+}
+
+/// Reusable replay buffers, kept inside the template so a warm replay
+/// allocates nothing: the acquired nodes of the pass being stamped, the
+/// roots that became immediately ready, and the sorted shard-id union.
+#[derive(Default)]
+struct ReplayScratch {
+    nodes: Vec<Arc<TaskNode>>,
+    ready: Vec<Arc<TaskNode>>,
+    sids: Vec<usize>,
+}
+
+/// A frozen batch of task recipes, produced by [`CaptureScope::finish`] and
+/// re-stamped by [`Runtime::replay`]. See the [module docs](self) for the
+/// capture/replay semantics and the invalidation rules.
+pub struct GraphTemplate {
+    owner: Weak<RuntimeInner>,
+    tasks: Vec<CapturedTask>,
+    scratch: Mutex<ReplayScratch>,
+    passes: AtomicU64,
+}
+
+impl GraphTemplate {
+    /// Number of tasks one replay pass spawns.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the template records no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of replay passes stamped so far (the capture itself is pass
+    /// 0 and is not counted).
+    pub fn passes(&self) -> u64 {
+        self.passes.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for GraphTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphTemplate")
+            .field("tasks", &self.tasks.len())
+            .field("passes", &self.passes())
+            .finish()
+    }
+}
+
+/// Handle substitutions applied at replay-resolution time, keyed by
+/// [`Accessible::replay_key`]. An empty `ReplayBindings` (the common
+/// same-handles iteration) adds no lookup cost and no allocation to the
+/// replay path.
+#[derive(Default)]
+pub struct ReplayBindings {
+    map: HashMap<RegionId, Arc<dyn Accessible + Send + Sync>>,
+}
+
+impl ReplayBindings {
+    /// An empty binding set: every clause resolves against the handle it
+    /// captured.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Redirect every captured clause on `from` to resolve against `to`
+    /// instead. Later bindings for the same handle replace earlier ones.
+    pub fn bind<H>(&mut self, from: &H, to: &H)
+    where
+        H: Accessible + Clone + Send + Sync + 'static,
+    {
+        self.map.insert(from.replay_key(), Arc::new(to.clone()));
+    }
+
+    /// Number of bindings installed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no binding is installed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Remove every binding.
+    pub fn clear(&mut self) {
+        self.map.clear()
+    }
+
+    fn lookup(&self, key: RegionId) -> Option<&(dyn Accessible + Send + Sync)> {
+        if self.map.is_empty() {
+            return None;
+        }
+        self.map.get(&key).map(|a| &**a)
+    }
+}
+
+impl std::fmt::Debug for ReplayBindings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayBindings")
+            .field("bindings", &self.map.len())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Open a capture scope: tasks spawned through it run normally *and*
+    /// are recorded into a [`GraphTemplate`] for later [`Runtime::replay`].
+    ///
+    /// ```
+    /// use ompss::{ReplayBindings, Runtime, RuntimeConfig};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+    /// let a = rt.data(0u64);
+    /// let mut scope = rt.capture();
+    /// {
+    ///     let a = a.clone();
+    ///     scope.task().inout(&a).spawn(move |ctx| *ctx.write(&a) += 1);
+    /// }
+    /// let template = scope.finish(); // the capture iteration ran: a == 1
+    /// for _ in 0..3 {
+    ///     rt.replay(&template, &ReplayBindings::new());
+    /// }
+    /// rt.taskwait();
+    /// assert_eq!(rt.fetch(&a), 4);
+    /// ```
+    pub fn capture(&self) -> CaptureScope<'_> {
+        CaptureScope {
+            rt: self,
+            tasks: Vec::new(),
+            first: None,
+        }
+    }
+
+    /// Re-stamp a captured batch: re-resolve every recipe's clauses
+    /// (substituted through `bindings` where bound), acquire and wire the
+    /// nodes, register the whole batch with the dependence tracker under a
+    /// single multi-gate acquisition, and queue the ready roots with one
+    /// batched wakeup. Returns the 1-based pass number of this replay.
+    ///
+    /// Once warm (slab stocked, scratch buffers at capacity) a replay of a
+    /// plain-handle batch performs **zero** heap allocations —
+    /// `tests/spawn_alloc.rs` pins it. Equivalence with spawning the same
+    /// tasks freshly is pinned by `tests/replay_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template was captured on a different [`Runtime`], or
+    /// if a binding substitution produces a write clash a fresh spawn would
+    /// also reject (see [`TaskBuilder`]'s clause documentation).
+    pub fn replay(&self, template: &GraphTemplate, bindings: &ReplayBindings) -> u64 {
+        let inner = &self.inner;
+        assert!(
+            template.owner.ptr_eq(&Arc::downgrade(inner)),
+            "GraphTemplate was captured on a different Runtime than it is replayed on"
+        );
+        let pass = template.passes.fetch_add(1, Ordering::Relaxed) + 1;
+        let trace_enabled = inner.trace.is_enabled();
+        let n = template.tasks.len();
+        if n == 0 {
+            if trace_enabled {
+                inner.trace.record(TraceEvent::Replayed {
+                    task: TaskId(0),
+                    tasks: 0,
+                    pass,
+                    at_ns: inner.trace.now_ns(),
+                });
+            }
+            return pass;
+        }
+        let mut scratch = template.scratch.lock();
+        let ReplayScratch { nodes, ready, sids } = &mut *scratch;
+        nodes.clear();
+        ready.clear();
+        sids.clear();
+
+        let cx = inner.rename_cx();
+        // Rename events per task, kept only for the trace (the non-traced
+        // steady state must stay allocation-free).
+        let mut renames_per_task: Vec<Vec<RenameEvent>> = Vec::new();
+        let mut spills = 0u64;
+
+        // Phase 1 — per recipe, in capture order: re-resolve the clauses
+        // against current version state (bindings substituting handles),
+        // re-running the same write-clash rejection and bind-time
+        // un-elision the builder path runs; commit the renames (this is the
+        // batch's point in program order); acquire and arm a slab node.
+        for recipe in &template.tasks {
+            let mut accesses = AccessVec::new();
+            let mut tickets: Vec<Box<dyn VersionTicket>> = Vec::new();
+            let mut commits: Vec<Box<dyn RenameCommit>> = Vec::new();
+            let mut renames: Vec<RenameEvent> = Vec::new();
+            for clause in &recipe.clauses {
+                let handle: &dyn Accessible = match bindings.lookup(clause.key) {
+                    Some(h) => h,
+                    None => &*clause.handle,
+                };
+                let mut resolved = handle.resolve(clause.kind, &cx);
+                reject_write_clash(&accesses, &mut resolved);
+                if clause.kind.reads() {
+                    unelide_overlapping(
+                        &mut accesses,
+                        &mut tickets,
+                        &mut commits,
+                        &mut renames,
+                        &resolved,
+                        &cx,
+                    );
+                }
+                accesses.append(resolved.accesses);
+                tickets.extend(resolved.tickets);
+                commits.extend(resolved.commits);
+                renames.extend(resolved.renamed);
+            }
+            for commit in commits.drain(..) {
+                commit.commit();
+            }
+            if accesses.spilled() {
+                spills += 1;
+            }
+            let run = recipe.body.clone();
+            let mut node = inner.slab.acquire(
+                recipe.name.clone(),
+                recipe.priority,
+                accesses,
+                tickets,
+                move |ctx: &TaskContext<'_>| run(ctx),
+                inner.root_children.clone(),
+            );
+            Arc::get_mut(&mut node)
+                .expect("freshly acquired node is unshared")
+                .replay_pass = pass;
+            for access in node.accesses.iter() {
+                sids.push(inner.tracker.shard_of(access.region.id.alloc));
+            }
+            if trace_enabled {
+                renames_per_task.push(renames);
+            }
+            nodes.push(node);
+        }
+        sids.sort_unstable();
+        sids.dedup();
+
+        // Batched bookkeeping, mirroring `spawn_node` — counted before the
+        // batch can start executing.
+        inner.stats.add(StatField::TasksSpawned, n as u64);
+        if spills != 0 {
+            inner.stats.add(StatField::AccessInlineSpills, spills);
+        }
+        inner.in_flight.fetch_add(n, Ordering::SeqCst);
+        inner.root_children.add_children(n);
+
+        // Phase 2 — one gate acquisition for the whole batch.
+        let batch = inner.tracker.register_batch(nodes, sids, trace_enabled);
+        inner.stats.add(StatField::EdgesAdded, batch.edges as u64);
+        inner.stats.add(StatField::EdgesRaw, batch.raw_edges as u64);
+        inner.stats.add(StatField::EdgesWar, batch.war_edges as u64);
+        inner.stats.add(StatField::EdgesWaw, batch.waw_edges as u64);
+        inner
+            .stats
+            .add(StatField::DependencesSeen, batch.predecessors_seen as u64);
+        if trace_enabled {
+            for (i, node) in nodes.iter().enumerate() {
+                inner.trace.record(TraceEvent::Spawned {
+                    task: node.id,
+                    name: node.name.clone(),
+                    at_ns: inner.trace.now_ns(),
+                    deps: node.in_edges.load(Ordering::Relaxed),
+                    generation: node.generation,
+                });
+                for edge in &batch.per_task[i].1 {
+                    inner.trace.record(TraceEvent::Edge {
+                        task: node.id,
+                        from: edge.pred,
+                        shard: edge.shard,
+                        fast_path: false,
+                        at_ns: inner.trace.now_ns(),
+                    });
+                }
+                for ev in &renames_per_task[i] {
+                    inner.trace.record(TraceEvent::Renamed {
+                        task: node.id,
+                        from_alloc: ev.from.raw(),
+                        to_alloc: ev.to.raw(),
+                        recycled: ev.recycled,
+                        chunk: ev.chunk,
+                        at_ns: inner.trace.now_ns(),
+                    });
+                }
+            }
+            inner.trace.record(TraceEvent::Replayed {
+                task: nodes[0].id,
+                tasks: n,
+                pass,
+                at_ns: inner.trace.now_ns(),
+            });
+        }
+
+        // Phase 3 — release every registration sentinel in capture order,
+        // collecting the immediately ready roots. Draining `nodes` here
+        // drops the batch's extra `Arc`s *before* the roots are queued, so
+        // workers retiring these tasks find them uniquely referenced and
+        // the recycler keeps feeding the slab.
+        let mut immediately_ready = 0u64;
+        for node in nodes.drain(..) {
+            if graph::finish_registration(&node) {
+                immediately_ready += 1;
+                if trace_enabled {
+                    inner.trace.record(TraceEvent::Ready {
+                        task: node.id,
+                        at_ns: inner.trace.now_ns(),
+                    });
+                }
+                ready.push(node);
+            }
+        }
+        if immediately_ready != 0 {
+            inner.stats.add(StatField::ImmediatelyReady, immediately_ready);
+        }
+        inner.sched.push_spawn_batch(ready);
+        drop(scratch);
+        // GC cadence after every lock is released — the sweep takes each
+        // shard's gate itself.
+        if inner.note_batch_spawned(n as u64) {
+            inner.tracker.garbage_collect();
+        }
+        pass
+    }
+}

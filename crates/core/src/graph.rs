@@ -431,6 +431,28 @@ pub(crate) struct EdgeRecord {
     pub shard: usize,
 }
 
+/// Result of registering a whole template-replay batch with the tracker
+/// under a single multi-gate acquisition: the [`Registration`] counters
+/// summed over the batch, plus optional per-task edge records for tracing.
+pub(crate) struct BatchRegistration {
+    /// Predecessor edges actually added, summed over the batch
+    /// (intra-batch edges included).
+    pub edges: usize,
+    /// Added true (read-after-write) dependences, summed.
+    pub raw_edges: usize,
+    /// Added anti (write-after-read) dependences, summed.
+    pub war_edges: usize,
+    /// Added output (write-after-write) dependences, summed.
+    pub waw_edges: usize,
+    /// Distinct conflicting predecessors seen, summed (see
+    /// [`Registration::predecessors_seen`]).
+    pub predecessors_seen: usize,
+    /// `(batch index, added edges)` per task, in batch order. Populated only
+    /// when the caller asked for edge records (tracing enabled); empty — and
+    /// allocation-free — otherwise.
+    pub per_task: Vec<(usize, Vec<EdgeRecord>)>,
+}
+
 /// Shard-count-aware diagnostics of the dependence tracker, from
 /// [`Runtime::tracker_diagnostics`](crate::Runtime::tracker_diagnostics).
 /// Counts *currently tracked* state — after a quiescent `taskwait` (which
@@ -538,6 +560,39 @@ impl ShardSlot {
         }
     }
 
+    /// As [`ShardSlot::acquire_gate`], but safe to call *without* holding
+    /// `queue`: the batch replay path takes a whole set of gates directly
+    /// (collecting the queue mutex guards would allocate), so several
+    /// waiters may spin here concurrently. Re-raising [`GATE_WAITER`] on
+    /// every failed iteration keeps fast-path publications locked out even
+    /// after another waiter's acquisition cleared the flag, so the wait
+    /// stays bounded by real mutator work rather than a publication stream.
+    fn acquire_gate_unqueued(&self) {
+        let mut spins = 0u32;
+        loop {
+            let seq = self.gate.fetch_or(GATE_WAITER, Ordering::Relaxed) | GATE_WAITER;
+            if seq & 1 == 0
+                && self
+                    .gate
+                    .compare_exchange_weak(
+                        seq,
+                        (seq & !GATE_WAITER) + 1,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                return;
+            }
+            if spins < 64 {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Try to acquire the gate for one non-blocking fast-path publication.
     /// Succeeds only when the gate is free *and* no mutex-path acquirer is
     /// waiting; the returned guard releases the gate on drop (so a panic
@@ -609,6 +664,56 @@ impl std::ops::DerefMut for ShardGuard<'_> {
 impl Drop for ShardGuard<'_> {
     fn drop(&mut self) {
         self.slot.gate.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Exclusive access to a whole *set* of shards for one template-replay
+/// batch, through their gates only — no queue mutexes (a `Vec` of mutex
+/// guards would allocate on the replay hot path). Gates are acquired in
+/// canonical ascending shard order, the same global order `lock_for` uses
+/// for its multi-shard guards, so the batch tier cannot deadlock against
+/// the mutex tier. Dropping releases every gate (odd → even), panics
+/// included.
+struct BatchGuard<'a> {
+    shards: &'a [ShardSlot],
+    sids: &'a [usize],
+}
+
+impl<'a> BatchGuard<'a> {
+    /// Acquire the gates of `sids` (which must be sorted ascending and
+    /// deduplicated) in order.
+    fn acquire(tracker: &'a ShardedTracker, sids: &'a [usize]) -> Self {
+        debug_assert!(
+            sids.windows(2).all(|w| w[0] < w[1]),
+            "batch shard ids must be sorted and deduplicated"
+        );
+        for &sid in sids {
+            tracker.shards[sid].acquire_gate_unqueued();
+        }
+        BatchGuard {
+            shards: &tracker.shards,
+            sids,
+        }
+    }
+
+    /// The shard data of `sid`, which must be one of the held shards.
+    ///
+    /// Takes `&mut self` so the borrow checker serialises access through the
+    /// guard; the underlying exclusivity comes from the held gate.
+    fn shard_mut(&mut self, sid: usize) -> &mut TrackerShard {
+        debug_assert!(self.sids.contains(&sid), "shard {sid} is not held");
+        // Safety: the gate of every shard in `sids` is held odd for the
+        // guard's lifetime, making this access exclusive.
+        unsafe { &mut *self.shards[sid].data.get() }
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        for &sid in self.sids {
+            // Odd → even; a concurrently raised GATE_WAITER bit survives.
+            self.shards[sid].gate.fetch_add(1, Ordering::Release);
+        }
     }
 }
 
@@ -832,6 +937,90 @@ impl ShardedTracker {
             edge_list,
             fast_path: false,
         }
+    }
+
+    /// Register a whole template-replay batch under **one** multi-gate
+    /// acquisition: every shard in `sids` (the sorted, deduplicated union of
+    /// the shards the batch's accesses touch — computed by the caller so the
+    /// buffer can be reused across replays) is gated once, then the three
+    /// registration passes run per node in batch order. Because pass 3
+    /// (history update) of node *i* runs before pass 1 (predecessor
+    /// collection) of node *i+1*, intra-batch dependences fall out of the
+    /// ordinary history scan — the edges are re-derived, not copied from the
+    /// template, so they stay correct when per-replay renaming resolves
+    /// clauses to different versions than the captured iteration did.
+    ///
+    /// The scratch buffers of the first involved shard are borrowed for the
+    /// whole batch (its gate is held, so they are exclusively ours), keeping
+    /// a warm replay allocation-free. Equivalence with per-task
+    /// registration: the batch is one legal linearization of the same
+    /// per-node pass sequence, and gate exclusion makes it atomic against
+    /// concurrent registrations and retirements on the involved shards.
+    pub(crate) fn register_batch(
+        &self,
+        nodes: &[Arc<TaskNode>],
+        sids: &[usize],
+        record_edges: bool,
+    ) -> BatchRegistration {
+        let mut batch = BatchRegistration {
+            edges: 0,
+            raw_edges: 0,
+            war_edges: 0,
+            waw_edges: 0,
+            predecessors_seen: 0,
+            per_task: Vec::new(),
+        };
+        if sids.is_empty() {
+            // Access-free batch: nothing to track, nothing to gate.
+            for node in nodes {
+                node.in_edges.store(0, Ordering::Relaxed);
+            }
+            return batch;
+        }
+        let mut guard = BatchGuard::acquire(self, sids);
+        for &sid in sids {
+            self.counters.hit(sid);
+        }
+        let first = sids[0];
+        let (mut preds, mut seen) = {
+            let shard = guard.shard_mut(first);
+            (
+                std::mem::take(&mut shard.scratch_preds),
+                std::mem::take(&mut shard.scratch_seen),
+            )
+        };
+        debug_assert!(preds.is_empty() && seen.is_empty());
+        for (i, node) in nodes.iter().enumerate() {
+            preds.clear();
+            seen.clear();
+            for access in node.accesses.iter() {
+                let sid = self.shard_of(access.region.id.alloc);
+                guard
+                    .shard_mut(sid)
+                    .collect_preds(access, sid, &mut preds, &mut seen);
+            }
+            let (edges, raw_edges, war_edges, waw_edges, edge_list) =
+                add_pred_edges(&preds, node, record_edges);
+            node.in_edges.store(edges, Ordering::Relaxed);
+            for access in node.accesses.iter() {
+                let sid = self.shard_of(access.region.id.alloc);
+                guard.shard_mut(sid).record_access(access, node);
+            }
+            batch.edges += edges;
+            batch.raw_edges += raw_edges;
+            batch.war_edges += war_edges;
+            batch.waw_edges += waw_edges;
+            batch.predecessors_seen += preds.len();
+            if record_edges {
+                batch.per_task.push((i, edge_list));
+            }
+        }
+        preds.clear();
+        seen.clear();
+        let shard = guard.shard_mut(first);
+        shard.scratch_preds = preds;
+        shard.scratch_seen = seen;
+        batch
     }
 
     /// Retire a completed task from the history: every live reference it

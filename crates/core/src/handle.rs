@@ -42,7 +42,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::access::{Access, AccessKind};
-use crate::region::{AllocId, Region};
+use crate::region::{AllocId, Region, RegionId};
 use crate::rename::{
     RenameCommit, RenameCx, RenameEvent, Reservation, ResolvedAccess, VersionTicket,
 };
@@ -67,6 +67,16 @@ pub trait Accessible {
     fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
         let _ = cx;
         ResolvedAccess::plain(Access::new(self.region(), kind))
+    }
+
+    /// Stable identity of this handle for
+    /// [`ReplayBindings`](crate::ReplayBindings) lookups: the **canonical**
+    /// region id, unchanged by version renaming. Two clones naming the same
+    /// logical object report the same key whatever concrete version either
+    /// currently points at, so a binding installed against the handle used
+    /// at capture time matches every recorded clause on that handle.
+    fn replay_key(&self) -> RegionId {
+        self.region().id
     }
 }
 
@@ -505,6 +515,12 @@ impl<T: Send + 'static> Accessible for Data<T> {
                 .map(|s| self.version_region(s.alloc))
                 .collect(),
         }
+    }
+
+    fn replay_key(&self) -> RegionId {
+        // The canonical ("root") region, not the current version's: stable
+        // across renames, shared by every clone of the handle.
+        self.inner.region.id
     }
 
     fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
@@ -1124,6 +1140,10 @@ impl<T: Send + 'static> Accessible for PartitionedData<T> {
     fn resolve(&self, kind: AccessKind, cx: &RenameCx<'_>) -> ResolvedAccess {
         self.whole().resolve(kind, cx)
     }
+
+    fn replay_key(&self) -> RegionId {
+        self.inner.whole_region().id
+    }
 }
 
 impl<T> std::fmt::Debug for PartitionedData<T> {
@@ -1214,6 +1234,10 @@ impl<T: Send + 'static> Accessible for Chunk<T> {
             PartStorage::Versioned(_) => resolve_chunk(&self.inner, self.index, kind, cx),
         }
     }
+
+    fn replay_key(&self) -> RegionId {
+        self.inner.chunk_canonical_region(self.index).id
+    }
 }
 
 impl<T> std::fmt::Debug for Chunk<T> {
@@ -1278,6 +1302,10 @@ impl<T: Send + 'static> Accessible for Whole<T> {
             }
             PartStorage::Versioned(_) => resolve_all_chunks(&self.inner, kind, cx),
         }
+    }
+
+    fn replay_key(&self) -> RegionId {
+        self.inner.whole_region().id
     }
 }
 

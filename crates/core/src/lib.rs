@@ -86,6 +86,7 @@
 pub mod access;
 pub mod alloc_count;
 pub mod barrier;
+pub mod capture;
 pub mod critical;
 pub mod error;
 pub mod graph;
@@ -104,6 +105,7 @@ mod worker;
 pub use access::{Access, AccessKind};
 pub use alloc_count::CountingAllocator;
 pub use barrier::{BarrierKind, BarrierWait, TaskBarrier};
+pub use capture::{CaptureScope, CapturedTaskBuilder, GraphTemplate, ReplayBindings};
 pub use critical::CriticalSections;
 pub use error::{Error, Result};
 pub use graph::TrackerDiagnostics;
@@ -118,7 +120,7 @@ pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskContext, DEFAULT_TRAC
 pub use scheduler::{IdlePolicy, SchedulerPolicy};
 pub use stats::RuntimeStats;
 pub use task::{TaskId, TaskPriority, TaskSlabDiagnostics, TaskState};
-pub use taskloop::{taskloop_fill, taskloop_reduce};
+pub use taskloop::{taskloop_fill, taskloop_fill_captured, taskloop_reduce};
 pub use trace::{TraceEvent, TraceRecorder};
 
 /// Crate version string (mirrors `CARGO_PKG_VERSION`).

@@ -11,6 +11,7 @@
 //! [`RenameRing`] packages that idiom: a fixed ring of [`Data`] handles
 //! indexed by iteration number.
 
+use crate::capture::ReplayBindings;
 use crate::handle::Data;
 
 /// A circular buffer of `N` independently-tracked [`Data`] slots.
@@ -60,6 +61,37 @@ impl<T: Send + 'static> RenameRing<T> {
     /// Iterate over all slots in index order.
     pub fn iter(&self) -> impl Iterator<Item = &Data<T>> {
         self.slots.iter()
+    }
+
+    /// Install bindings that rotate every slot by the iteration distance
+    /// between a captured iteration and the one a replay stamps: the clause
+    /// captured against slot `i` resolves against slot
+    /// `(i + replay_iteration − captured_iteration) mod N`, which is exactly
+    /// the `k % N` indexing of Listing 1 applied to the whole batch.
+    ///
+    /// Clause substitution redirects the *dependences*; the captured bodies
+    /// still name the slots they captured, so pair this with bodies that
+    /// pick their slot from
+    /// [`TaskContext::replay_pass`](crate::TaskContext::replay_pass) (e.g.
+    /// `ring.slot(captured_iteration + ctx.replay_pass() as usize)`).
+    ///
+    /// # Panics
+    /// Panics if `replay_iteration < captured_iteration`.
+    pub fn rebind(
+        &self,
+        bindings: &mut ReplayBindings,
+        captured_iteration: usize,
+        replay_iteration: usize,
+    ) {
+        assert!(
+            replay_iteration >= captured_iteration,
+            "replay iterations run after the captured iteration"
+        );
+        let n = self.slots.len();
+        let offset = (replay_iteration - captured_iteration) % n;
+        for i in 0..n {
+            bindings.bind(&self.slots[i], &self.slots[(i + offset) % n]);
+        }
     }
 
     /// Consume the ring, returning the slot handles.

@@ -125,6 +125,22 @@
 //! behave like a plain one: all accesses bind the single current version and
 //! WAR/WAW edges serialise tasks, which is the configuration the
 //! `rename_ablation` harness compares against.
+//!
+//! ## Interplay with graph capture/replay
+//!
+//! A [`GraphTemplate`](crate::GraphTemplate) records *clauses*, never
+//! resolved version bindings: every
+//! [`Runtime::replay`](crate::Runtime::replay) pass runs this module's
+//! resolution again — fresh renames, elision decisions, and bind-time
+//! un-elision are all re-evaluated against the version chains as they stand
+//! at replay time. Version state is therefore never a template-invalidation
+//! concern, and the elided-output-then-input corner above cannot be "baked
+//! in" by capture. Handle substitution happens one step earlier still:
+//! [`ReplayBindings`](crate::ReplayBindings) swaps which *handle* a captured
+//! clause resolves against (keyed by its canonical
+//! [`replay_key`](crate::Accessible::replay_key), which is stable across
+//! renames), and only then does the chosen handle's chain decide the
+//! concrete version.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;

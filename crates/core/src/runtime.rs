@@ -331,6 +331,31 @@ impl RuntimeInner {
         self.panics.lock().push(err);
     }
 
+    /// The rename context clause resolution runs under — one construction
+    /// shared by the builder's declaration path and template replay, so both
+    /// resolve against identical policy knobs.
+    pub(crate) fn rename_cx(&self) -> RenameCx<'_> {
+        RenameCx {
+            enabled: self.config.renaming,
+            elision: self.config.rename_elision,
+            pool: &self.rename,
+            pool_depth: self.config.rename_pool_depth,
+            max_versions: self.config.rename_max_versions,
+        }
+    }
+
+    /// Advance the spawn counter by a whole replay batch at once and report
+    /// whether the periodic tracker-GC cadence was crossed inside it (the
+    /// batched counterpart of the per-spawn check in `spawn_node`).
+    pub(crate) fn note_batch_spawned(&self, n: u64) -> bool {
+        let gc_interval = self.config.tracker_gc_interval;
+        if gc_interval == 0 || n == 0 {
+            return false;
+        }
+        let after = self.spawn_count.fetch_add(n, Ordering::Relaxed) + n;
+        (after / gc_interval) != ((after - n) / gc_interval)
+    }
+
     fn quiescent(&self) -> bool {
         self.in_flight.load(Ordering::SeqCst) == 0
     }
@@ -341,7 +366,7 @@ impl RuntimeInner {
 /// Dropping the runtime shuts the workers down after waiting for all
 /// in-flight tasks to finish.
 pub struct Runtime {
-    inner: Arc<RuntimeInner>,
+    pub(crate) inner: Arc<RuntimeInner>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -788,46 +813,9 @@ impl<'r> TaskBuilder<'r> {
     }
 
     fn declare(mut self, kind: AccessKind, handle: &impl Accessible) -> Self {
-        let cx = RenameCx {
-            enabled: self.inner.config.renaming,
-            elision: self.inner.config.rename_elision,
-            pool: &self.inner.rename,
-            pool_depth: self.inner.config.rename_pool_depth,
-            max_versions: self.inner.config.rename_max_versions,
-        };
+        let cx = self.inner.rename_cx();
         let mut resolved = handle.resolve(kind, &cx);
-        // Two writing clauses on overlapping sub-regions of one *versioned*
-        // handle are ill-formed (as `inout(x) output(x)` is in OmpSs): each
-        // clause binds its own version, so the task body's write would
-        // target one version while the rename commit makes another current —
-        // a silent lost write. Reject at declaration instead, at sub-region
-        // granularity: `output` on chunk 1 and chunk 2 of one partition is
-        // fine (disjoint chains), `output` on chunk 2 and on `whole()` is
-        // not. (`input` + `output` on the same region is also fine: the read
-        // binds the previous version, the write the fresh one.)
-        let clash = resolved.accesses.iter().find_map(|access| {
-            let canon = access.canonical_region()?;
-            (access.kind.allows_mutation()
-                && self.accesses.iter().any(|a| {
-                    a.kind.allows_mutation()
-                        && a.canonical_region().is_some_and(|c| c.overlaps(canon))
-                }))
-            .then(|| canon.clone())
-        });
-        if let Some(canon) = clash {
-            // Unbind the just-created versions before unwinding (their
-            // renames were never committed, so the handle is untouched).
-            for ticket in resolved.tickets.drain(..) {
-                ticket.release();
-            }
-            panic!(
-                "task declares more than one writing access (output/inout/concurrent) \
-                 on overlapping regions of the same versioned handle (region {}); \
-                 declare a single inout (to update in place) or a single output \
-                 (to rename)",
-                canon.id
-            );
-        }
+        reject_write_clash(&self.accesses, &mut resolved);
         // The output-before-input corner: a reading clause that overlaps an
         // *elided* earlier output of this same task would read the very
         // storage the task overwrites (inout-like aliasing). Un-elide the
@@ -836,7 +824,14 @@ impl<'r> TaskBuilder<'r> {
         // Only backpressure (budget / version bound) leaves the aliasing in
         // place, exactly like the rename fallback always has.
         if kind.reads() {
-            self.unelide_overlapping(&resolved, &cx);
+            unelide_overlapping(
+                &mut self.accesses,
+                &mut self.tickets,
+                &mut self.commits,
+                &mut self.renames,
+                &resolved,
+                &cx,
+            );
         }
         self.accesses.append(resolved.accesses);
         self.tickets.extend(resolved.tickets);
@@ -854,48 +849,6 @@ impl<'r> TaskBuilder<'r> {
             "version tickets must parallel the version-bound accesses"
         );
         self
-    }
-
-    /// Un-elide every earlier elided `output` binding of this builder whose
-    /// canonical sub-region overlaps a (reading) access in `resolved`. See
-    /// [`crate::rename`], "First-write rename elision".
-    fn unelide_overlapping(
-        &mut self,
-        resolved: &crate::rename::ResolvedAccess,
-        cx: &RenameCx<'_>,
-    ) {
-        for j in 0..self.accesses.len() {
-            let earlier = &self.accesses[j];
-            if !earlier.is_elided() {
-                continue;
-            }
-            let Some(canon) = earlier.canonical_region() else {
-                continue;
-            };
-            let overlaps = resolved.accesses.iter().any(|r| {
-                r.canonical_region().is_some_and(|c| c.overlaps(canon))
-            });
-            if !overlaps {
-                continue;
-            }
-            // Tickets run parallel to the version-bound subsequence of the
-            // access list: the ticket of access `j` is at the index counting
-            // the canonical-carrying accesses before it.
-            let tj = self.accesses[..j]
-                .iter()
-                .filter(|a| a.canonical_region().is_some())
-                .count();
-            if let Some(mut repl) = self.tickets[tj].unelide(cx) {
-                debug_assert_eq!(repl.accesses.len(), 1);
-                debug_assert_eq!(repl.accesses[0].kind, self.accesses[j].kind);
-                self.accesses.as_mut_slice()[j] = repl.accesses[0].clone();
-                // The old ticket's reference was released inside unelide();
-                // dropping the box itself releases nothing.
-                self.tickets[tj] = repl.tickets.pop().expect("replacement carries its ticket");
-                self.commits.extend(repl.commits);
-                self.renames.extend(repl.renamed);
-            }
-        }
     }
 
     /// Declare a read access (`input(x)`).
@@ -973,6 +926,95 @@ impl Drop for TaskBuilder<'_> {
     }
 }
 
+/// Two writing clauses on overlapping sub-regions of one *versioned* handle
+/// are ill-formed (as `inout(x) output(x)` is in OmpSs): each clause binds
+/// its own version, so the task body's write would target one version while
+/// the rename commit makes another current — a silent lost write. Reject at
+/// declaration instead, at sub-region granularity: `output` on chunk 1 and
+/// chunk 2 of one partition is fine (disjoint chains), `output` on chunk 2
+/// and on `whole()` is not. (`input` + `output` on the same region is also
+/// fine: the read binds the previous version, the write the fresh one.)
+///
+/// Shared by [`TaskBuilder`] declaration and template replay — a
+/// [`ReplayBindings`](crate::ReplayBindings) substitution that folds two
+/// captured handles onto one overlapping target trips the same rejection a
+/// fresh spawn would.
+pub(crate) fn reject_write_clash(existing: &AccessVec, resolved: &mut crate::rename::ResolvedAccess) {
+    let clash = resolved.accesses.iter().find_map(|access| {
+        let canon = access.canonical_region()?;
+        (access.kind.allows_mutation()
+            && existing.iter().any(|a| {
+                a.kind.allows_mutation() && a.canonical_region().is_some_and(|c| c.overlaps(canon))
+            }))
+        .then(|| canon.clone())
+    });
+    if let Some(canon) = clash {
+        // Unbind the just-created versions before unwinding (their
+        // renames were never committed, so the handle is untouched).
+        for ticket in resolved.tickets.drain(..) {
+            ticket.release();
+        }
+        panic!(
+            "task declares more than one writing access (output/inout/concurrent) \
+             on overlapping regions of the same versioned handle (region {}); \
+             declare a single inout (to update in place) or a single output \
+             (to rename)",
+            canon.id
+        );
+    }
+}
+
+/// Un-elide every earlier elided `output` binding in `accesses` whose
+/// canonical sub-region overlaps a (reading) access in `resolved`. See
+/// [`crate::rename`], "First-write rename elision".
+///
+/// Shared by [`TaskBuilder`] declaration and template replay: replay
+/// re-resolves every clause, so a template captured before an un-elision
+/// cannot bake in the aliased write — each replay pass re-runs this very
+/// check against its own freshly resolved accesses.
+pub(crate) fn unelide_overlapping(
+    accesses: &mut AccessVec,
+    tickets: &mut [Box<dyn crate::rename::VersionTicket>],
+    commits: &mut Vec<Box<dyn crate::rename::RenameCommit>>,
+    renames: &mut Vec<RenameEvent>,
+    resolved: &crate::rename::ResolvedAccess,
+    cx: &RenameCx<'_>,
+) {
+    for j in 0..accesses.len() {
+        let earlier = &accesses[j];
+        if !earlier.is_elided() {
+            continue;
+        }
+        let Some(canon) = earlier.canonical_region() else {
+            continue;
+        };
+        let overlaps = resolved
+            .accesses
+            .iter()
+            .any(|r| r.canonical_region().is_some_and(|c| c.overlaps(canon)));
+        if !overlaps {
+            continue;
+        }
+        // Tickets run parallel to the version-bound subsequence of the
+        // access list: the ticket of access `j` is at the index counting
+        // the canonical-carrying accesses before it.
+        let tj = accesses[..j]
+            .iter()
+            .filter(|a| a.canonical_region().is_some())
+            .count();
+        if let Some(mut repl) = tickets[tj].unelide(cx) {
+            debug_assert_eq!(repl.accesses.len(), 1);
+            debug_assert_eq!(repl.accesses[0].kind, accesses[j].kind);
+            accesses.as_mut_slice()[j] = repl.accesses[0].clone();
+            // The old ticket's reference was released inside unelide();
+            // dropping the box itself releases nothing.
+            tickets[tj] = repl.tickets.pop().expect("replacement carries its ticket");
+            commits.extend(repl.commits);
+            renames.extend(repl.renamed);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // TaskContext
 // ---------------------------------------------------------------------------
@@ -1000,6 +1042,16 @@ impl<'a> TaskContext<'a> {
     /// Name of the executing task, if it was given one.
     pub fn task_name(&self) -> Option<&str> {
         self.node.name.as_deref()
+    }
+
+    /// 1-based replay pass of the [`GraphTemplate`](crate::GraphTemplate)
+    /// batch this task was stamped by, or `0` for an ordinary spawn —
+    /// including the capture iteration itself, which executes through the
+    /// regular spawn path. Lets a captured body compute per-pass state (a
+    /// pipeline ring-slot index, an iteration-dependent coefficient) that
+    /// binding substitution alone cannot express.
+    pub fn replay_pass(&self) -> u64 {
+        self.node.replay_pass
     }
 
     fn check_access(&self, region: &crate::region::Region, write: bool, what: &str) {

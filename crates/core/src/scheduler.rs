@@ -259,6 +259,39 @@ impl SchedState {
         }
     }
 
+    /// Queue a whole batch of freshly stamped, already-ready tasks (the
+    /// roots of a template replay) with batched bookkeeping: one
+    /// `ready_count` bump for the whole batch and — under
+    /// [`IdlePolicy::Blocking`] — a single `notify_all` after every node is
+    /// queued, instead of a lock/notify round trip per task. The buffer is
+    /// drained in place so its capacity stays with the caller's reusable
+    /// replay scratch. Replays run from non-worker threads, so there is no
+    /// local deque: non-priority nodes go to the shared injector (or the
+    /// LIFO stack under [`SchedulerPolicy::Lifo`]).
+    pub(crate) fn push_spawn_batch(&self, nodes: &mut Vec<Arc<TaskNode>>) {
+        if nodes.is_empty() {
+            return;
+        }
+        self.ready_count.fetch_add(nodes.len(), Ordering::SeqCst);
+        for node in nodes.drain(..) {
+            if node.priority.0 != 0 {
+                self.push_priority(node);
+                continue;
+            }
+            match self.policy {
+                SchedulerPolicy::Lifo => self.lifo.lock().push(node),
+                SchedulerPolicy::Fifo
+                | SchedulerPolicy::WorkStealing
+                | SchedulerPolicy::LocalityWorkStealing
+                | SchedulerPolicy::ShardAffinity => self.injector.push(node),
+            }
+        }
+        if self.idle == IdlePolicy::Blocking {
+            let _g = self.sleep_lock.lock();
+            self.sleep_cv.notify_all();
+        }
+    }
+
     /// Queue a task that became ready because one of its predecessors
     /// completed. `local` is the deque (and `worker` the index) of the
     /// worker that completed the predecessor; `shard` is the woken task's

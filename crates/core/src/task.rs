@@ -266,6 +266,14 @@ impl ChildTracker {
         self.live.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Register `n` children with one atomic add — the batch-spawn
+    /// (template replay) counterpart of [`ChildTracker::add_child`].
+    pub(crate) fn add_children(&self, n: usize) {
+        if n != 0 {
+            self.live.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+
     pub(crate) fn child_done(&self) {
         let prev = self.live.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "child_done without matching add_child");
@@ -322,6 +330,12 @@ pub(crate) struct TaskNode {
     pub state: AtomicU8,
     /// Number of predecessor edges that were actually registered (stats).
     pub in_edges: AtomicUsize,
+    /// 1-based replay pass of the [`GraphTemplate`](crate::capture) batch
+    /// this node was stamped by; 0 for ordinary spawns (including the
+    /// capture iteration itself). Written under `Arc::get_mut` right after
+    /// acquisition, exposed to bodies as
+    /// [`TaskContext::replay_pass`](crate::TaskContext::replay_pass).
+    pub replay_pass: u64,
     /// Release hooks for the data versions this task is bound to (one per
     /// access that resolved against a versioned handle); drained exactly
     /// once on completion.
@@ -379,6 +393,7 @@ impl TaskNode {
             parent_children,
             state: AtomicU8::new(TaskState::WaitingDeps as u8),
             in_edges: AtomicUsize::new(0),
+            replay_pass: 0,
             tickets: Mutex::new(Vec::new()),
             retired: AtomicBool::new(false),
             live_token: None,
@@ -410,6 +425,7 @@ impl TaskNode {
         self.name = name;
         self.priority = priority;
         self.accesses = accesses;
+        self.replay_pass = 0;
         self.body.get_mut().set(body);
         if !tickets.is_empty() {
             // Move the hooks into the node-resident vector, which kept its

@@ -7,6 +7,7 @@
 //! iterations, each declaring an `output` access on its chunk of a
 //! [`PartitionedData`] — with far less boilerplate.
 
+use crate::capture::CaptureScope;
 use crate::handle::PartitionedData;
 use crate::runtime::Runtime;
 use crate::task::TaskId;
@@ -25,6 +26,39 @@ where
     for (i, chunk) in data.chunk_handles().enumerate() {
         let body = body.clone();
         let id = rt
+            .task()
+            .name("taskloop_fill")
+            .output(&chunk)
+            .spawn(move |ctx| {
+                let mut slice = ctx.write_chunk(&chunk);
+                body(i, &mut slice);
+            });
+        ids.push(id);
+    }
+    ids
+}
+
+/// As [`taskloop_fill`], but spawned through a [`CaptureScope`]: the fill
+/// runs now (the capture iteration) *and* is recorded into the scope's
+/// template, so later [`Runtime::replay`](crate::Runtime::replay) passes
+/// re-run the whole per-chunk fill as one batch. `body` receives
+/// `(chunk_index, &mut [T])` like the uncaptured helper; per-pass state can
+/// be derived from
+/// [`TaskContext::replay_pass`](crate::TaskContext::replay_pass) inside it.
+/// Returns the capture iteration's task ids.
+pub fn taskloop_fill_captured<T, F>(
+    scope: &mut CaptureScope<'_>,
+    data: &PartitionedData<T>,
+    body: F,
+) -> Vec<TaskId>
+where
+    T: Send + 'static,
+    F: Fn(usize, &mut [T]) + Send + Sync + Clone + 'static,
+{
+    let mut ids = Vec::with_capacity(data.num_chunks());
+    for (i, chunk) in data.chunk_handles().enumerate() {
+        let body = body.clone();
+        let id = scope
             .task()
             .name("taskloop_fill")
             .output(&chunk)

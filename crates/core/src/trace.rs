@@ -92,6 +92,34 @@ pub enum TraceEvent {
         /// Whether the task body panicked.
         panicked: bool,
     },
+    /// A capture scope finished recording a
+    /// [`GraphTemplate`](crate::capture::GraphTemplate) (see
+    /// [`crate::capture`]). The template's tasks were spawned normally and
+    /// have their own `Spawned` events; this marks the batch boundary.
+    Captured {
+        /// Id of the first task recorded into the template (`TaskId` 0 when
+        /// the scope captured no tasks).
+        task: TaskId,
+        /// Number of tasks recorded into the template.
+        tasks: usize,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
+    /// A [`GraphTemplate`](crate::capture::GraphTemplate) was replayed: the
+    /// whole batch was re-stamped under a single tracker acquisition. Each
+    /// stamped task also gets its own `Spawned`/`Edge` events (with fresh
+    /// ids), recorded between the batch registration and this marker.
+    Replayed {
+        /// Id of the first task stamped by this replay pass (`TaskId` 0 when
+        /// the template is empty).
+        task: TaskId,
+        /// Number of tasks stamped by this replay pass.
+        tasks: usize,
+        /// 1-based replay pass number (the capture itself is pass 0).
+        pass: u64,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -103,7 +131,9 @@ impl TraceEvent {
             | TraceEvent::Edge { task, .. }
             | TraceEvent::Renamed { task, .. }
             | TraceEvent::Started { task, .. }
-            | TraceEvent::Finished { task, .. } => *task,
+            | TraceEvent::Finished { task, .. }
+            | TraceEvent::Captured { task, .. }
+            | TraceEvent::Replayed { task, .. } => *task,
         }
     }
 
@@ -115,7 +145,9 @@ impl TraceEvent {
             | TraceEvent::Edge { at_ns, .. }
             | TraceEvent::Renamed { at_ns, .. }
             | TraceEvent::Started { at_ns, .. }
-            | TraceEvent::Finished { at_ns, .. } => *at_ns,
+            | TraceEvent::Finished { at_ns, .. }
+            | TraceEvent::Captured { at_ns, .. }
+            | TraceEvent::Replayed { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -263,7 +295,11 @@ impl TraceRecorder {
                         ));
                     }
                 }
-                TraceEvent::Ready { .. } | TraceEvent::Edge { .. } | TraceEvent::Renamed { .. } => {}
+                TraceEvent::Ready { .. }
+                | TraceEvent::Edge { .. }
+                | TraceEvent::Renamed { .. }
+                | TraceEvent::Captured { .. }
+                | TraceEvent::Replayed { .. } => {}
             }
         }
         out.push(']');

@@ -238,6 +238,52 @@ fn chunk_output_before_whole_input_unelides_just_that_chunk() {
 }
 
 #[test]
+fn replay_reruns_unelision_instead_of_baking_in_the_aliased_write() {
+    // The same corner through graph capture/replay. A template records
+    // *clauses*, not resolved version bindings — so even though the capture
+    // iteration's `output(&x)` initially elided (and was then un-elided by
+    // the trailing `input(&x)`), every replay pass must re-run that same
+    // bind-time analysis against the live version state. If capture instead
+    // baked in the momentary aliased binding, every replayed read would see
+    // the task's own write.
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+    let x = rt.versioned_data(42u64);
+    let mut scope = rt.capture();
+    {
+        let (w, r) = (x.clone(), x.clone());
+        scope.task().output(&w).input(&r).spawn(move |ctx| {
+            let pass = ctx.replay_pass();
+            *ctx.write(&w) = 100 + pass;
+            let expected = if pass == 0 { 42 } else { 100 + pass - 1 };
+            assert_eq!(
+                *ctx.read(&r),
+                expected,
+                "input must observe the pre-pass value on every replay"
+            );
+        });
+    }
+    let template = scope.finish();
+    rt.taskwait();
+    for _ in 0..3 {
+        rt.replay(&template, &ompss::ReplayBindings::new());
+        rt.taskwait();
+    }
+    assert!(rt.take_panics().is_empty(), "body assertions held on every pass");
+    let stats = rt.stats();
+    assert_eq!(
+        stats.renames, 4,
+        "capture + each of the 3 replays un-elided its output into a rename"
+    );
+    assert_eq!(stats.renames_elided, 0, "no pass left the aliasing elision in place");
+    assert_eq!(stats.tasks_panicked, 0);
+    // The template holds clause/body clones of `x`; release them first so
+    // the handle can be unwrapped.
+    drop(template);
+    assert_eq!(rt.into_inner(x), 103, "the last pass's fresh version was committed");
+    rt.shutdown();
+}
+
+#[test]
 fn unelide_under_exhausted_budget_keeps_documented_fallback_aliasing() {
     // With a zero rename budget the un-elide cannot allocate a version, so
     // the in-place binding — and the documented inout-like degradation —

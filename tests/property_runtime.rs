@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use ompss::{Runtime, RuntimeConfig, SchedulerPolicy};
+use ompss::{ReplayBindings, Runtime, RuntimeConfig, SchedulerPolicy};
 
 /// One step of a random program over a fixed set of cells.
 #[derive(Debug, Clone)]
@@ -194,6 +194,174 @@ proptest! {
                 .with_workers(3)
                 .with_rename_memory_cap(cap)
                 .with_rename_pool_depth(cap % 3),
+            true,
+        );
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph capture/replay: a random program captured once and replayed N times
+// must match the sequential oracle after *every* replay pass — including
+// when the template is dropped mid-run and a different program is
+// re-captured on the same cells.
+// ---------------------------------------------------------------------------
+
+/// Spawn one op through a capture scope (the capture iteration runs it too).
+fn capture_op(scope: &mut ompss::CaptureScope<'_>, handles: &[ompss::Data<u64>], op: &Op) {
+    match *op {
+        Op::Set { dst, value } => {
+            let d = handles[dst].clone();
+            scope.task().output(&d).spawn(move |ctx| {
+                *ctx.write(&d) = value;
+            });
+        }
+        Op::AddFrom { dst, src } if dst != src => {
+            let d = handles[dst].clone();
+            let s = handles[src].clone();
+            scope.task().inout(&d).input(&s).spawn(move |ctx| {
+                let add = *ctx.read(&s);
+                let mut d = ctx.write(&d);
+                *d = d.wrapping_add(add);
+            });
+        }
+        Op::AddFrom { dst, .. } => {
+            let d = handles[dst].clone();
+            scope.task().inout(&d).spawn(move |ctx| {
+                let mut d = ctx.write(&d);
+                *d = d.wrapping_add(*d);
+            });
+        }
+        Op::Triple { dst } => {
+            let d = handles[dst].clone();
+            scope.task().inout(&d).spawn(move |ctx| {
+                let mut d = ctx.write(&d);
+                *d = d.wrapping_mul(3);
+            });
+        }
+    }
+}
+
+/// For each `(ops, replays)` segment: capture `ops` (running them once),
+/// then replay the template `replays` times, draining and snapshotting the
+/// cell values after every round. The template is dropped at the end of its
+/// segment — the next segment re-captures from scratch, which is the
+/// documented way to "invalidate" a template whose program changed.
+fn replay_value_history(
+    cells: usize,
+    segments: &[(Vec<Op>, usize)],
+    config: RuntimeConfig,
+    versioned: bool,
+) -> Vec<Vec<u64>> {
+    let rt = Runtime::new(config);
+    let handles: Vec<_> = (0..cells)
+        .map(|_| {
+            if versioned {
+                rt.versioned_data(0u64)
+            } else {
+                rt.data(0u64)
+            }
+        })
+        .collect();
+    let snapshot = |rt: &Runtime| handles.iter().map(|h| rt.fetch(h)).collect::<Vec<u64>>();
+    let mut history = Vec::new();
+    let bindings = ReplayBindings::new();
+    for (ops, replays) in segments {
+        let mut scope = rt.capture();
+        for op in ops {
+            capture_op(&mut scope, &handles, op);
+        }
+        let template = scope.finish();
+        rt.taskwait();
+        history.push(snapshot(&rt));
+        for pass in 0..*replays {
+            assert_eq!(rt.replay(&template, &bindings), pass as u64 + 1);
+            rt.taskwait();
+            history.push(snapshot(&rt));
+        }
+    }
+    rt.shutdown();
+    history
+}
+
+/// The oracle counterpart: run each segment's ops sequentially `replays + 1`
+/// times over the same persistent cells, snapshotting after every round.
+fn sequential_history(cells: usize, segments: &[(Vec<Op>, usize)]) -> Vec<Vec<u64>> {
+    let mut v = vec![0u64; cells];
+    let mut history = Vec::new();
+    for (ops, replays) in segments {
+        for _ in 0..replays + 1 {
+            for op in ops {
+                match *op {
+                    Op::Set { dst, value } => v[dst] = value,
+                    Op::AddFrom { dst, src } => v[dst] = v[dst].wrapping_add(v[src]),
+                    Op::Triple { dst } => v[dst] = v[dst].wrapping_mul(3),
+                }
+            }
+            history.push(v.clone());
+        }
+    }
+    history
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A captured random program replayed N times matches the sequential
+    /// oracle after every pass, on plain handles.
+    #[test]
+    fn replayed_programs_match_sequential_semantics(
+        ops in proptest::collection::vec(op_strategy(4), 1..32),
+        replays in 1usize..4,
+        workers in 1usize..4,
+    ) {
+        let segments = [(ops, replays)];
+        let expected = sequential_history(4, &segments);
+        let got = replay_value_history(
+            4,
+            &segments,
+            RuntimeConfig::default().with_workers(workers),
+            false,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Dropping a template mid-run and re-capturing a different program on
+    /// the same cells keeps every subsequent replay consistent with the
+    /// oracle — stale version/dependence state from the first template's
+    /// passes must not leak into the second's.
+    #[test]
+    fn recaptured_templates_match_sequential_semantics(
+        ops_a in proptest::collection::vec(op_strategy(4), 1..24),
+        ops_b in proptest::collection::vec(op_strategy(4), 1..24),
+        replays_a in 1usize..3,
+        replays_b in 1usize..3,
+    ) {
+        let segments = [(ops_a, replays_a), (ops_b, replays_b)];
+        let expected = sequential_history(4, &segments);
+        let got = replay_value_history(
+            4,
+            &segments,
+            RuntimeConfig::default().with_workers(3),
+            false,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Replay over *versioned* handles: every pass re-runs renaming and
+    /// elision against the live version chains, and still matches the
+    /// oracle after every pass.
+    #[test]
+    fn replayed_programs_match_sequential_semantics_versioned(
+        ops in proptest::collection::vec(op_strategy(3), 1..24),
+        replays in 1usize..4,
+    ) {
+        let segments = [(ops, replays)];
+        let expected = sequential_history(3, &segments);
+        let got = replay_value_history(
+            3,
+            &segments,
+            RuntimeConfig::default().with_workers(2),
             true,
         );
         prop_assert_eq!(got, expected);

@@ -82,6 +82,36 @@ fn steady_state_spawn_is_allocation_free() {
     assert_eq!(stats.access_inline_spills, 0);
     assert_eq!(stats.access_inline_hits, stats.tasks_spawned);
 
+    // Template replay rides the same diet: capture a full batch (the
+    // capture iteration itself allocates freely — recipes, Arc'd bodies),
+    // warm the template's replay scratch, and a warm replay of all BATCH
+    // tasks — resolution, node acquisition, batch registration, wakeup,
+    // execution, recycling — performs zero heap allocations.
+    let mut scope = rt.capture();
+    for i in 0..BATCH {
+        let c = cells[i % cells.len()].clone();
+        scope.task().output(&c).spawn(move |ctx| {
+            *ctx.write(&c) = i as u64;
+        });
+    }
+    let template = scope.finish();
+    drain(&rt);
+    let bindings = ompss::ReplayBindings::new();
+    for _ in 0..4 {
+        rt.replay(&template, &bindings);
+        drain(&rt);
+    }
+    let before = CountingAllocator::allocations();
+    rt.replay(&template, &bindings);
+    drain(&rt);
+    let delta_replay = CountingAllocator::allocations() - before;
+    assert_eq!(
+        delta_replay, 0,
+        "warm template replay must not allocate (saw {delta_replay} allocations \
+         across a {BATCH}-task replayed batch)"
+    );
+    assert_eq!(template.passes(), 5);
+
     // And with the recycler disabled the same batch does allocate — the
     // counter hook itself is alive and the zero above is meaningful.
     let rt_off = Runtime::new(
