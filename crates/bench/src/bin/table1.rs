@@ -70,13 +70,32 @@ fn main() {
             print!("{:>10}", format!("{t} thr"));
         }
         println!();
-        let mut all = Vec::new();
+        // Captured-replay companion rows print directly under their
+        // fresh-spawn rows.
+        let captured = benchsuite::captured_benchmark_names();
+        let mut names: Vec<&str> = Vec::new();
         for name in benchsuite::benchmark_names() {
+            names.push(name);
+            if let Some(cap) = captured
+                .iter()
+                .find(|c| c.strip_suffix("-cap") == Some(name))
+            {
+                names.push(cap);
+            }
+        }
+        let last_t = *threads.last().expect("at least one thread count");
+        let mut all = Vec::new();
+        // (name, ompss seconds, speedup) at the last thread count.
+        let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+        for name in names {
             print!("{name:<16}");
             for &t in &threads {
-                let (_p, _o, s) = bench_harness::measure_speedup(name, t, size);
+                let (_p, o, s) = bench_harness::measure_speedup(name, t, size);
                 print!("{s:>10.2}");
                 all.push(s);
+                if t == last_t {
+                    rows.push((name, o.as_secs_f64(), s));
+                }
             }
             println!();
         }
@@ -84,5 +103,34 @@ fn main() {
             "geometric mean over all measured cells: {:.2}",
             bench_harness::geometric_mean(&all)
         );
+        println!("\n=== Captured vs fresh-spawn rows ({last_t} thr) ===");
+        for cap in &captured {
+            let base = cap.strip_suffix("-cap").expect("captured names end in -cap");
+            let Some(&(_, cap_o, cap_s)) = rows.iter().find(|(n, ..)| n == cap) else {
+                continue;
+            };
+            let Some(&(_, base_o, base_s)) = rows.iter().find(|(n, ..)| *n == base) else {
+                continue;
+            };
+            println!(
+                "{cap:<16} speedup {cap_s:.2} vs {base_s:.2} fresh; OmpSs {:.1} ms vs {:.1} ms",
+                cap_o * 1e3,
+                base_o * 1e3
+            );
+        }
+        let mut body = format!("{{\"threads\": {last_t}, ");
+        body.push_str(&format!(
+            "\"size\": \"{}\"",
+            if large { "large" } else { "small" }
+        ));
+        for (name, ompss, speedup) in &rows {
+            body.push_str(&format!(
+                ", \"{name}\": {{\"ompss_ms\": {:.3}, \"speedup\": {speedup:.3}}}",
+                ompss * 1e3
+            ));
+        }
+        body.push('}');
+        bench_harness::update_bench_json("table1", &body);
+        println!("\nmeasured rows recorded in BENCH_replay.json");
     }
 }

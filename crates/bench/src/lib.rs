@@ -36,6 +36,49 @@ pub fn measure_speedup(
     (pthreads.duration, ompss.duration, speedup)
 }
 
+/// Merge one named section into `BENCH_replay.json` in the current
+/// directory, preserving the sections other harness binaries wrote.
+///
+/// The file is a flat JSON object with one section per line, and this
+/// function is its only writer, so a line-based merge is exact: each line
+/// between the braces is `  "<section>": <one-line JSON value>,?`. `body`
+/// must be a complete one-line JSON value (the harnesses hand-format it —
+/// the workspace deliberately carries no serde dependency).
+pub fn update_bench_json(section: &str, body: &str) {
+    let path = "BENCH_replay.json";
+    let existing = std::fs::read_to_string(path).ok();
+    let merged = merge_bench_json(existing.as_deref(), section, body);
+    std::fs::write(path, merged).expect("writing BENCH_replay.json");
+}
+
+/// Pure merge behind [`update_bench_json`]: replace (or append) `section`
+/// in the one-section-per-line JSON object `existing` and re-render it.
+pub fn merge_bench_json(existing: Option<&str>, section: &str, body: &str) -> String {
+    assert!(!body.contains('\n'), "section body must be a single line");
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for line in existing.unwrap_or("").lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        sections.push((name.to_string(), value.to_string()));
+    }
+    match sections.iter_mut().find(|(name, _)| name == section) {
+        Some(slot) => slot.1 = body.to_string(),
+        None => sections.push((section.to_string(), body.to_string())),
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("  \"{name}\": {value}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Render a simple aligned table of (label, values-per-column).
 pub fn render_rows(header: &[String], rows: &[(String, Vec<f64>)]) -> String {
     let mut out = String::new();
@@ -70,6 +113,22 @@ mod tests {
         assert!(s.contains("row1"));
         assert!(s.contains("2.500"));
         assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn merge_bench_json_round_trips_and_replaces() {
+        let first = merge_bench_json(None, "graph_replay", "{\"a\": 1}");
+        assert_eq!(first, "{\n  \"graph_replay\": {\"a\": 1}\n}\n");
+        let second = merge_bench_json(Some(&first), "table1", "{\"b\": 2}");
+        assert_eq!(
+            second,
+            "{\n  \"graph_replay\": {\"a\": 1},\n  \"table1\": {\"b\": 2}\n}\n"
+        );
+        let third = merge_bench_json(Some(&second), "graph_replay", "{\"a\": 3}");
+        assert_eq!(
+            third,
+            "{\n  \"graph_replay\": {\"a\": 3},\n  \"table1\": {\"b\": 2}\n}\n"
+        );
     }
 
     #[test]

@@ -349,6 +349,181 @@ pub fn decode_ompss(stream: &EncodedStream, pool: usize, rt: &Runtime) -> u64 {
     frames_checksum(&emitted)
 }
 
+/// Captured variant of the frame loop (`h264dec-cap`): the 5-task pipeline
+/// iteration is captured once — frame 0 — and every subsequent frame is
+/// stamped with `Runtime::replay`. The inter-stage buffers are versioned
+/// handles, so each pass re-resolves its clauses and renames as usual
+/// (renaming and pre-wiring are mutually exclusive, so this template never
+/// freezes); what replay amortises is the spawn path itself: recipes arm
+/// recycled slab nodes directly — no builders, no per-task body boxing —
+/// and each frame costs one batched gate acquisition and one scheduler
+/// wakeup instead of five of each.
+pub fn run_ompss_captured(p: &Params, rt: &Runtime) -> u64 {
+    decode_ompss_captured(&p.stream(), p.pool, rt)
+}
+
+/// Decode-only core of [`run_ompss_captured`], for harnesses that pre-build
+/// the stream.
+pub fn decode_ompss_captured(stream: &EncodedStream, pool: usize, rt: &Runtime) -> u64 {
+    let eof = Arc::new(AtomicBool::new(false));
+
+    let rc = rt.data(OmpssReadState {
+        rc: ReadContext::new(stream),
+        eof: eof.clone(),
+    });
+    let nc = rt.data(NalContext::new(stream));
+    let ec = rt.data(EntropyContext::default());
+    let rec = rt.data((ReconstructContext::default(), None::<DecodedFrame>));
+    let oc = rt.data(OutputContext::new());
+
+    let frm = rt.versioned_data::<Option<EncodedFrame>>(None);
+    let slice = rt.versioned_data::<Option<FrameHeader>>(None);
+    let ed = rt.versioned_data(Vec::<MacroblockSyntax>::new());
+    let pic = rt.versioned_data::<Option<DecodedFrame>>(None);
+
+    let pib = Arc::new(Mutex::new(PictureInfoBuffer::new(pool)));
+    let dpb = Arc::new(Mutex::new(DecodedPictureBuffer::new(
+        pool,
+        stream.params.width,
+        stream.params.height,
+    )));
+
+    // Capture frame 0's pipeline iteration (the tasks run as they record).
+    let template = {
+        let mut scope = rt.capture();
+        {
+            let rc = rc.clone();
+            let frm = frm.clone();
+            scope
+                .task()
+                .name("h264_read")
+                .inout(&rc)
+                .output(&frm)
+                .spawn(move |ctx| {
+                    let mut state = ctx.write(&rc);
+                    let frame = read_frame(&mut state.rc);
+                    if frame.is_none() {
+                        state.eof.store(true, Ordering::SeqCst);
+                    }
+                    *ctx.write(&frm) = frame;
+                });
+        }
+        {
+            let nc = nc.clone();
+            let frm = frm.clone();
+            let slice = slice.clone();
+            let pib = pib.clone();
+            scope
+                .task()
+                .name("h264_parse")
+                .inout(&nc)
+                .input(&frm)
+                .output(&slice)
+                .spawn(move |ctx| {
+                    let frame = ctx.read(&frm);
+                    let Some(frame) = frame.as_ref() else {
+                        *ctx.write(&slice) = None;
+                        return;
+                    };
+                    let mut nal = ctx.write(&nc);
+                    let header = parse_header(&mut nal, frame);
+                    let idx = ctx.critical("pib", || pib.lock().fetch(header));
+                    *ctx.write(&slice) = Some(header);
+                    if let Some(idx) = idx {
+                        ctx.critical("pib", || pib.lock().release(idx));
+                    }
+                });
+        }
+        {
+            let ec = ec.clone();
+            let frm = frm.clone();
+            let slice = slice.clone();
+            let ed = ed.clone();
+            scope
+                .task()
+                .name("h264_entropy")
+                .inout(&ec)
+                .input(&frm)
+                .input(&slice)
+                .output(&ed)
+                .spawn(move |ctx| {
+                    let frame = ctx.read(&frm);
+                    let header = ctx.read(&slice);
+                    let (Some(frame), Some(header)) = (frame.as_ref(), header.as_ref()) else {
+                        ctx.write(&ed).clear();
+                        return;
+                    };
+                    let mut entropy = ctx.write(&ec);
+                    *ctx.write(&ed) = entropy_decode_frame(&mut entropy, frame, header);
+                });
+        }
+        {
+            let rec = rec.clone();
+            let slice = slice.clone();
+            let ed = ed.clone();
+            let pic = pic.clone();
+            let dpb = dpb.clone();
+            scope
+                .task()
+                .name("h264_reconstruct")
+                .inout(&rec)
+                .input(&slice)
+                .input(&ed)
+                .output(&pic)
+                .spawn(move |ctx| {
+                    let header = ctx.read(&slice);
+                    let Some(header) = header.as_ref() else {
+                        *ctx.write(&pic) = None;
+                        return;
+                    };
+                    let mbs = ctx.read(&ed);
+                    let mut state = ctx.write(&rec);
+                    let idx = ctx.critical("dpb", || dpb.lock().fetch(header.frame_num));
+                    let (rec_ctx, last) = &mut *state;
+                    let decoded = reconstruct_frame(rec_ctx, header, &mbs, last.as_ref());
+                    if let Some(idx) = idx {
+                        ctx.critical("dpb", || {
+                            let mut pool = dpb.lock();
+                            pool.store(idx, decoded.clone());
+                            pool.release(idx);
+                        });
+                    }
+                    *last = Some(decoded.clone());
+                    *ctx.write(&pic) = Some(decoded);
+                });
+        }
+        {
+            let oc = oc.clone();
+            let pic = pic.clone();
+            scope
+                .task()
+                .name("h264_output")
+                .inout(&oc)
+                .input(&pic)
+                .spawn(move |ctx| {
+                    let pic = ctx.read(&pic);
+                    if let Some(pic) = pic.as_ref() {
+                        let mut out = ctx.write(&oc);
+                        output_frame(&mut out, pic.clone());
+                    }
+                });
+        }
+        scope.finish()
+    };
+
+    // Frames 1..EOF: one replay per frame, exactly the fresh-spawn loop
+    // with the five spawns collapsed into one stamp.
+    let bindings = ompss::ReplayBindings::new();
+    rt.taskwait_on(&rc);
+    while !eof.load(Ordering::SeqCst) {
+        rt.replay(&template, &bindings);
+        rt.taskwait_on(&rc);
+    }
+    rt.taskwait();
+    let emitted = rt.fetch(&oc).emitted;
+    frames_checksum(&emitted)
+}
+
 /// OmpSs-style variant following Listing 1 verbatim: manual renaming with
 /// circular buffers of depth `p.window`. Kept as the baseline the
 /// `rename_ablation` harness compares automatic renaming against.
@@ -537,6 +712,25 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
         assert_eq!(run_ompss(&p, &rt), seq, "automatic renaming variant");
         assert_eq!(run_ompss_manual(&p, &rt), seq, "manual RenameRing variant");
+    }
+
+    #[test]
+    fn captured_frame_loop_matches_and_stays_unfrozen() {
+        let p = Params::small();
+        let seq = run_seq(&p);
+        let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+        assert_eq!(run_ompss_captured(&p, &rt), seq);
+        // The pipeline buffers are versioned, so every replayed frame
+        // re-resolved (and renamed) — the captured loop must not have taken
+        // the pre-wired path, which would bake away the renaming.
+        let stats = rt.stats();
+        assert!(
+            (stats.renames + stats.renames_elided) as usize >= p.video.frames,
+            "each replayed frame still renames (or elides on) the buffers, \
+             got {} renames + {} elided",
+            stats.renames,
+            stats.renames_elided
+        );
     }
 
     #[test]

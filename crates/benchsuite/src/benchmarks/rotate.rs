@@ -126,6 +126,102 @@ pub fn run_ompss(p: &Params, rt: &Runtime) -> u64 {
     ImageRgb::from_data(p.width, p.height, data).checksum()
 }
 
+/// Rotation sweeps the captured (`rotate-cap`) variant performs. Every
+/// variant does the same number, so the three rows stay comparable: the
+/// rotation is deterministic, so re-rotating is idempotent and the repeat
+/// isolates exactly what capture amortises — per-sweep task insertion.
+pub const CAPTURE_SWEEPS: usize = 4;
+
+/// Sequential variant of `rotate-cap`: the same rotation, swept
+/// [`CAPTURE_SWEEPS`] times.
+pub fn run_seq_captured(p: &Params) -> u64 {
+    let src = p.input();
+    let mut out = kernels::rotate::rotate(&src, p.angle);
+    for _ in 1..CAPTURE_SWEEPS {
+        out = kernels::rotate::rotate(&src, p.angle);
+    }
+    out.checksum()
+}
+
+/// Pthreads variant of `rotate-cap`: each thread re-rotates its band
+/// [`CAPTURE_SWEEPS`] times (bands are disjoint, so no cross-sweep
+/// synchronisation is needed — the fairest possible hand-rolled loop).
+pub fn run_pthreads_captured(p: &Params, threads: usize) -> u64 {
+    assert!(threads > 0, "need at least one thread");
+    let src = p.input();
+    let mut out = vec![0u8; 3 * p.width * p.height];
+    {
+        let row_bytes = 3 * p.width;
+        let mut bands: Vec<(std::ops::Range<usize>, &mut [u8])> = Vec::new();
+        let mut rest: &mut [u8] = &mut out;
+        for t in 0..threads {
+            let rows = block_range(p.height, threads, t);
+            let bytes = rows.len() * row_bytes;
+            let (band, tail) = rest.split_at_mut(bytes);
+            bands.push((rows, band));
+            rest = tail;
+        }
+        let src = &src;
+        let angle = p.angle;
+        std::thread::scope(|scope| {
+            for (rows, band) in bands {
+                scope.spawn(move || {
+                    for _ in 0..CAPTURE_SWEEPS {
+                        if !rows.is_empty() {
+                            rotate_rows(src, angle, rows.clone(), band);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    ImageRgb::from_data(p.width, p.height, out).checksum()
+}
+
+/// OmpSs variant of `rotate-cap`: the band sweep is spawned **once** inside
+/// a capture scope, then re-stamped — one resolved `replay` pass (which
+/// freezes the template: the output partition's chunks are disjoint plain
+/// regions, so resolution is pass-invariant) and one fused super-batch for
+/// the remaining sweeps, riding the pre-wired plan. Inter-sweep WAW chains
+/// on each chunk carry the ordering; no taskwait separates the sweeps.
+pub fn run_ompss_captured(p: &Params, rt: &Runtime) -> u64 {
+    let src = rt.data(p.input());
+    let out = rt.partitioned(vec![0u8; 3 * p.width * p.height], 3 * p.width * p.band_rows);
+    let angle = p.angle;
+    let band_rows = p.band_rows;
+    let height = p.height;
+    let mut scope = rt.capture();
+    for (i, chunk) in out.chunk_handles().enumerate() {
+        let src = src.clone();
+        scope
+            .task()
+            .name("rotate_band")
+            .input(&src)
+            .output(&chunk)
+            .spawn(move |ctx| {
+                let src = ctx.read(&src);
+                let mut band = ctx.write_chunk(&chunk);
+                let start = i * band_rows;
+                let end = (start + band_rows).min(height);
+                rotate_rows(&src, angle, start..end, &mut band);
+            });
+    }
+    let template = scope.finish();
+    let bindings = ompss::ReplayBindings::new();
+    rt.replay(&template, &bindings);
+    rt.replay_fused(&template, CAPTURE_SWEEPS - 2);
+    rt.taskwait();
+    debug_assert!(
+        template.is_frozen(),
+        "a disjoint-chunk band sweep must freeze after its pure replay pass"
+    );
+    // The recipes own clones of the chunk handles; release them so the
+    // partition can be reclaimed.
+    drop(template);
+    let data = rt.into_vec(out);
+    ImageRgb::from_data(p.width, p.height, data).checksum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +235,16 @@ mod tests {
         assert_eq!(run_pthreads(&p, 4), seq);
         let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
         assert_eq!(run_ompss(&p, &rt), seq);
+    }
+
+    #[test]
+    fn captured_variants_agree_and_freeze() {
+        let p = Params::small();
+        let seq = run_seq_captured(&p);
+        assert_eq!(seq, run_seq(&p), "re-rotation is idempotent");
+        assert_eq!(run_pthreads_captured(&p, 3), seq);
+        let rt = Runtime::new(RuntimeConfig::default().with_workers(2));
+        assert_eq!(run_ompss_captured(&p, &rt), seq);
     }
 
     #[test]

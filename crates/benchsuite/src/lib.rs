@@ -27,5 +27,6 @@ pub mod benchmarks;
 pub mod runner;
 
 pub use runner::{
-    benchmark_names, run_benchmark, verify_benchmark, RunResult, Variant, WorkloadSize,
+    benchmark_names, captured_benchmark_names, run_benchmark, verify_benchmark, RunResult,
+    Variant, WorkloadSize,
 };

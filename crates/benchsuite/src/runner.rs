@@ -73,23 +73,50 @@ pub fn benchmark_names() -> Vec<&'static str> {
     ]
 }
 
-macro_rules! dispatch {
-    ($module:ident, $variant:expr, $threads:expr, $size:expr) => {{
+/// Captured-replay companions of the Table-1 rows: same kernels, but the
+/// OmpSs variant stamps its task graph through `Runtime::replay` /
+/// `Runtime::replay_fused` instead of fresh per-task spawns. They run
+/// through [`run_benchmark`] / [`verify_benchmark`] like any other name and
+/// appear in `table1 --real` right after their fresh-spawn rows.
+pub fn captured_benchmark_names() -> Vec<&'static str> {
+    vec!["rotate-cap", "h264dec-cap"]
+}
+
+/// Dispatch with explicit per-variant entry points (the captured rows swap
+/// in `run_*_captured` functions where the workload differs from the base
+/// row).
+macro_rules! dispatch_fns {
+    ($module:ident, $seq:ident, $pthreads:ident, $ompss:ident,
+     $variant:expr, $threads:expr, $size:expr) => {{
         let params = match $size {
             WorkloadSize::Small => $module::Params::small(),
             WorkloadSize::Large => $module::Params::large(),
         };
         match $variant {
-            Variant::Sequential => $module::run_seq(&params),
-            Variant::Pthreads => $module::run_pthreads(&params, $threads),
+            Variant::Sequential => $module::$seq(&params),
+            Variant::Pthreads => $module::$pthreads(&params, $threads),
             Variant::Ompss => {
                 let rt = Runtime::new(RuntimeConfig::default().with_workers($threads));
-                let checksum = $module::run_ompss(&params, &rt);
+                let checksum = $module::$ompss(&params, &rt);
                 rt.shutdown();
                 checksum
             }
         }
     }};
+}
+
+macro_rules! dispatch {
+    ($module:ident, $variant:expr, $threads:expr, $size:expr) => {
+        dispatch_fns!(
+            $module,
+            run_seq,
+            run_pthreads,
+            run_ompss,
+            $variant,
+            $threads,
+            $size
+        )
+    };
 }
 
 /// Run `name` in the given variant with `threads` workers and the given
@@ -111,6 +138,28 @@ pub fn run_benchmark(name: &str, variant: Variant, threads: usize, size: Workloa
         "streamcluster" => dispatch!(streamcluster, variant, threads, size),
         "bodytrack" => dispatch!(bodytrack, variant, threads, size),
         "h264dec" => dispatch!(h264dec, variant, threads, size),
+        // The captured-replay companions. `rotate-cap` sweeps the rotation
+        // CAPTURE_SWEEPS times in every variant (isolating per-sweep
+        // insertion); `h264dec-cap` decodes the same stream as `h264dec`,
+        // replaying the captured frame iteration instead of re-spawning it.
+        "rotate-cap" => dispatch_fns!(
+            rotate,
+            run_seq_captured,
+            run_pthreads_captured,
+            run_ompss_captured,
+            variant,
+            threads,
+            size
+        ),
+        "h264dec-cap" => dispatch_fns!(
+            h264dec,
+            run_seq,
+            run_pthreads,
+            run_ompss_captured,
+            variant,
+            threads,
+            size
+        ),
         other => panic!("unknown benchmark {other}"),
     };
     RunResult {
@@ -150,6 +199,11 @@ mod tests {
     fn names_cover_the_paper_table() {
         assert_eq!(benchmark_names().len(), 10);
         assert!(benchmark_names().contains(&"h264dec"));
+        // Captured rows are companions, not paper rows.
+        for cap in captured_benchmark_names() {
+            assert!(cap.ends_with("-cap"));
+            assert!(!benchmark_names().contains(&cap));
+        }
     }
 
     #[test]

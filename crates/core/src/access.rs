@@ -260,6 +260,20 @@ impl Default for AccessVec {
     }
 }
 
+impl Clone for AccessVec {
+    /// Cloning preserves the inline/spilled shape: a ≤[`ACCESS_INLINE_CAP`]
+    /// vector clones without touching the heap, which is what keeps the
+    /// pre-wired replay path (arming nodes from a frozen plan's access
+    /// copies) allocation-free.
+    fn clone(&self) -> Self {
+        let mut v = AccessVec::new();
+        for access in self.as_slice() {
+            v.push(access.clone());
+        }
+        v
+    }
+}
+
 impl AccessVec {
     /// An empty vector (no heap allocation).
     pub(crate) fn new() -> Self {

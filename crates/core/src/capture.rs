@@ -21,25 +21,81 @@
 //!   acquisition instead of one per task, then the ready roots are queued
 //!   with one batched scheduler wakeup.
 //!
-//! # Why replay re-resolves instead of copying edges
+//! # Resolved passes, and the freeze → pre-wired state machine
 //!
-//! A template does *not* store the captured iteration's resolved accesses
-//! or successor edges. Both depend on mutable version state: renaming binds
-//! each `output` clause to a fresh version, first-write elision depends on
-//! the live reference count of the current version, and the
-//! output-before-elided-input corner can force a bind-time un-elision.
-//! Baking any of that in would replay yesterday's decisions against today's
-//! state (and would bake in the aliased write of a template captured before
-//! an un-elision). Instead each replay pass re-runs resolution — the same
-//! [`crate::rename`] machinery, the same write-clash rejection, the same
-//! un-elision check the builder path uses — and re-derives the edges inside
-//! the batch registration: node *i*'s history update lands before node
-//! *i+1*'s predecessor scan, so intra-batch edges fall out of the ordinary
-//! three-pass dance, and cross-batch predecessors (tasks of the previous
-//! iteration still in flight) are discovered exactly as a fresh spawn would
-//! discover them. What the batch *saves* is the per-task synchronisation
-//! and scheduling overhead: one gate acquisition, one in-flight/stat/GC
-//! update, one wakeup notification for the whole batch.
+//! A template starts life **unfrozen**. An unfrozen (or binding-substituted)
+//! replay runs a *resolved* pass: it does not copy the captured iteration's
+//! resolved accesses or successor edges, because both depend on mutable
+//! version state — renaming binds each `output` clause to a fresh version,
+//! first-write elision depends on the live reference count of the current
+//! version, and the output-before-elided-input corner can force a bind-time
+//! un-elision. Baking any of that in would replay yesterday's decisions
+//! against today's state. So each resolved pass re-runs resolution — the
+//! same [`crate::rename`] machinery, the same write-clash rejection, the
+//! same un-elision check the builder path uses — and re-derives the edges
+//! inside the batch registration: node *i*'s history update lands before
+//! node *i+1*'s predecessor scan, so intra-batch edges fall out of the
+//! ordinary three-pass dance, and cross-batch predecessors (tasks of the
+//! previous iteration still in flight) are discovered exactly as a fresh
+//! spawn would discover them. What the batch saves is the per-task
+//! synchronisation and scheduling overhead: one gate acquisition, one
+//! in-flight/stat/GC update, one wakeup notification for the whole batch.
+//!
+//! For the renaming-free case all of that re-derivation is itself
+//! redundant: the resolved accesses are identical every pass, and so are
+//! the intra-batch edges. The template tracks this with a small state
+//! machine:
+//!
+//! * **Unfrozen → Frozen.** A resolved pass that ran with empty bindings
+//!   and observed *zero* version tickets, rename commits and rename events
+//!   proves clause resolution is pass-invariant (plain handles only), and
+//!   the template **freezes**: the batch is shadow-registered once against
+//!   an empty history to bake a [`graph`]-level plan — per-task resolved
+//!   accesses, the intra-batch successor edges and dep counts of every
+//!   *interior* task (one whose accesses all land on regions an earlier
+//!   in-batch `output`/`inout` fully overwrote), and the per-allocation
+//!   region-id sets that validate the plan later. Those sets must be
+//!   pairwise disjoint — the chunks of a partition freeze fine, but a
+//!   batch mixing *overlapping* regions on one allocation (a chunk plus
+//!   the whole array) never freezes: the live overlap scan could see
+//!   history through one region that the other's baked edges cannot.
+//! * **Frozen + empty bindings → pre-wired pass.** `replay` skips clause
+//!   resolution entirely, arms slab nodes from the frozen accesses, wires
+//!   the baked interior edges *before* taking any gate, then under the
+//!   usual batch gate only (a) **validates** the plan — each frozen
+//!   allocation must still carry only the plan's region ids — (b) registers
+//!   the *live prefix* (every task up to the last frontier task — the first
+//!   write per region, which can see the previous iteration's in-flight
+//!   tasks — since a frontier scan may need any earlier prefix entry), and
+//!   (c) **bulk-publishes the interior tail**: the tasks after the last
+//!   frontier task never touch the history maps per task at all — the
+//!   plan's baked per-region installs replace each overwritten region's
+//!   history with the batch's net final state in one pass.
+//! * **Frozen + validation failure → fallback.** If live state disagrees —
+//!   a rename or sub-region access elsewhere minted another region id on a
+//!   frozen allocation — the pass unwires the baked edges and falls back to
+//!   the resolved-per-pass registration above, so correctness is never
+//!   baked in. The plan is kept: the conflicting history is usually
+//!   transient (tombstones that the next garbage-collection sweep drops).
+//! * **Frozen + non-empty bindings → resolved pass.** Substituted handles
+//!   must re-resolve; the plan is kept for later empty-binding passes.
+//!
+//! Templates whose clauses touch versioned handles produce tickets on every
+//! pass and therefore never freeze — renaming and pre-wiring are mutually
+//! exclusive by construction, which is exactly the paper's trade: renaming
+//! removes WAR/WAW serialisation, pre-wiring removes bookkeeping from
+//! graphs that have no false dependences left to remove.
+//!
+//! [`Runtime::replay_fused`] stamps K iterations as **one super-batch**
+//! under a single gate acquisition and a single scheduler wakeup: because
+//! every task's history update lands in batch order, iteration *m*'s
+//! frontier scan (or, resolved, every scan) picks up iteration *m−1*'s
+//! writers — the carried inter-iteration dependences — with no barrier
+//! between iterations. Replays also run **concurrently**: scratch buffers
+//! are leased from a pool rather than held under one template-wide mutex,
+//! so two templates — or two disjoint-binding replays of one template —
+//! stamp in parallel and serialise only at the tracker gates, like any two
+//! spawning threads.
 //!
 //! # Bindings
 //!
@@ -67,8 +123,10 @@
 //! * the runtime it was captured on shuts down ([`Runtime::replay`] panics
 //!   if handed a template captured on a different runtime).
 //!
-//! Version state is *not* an invalidation concern: re-resolution picks up
-//! current versions, budgets and elision opportunities on every pass.
+//! Version state is *not* an invalidation concern: resolved passes pick up
+//! current versions, budgets and elision opportunities on every pass, and a
+//! frozen plan is validated against live tracker state under the gate on
+//! every pre-wired pass (falling back when it disagrees).
 //!
 //! Equivalence with fresh spawning is pinned by
 //! `tests/replay_equivalence.rs` (edge multisets and final values across
@@ -160,7 +218,8 @@ impl<'r> CaptureScope<'r> {
         GraphTemplate {
             owner: Arc::downgrade(inner),
             tasks: self.tasks,
-            scratch: Mutex::new(ReplayScratch::default()),
+            scratch: Mutex::new(Vec::new()),
+            frozen: Mutex::new(None),
             passes: AtomicU64::new(0),
         }
     }
@@ -272,9 +331,11 @@ impl CapturedTaskBuilder<'_, '_> {
     }
 }
 
-/// Reusable replay buffers, kept inside the template so a warm replay
-/// allocates nothing: the acquired nodes of the pass being stamped, the
-/// roots that became immediately ready, and the sorted shard-id union.
+/// Reusable replay buffers: the acquired nodes of the pass being stamped,
+/// the roots that became immediately ready, and the sorted shard-id union.
+/// Kept in a lease pool inside the template (one entry per concurrent
+/// replay lane) so a warm replay allocates nothing and two passes never
+/// serialise on a buffer mutex.
 #[derive(Default)]
 struct ReplayScratch {
     nodes: Vec<Arc<TaskNode>>,
@@ -282,13 +343,21 @@ struct ReplayScratch {
     sids: Vec<usize>,
 }
 
-/// A frozen batch of task recipes, produced by [`CaptureScope::finish`] and
-/// re-stamped by [`Runtime::replay`]. See the [module docs](self) for the
-/// capture/replay semantics and the invalidation rules.
+/// A recorded batch of task recipes, produced by [`CaptureScope::finish`]
+/// and re-stamped by [`Runtime::replay`] / [`Runtime::replay_fused`]. See
+/// the [module docs](self) for the capture/replay semantics, the
+/// freeze → pre-wired state machine and the invalidation rules.
 pub struct GraphTemplate {
     owner: Weak<RuntimeInner>,
     tasks: Vec<CapturedTask>,
-    scratch: Mutex<ReplayScratch>,
+    /// Scratch lease pool: a replay pops a buffer set (or starts a fresh
+    /// one), stamps without holding any template-wide lock, and pushes the
+    /// buffers back — concurrent replays each get their own lease.
+    scratch: Mutex<Vec<ReplayScratch>>,
+    /// The frozen pre-wired plan, once a pass has proven the batch is
+    /// renaming-free (see the module docs). Replay passes clone the `Arc`
+    /// out, so freezing never blocks a concurrent pass.
+    frozen: Mutex<Option<Arc<graph::FrozenPlan>>>,
     passes: AtomicU64,
 }
 
@@ -304,9 +373,25 @@ impl GraphTemplate {
     }
 
     /// Number of replay passes stamped so far (the capture itself is pass
-    /// 0 and is not counted).
+    /// 0 and is not counted; a fused replay of K iterations counts K).
     pub fn passes(&self) -> u64 {
         self.passes.load(Ordering::Relaxed)
+    }
+
+    /// Whether the template has been frozen into a pre-wired plan. Frozen
+    /// templates stamp empty-binding replays through the baked-edge fast
+    /// path (unless live validation falls a pass back — see the module
+    /// docs); templates over versioned (renameable) handles never freeze.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.lock().is_some()
+    }
+
+    fn lease_scratch(&self) -> ReplayScratch {
+        self.scratch.lock().pop().unwrap_or_default()
+    }
+
+    fn return_scratch(&self, scratch: ReplayScratch) {
+        self.scratch.lock().push(scratch);
     }
 }
 
@@ -404,11 +489,13 @@ impl Runtime {
         }
     }
 
-    /// Re-stamp a captured batch: re-resolve every recipe's clauses
-    /// (substituted through `bindings` where bound), acquire and wire the
-    /// nodes, register the whole batch with the dependence tracker under a
-    /// single multi-gate acquisition, and queue the ready roots with one
-    /// batched wakeup. Returns the 1-based pass number of this replay.
+    /// Re-stamp a captured batch: on a frozen template with empty bindings
+    /// this is the pre-wired fast path (baked interior edges, frontier-only
+    /// live registration, no clause resolution); otherwise every recipe's
+    /// clauses are re-resolved (substituted through `bindings` where bound).
+    /// Either way the whole batch registers under a single multi-gate
+    /// acquisition and the ready roots are queued with one batched wakeup.
+    /// Returns the 1-based pass number of this replay.
     ///
     /// Once warm (slab stocked, scratch buffers at capacity) a replay of a
     /// plain-handle batch performs **zero** heap allocations —
@@ -421,109 +508,236 @@ impl Runtime {
     /// if a binding substitution produces a write clash a fresh spawn would
     /// also reject (see [`TaskBuilder`]'s clause documentation).
     pub fn replay(&self, template: &GraphTemplate, bindings: &ReplayBindings) -> u64 {
+        self.replay_inner(template, bindings, 1)
+    }
+
+    /// Re-stamp `iterations` passes of a captured batch as **one fused
+    /// super-batch**: one scratch lease, one tracker multi-gate acquisition
+    /// and one scheduler wakeup for all K·n tasks. Inter-iteration
+    /// dependences are carried exactly as K sequential [`Runtime::replay`]
+    /// calls would carry them — every task's history update lands in batch
+    /// order, so iteration *m*'s scans see iteration *m−1*'s writers —
+    /// which `tests/replay_equivalence.rs` pins structurally. Bindings are
+    /// empty (per-iteration substitution would defeat the fusion); bodies
+    /// that need per-iteration state key off
+    /// [`TaskContext::replay_pass`](crate::TaskContext::replay_pass), which
+    /// still increments per fused iteration. Returns the pass number of the
+    /// last iteration stamped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero or the template was captured on a
+    /// different [`Runtime`].
+    pub fn replay_fused(&self, template: &GraphTemplate, iterations: usize) -> u64 {
+        self.replay_inner(template, &ReplayBindings::new(), iterations)
+    }
+
+    fn replay_inner(
+        &self,
+        template: &GraphTemplate,
+        bindings: &ReplayBindings,
+        iterations: usize,
+    ) -> u64 {
         let inner = &self.inner;
         assert!(
             template.owner.ptr_eq(&Arc::downgrade(inner)),
             "GraphTemplate was captured on a different Runtime than it is replayed on"
         );
-        let pass = template.passes.fetch_add(1, Ordering::Relaxed) + 1;
+        assert!(iterations >= 1, "a replay stamps at least one iteration");
+        let base = template.passes.fetch_add(iterations as u64, Ordering::Relaxed);
+        let last = base + iterations as u64;
         let trace_enabled = inner.trace.is_enabled();
         let n = template.tasks.len();
         if n == 0 {
             if trace_enabled {
-                inner.trace.record(TraceEvent::Replayed {
-                    task: TaskId(0),
-                    tasks: 0,
-                    pass,
-                    at_ns: inner.trace.now_ns(),
-                });
+                for m in 0..iterations as u64 {
+                    inner.trace.record(TraceEvent::Replayed {
+                        task: TaskId(0),
+                        tasks: 0,
+                        pass: base + m + 1,
+                        prewired: false,
+                        at_ns: inner.trace.now_ns(),
+                    });
+                }
             }
-            return pass;
+            return last;
         }
-        let mut scratch = template.scratch.lock();
-        let ReplayScratch { nodes, ready, sids } = &mut *scratch;
+        let total = n * iterations;
+        let mut scratch = template.lease_scratch();
+        let ReplayScratch { nodes, ready, sids } = &mut scratch;
         nodes.clear();
         ready.clear();
         sids.clear();
 
-        let cx = inner.rename_cx();
+        // Mode select: a frozen plan is only usable when no binding
+        // substitutes handles (substitution must re-resolve) and the config
+        // knob allows pre-wiring.
+        let prewiring_ok = inner.config.replay_prewiring && bindings.is_empty();
+        let plan = if prewiring_ok {
+            template.frozen.lock().clone()
+        } else {
+            None
+        };
+        // Whether this pass can *become* the frozen plan (resolved path:
+        // proven below by observing zero tickets/commits/renames).
+        let mut pure = prewiring_ok && plan.is_none();
+
         // Rename events per task, kept only for the trace (the non-traced
         // steady state must stay allocation-free).
         let mut renames_per_task: Vec<Vec<RenameEvent>> = Vec::new();
         let mut spills = 0u64;
+        let mut body_spills = 0u64;
 
-        // Phase 1 — per recipe, in capture order: re-resolve the clauses
-        // against current version state (bindings substituting handles),
-        // re-running the same write-clash rejection and bind-time
-        // un-elision the builder path runs; commit the renames (this is the
-        // batch's point in program order); acquire and arm a slab node.
-        for recipe in &template.tasks {
-            let mut accesses = AccessVec::new();
-            let mut tickets: Vec<Box<dyn VersionTicket>> = Vec::new();
-            let mut commits: Vec<Box<dyn RenameCommit>> = Vec::new();
-            let mut renames: Vec<RenameEvent> = Vec::new();
-            for clause in &recipe.clauses {
-                let handle: &dyn Accessible = match bindings.lookup(clause.key) {
-                    Some(h) => h,
-                    None => &*clause.handle,
-                };
-                let mut resolved = handle.resolve(clause.kind, &cx);
-                reject_write_clash(&accesses, &mut resolved);
-                if clause.kind.reads() {
-                    unelide_overlapping(
-                        &mut accesses,
-                        &mut tickets,
-                        &mut commits,
-                        &mut renames,
-                        &resolved,
-                        &cx,
+        if let Some(plan) = &plan {
+            // Phase 1 (pre-wired) — no clause resolution: freezing proved
+            // it pass-invariant, so every node is armed straight from the
+            // plan's access copies (no tickets, no commits, no renames by
+            // construction), then the baked interior edges are wired in
+            // before any gate is taken.
+            for m in 0..iterations {
+                for (t, recipe) in template.tasks.iter().enumerate() {
+                    let accesses = plan.accesses[t].clone();
+                    if accesses.spilled() {
+                        spills += 1;
+                    }
+                    let run = recipe.body.clone();
+                    let mut spilled = false;
+                    let mut node = inner.slab.acquire(
+                        None,
+                        recipe.name.clone(),
+                        recipe.priority,
+                        accesses,
+                        Vec::new(),
+                        move |ctx: &TaskContext<'_>| run(ctx),
+                        inner.root_children.clone(),
+                        &mut spilled,
                     );
+                    if spilled {
+                        body_spills += 1;
+                    }
+                    Arc::get_mut(&mut node)
+                        .expect("freshly acquired node is unshared")
+                        .replay_pass = base + m as u64 + 1;
+                    nodes.push(node);
                 }
-                accesses.append(resolved.accesses);
-                tickets.extend(resolved.tickets);
-                commits.extend(resolved.commits);
-                renames.extend(resolved.renamed);
             }
-            for commit in commits.drain(..) {
-                commit.commit();
+            graph::prewire_batch(nodes, plan, iterations);
+        } else {
+            let cx = inner.rename_cx();
+            // Phase 1 (resolved) — per recipe, in capture order (iteration
+            // major): re-resolve the clauses against current version state
+            // (bindings substituting handles), re-running the same
+            // write-clash rejection and bind-time un-elision the builder
+            // path runs; commit the renames (this is the batch's point in
+            // program order); acquire and arm a slab node.
+            for m in 0..iterations {
+                for recipe in &template.tasks {
+                    let mut accesses = AccessVec::new();
+                    let mut tickets: Vec<Box<dyn VersionTicket>> = Vec::new();
+                    let mut commits: Vec<Box<dyn RenameCommit>> = Vec::new();
+                    let mut renames: Vec<RenameEvent> = Vec::new();
+                    for clause in &recipe.clauses {
+                        let handle: &dyn Accessible = match bindings.lookup(clause.key) {
+                            Some(h) => h,
+                            None => &*clause.handle,
+                        };
+                        let mut resolved = handle.resolve(clause.kind, &cx);
+                        reject_write_clash(&accesses, &mut resolved);
+                        if clause.kind.reads() {
+                            unelide_overlapping(
+                                &mut accesses,
+                                &mut tickets,
+                                &mut commits,
+                                &mut renames,
+                                &resolved,
+                                &cx,
+                            );
+                        }
+                        accesses.append(resolved.accesses);
+                        tickets.extend(resolved.tickets);
+                        commits.extend(resolved.commits);
+                        renames.extend(resolved.renamed);
+                    }
+                    // Any version machinery at all disqualifies freezing:
+                    // resolution is only pass-invariant for plain handles.
+                    if !tickets.is_empty() || !commits.is_empty() || !renames.is_empty() {
+                        pure = false;
+                    }
+                    for commit in commits.drain(..) {
+                        commit.commit();
+                    }
+                    if accesses.spilled() {
+                        spills += 1;
+                    }
+                    let run = recipe.body.clone();
+                    let mut spilled = false;
+                    let mut node = inner.slab.acquire(
+                        None,
+                        recipe.name.clone(),
+                        recipe.priority,
+                        accesses,
+                        tickets,
+                        move |ctx: &TaskContext<'_>| run(ctx),
+                        inner.root_children.clone(),
+                        &mut spilled,
+                    );
+                    if spilled {
+                        body_spills += 1;
+                    }
+                    Arc::get_mut(&mut node)
+                        .expect("freshly acquired node is unshared")
+                        .replay_pass = base + m as u64 + 1;
+                    for access in node.accesses.iter() {
+                        sids.push(inner.tracker.shard_of(access.region.id.alloc));
+                    }
+                    if trace_enabled {
+                        renames_per_task.push(renames);
+                    }
+                    nodes.push(node);
+                }
             }
-            if accesses.spilled() {
-                spills += 1;
-            }
-            let run = recipe.body.clone();
-            let mut node = inner.slab.acquire(
-                recipe.name.clone(),
-                recipe.priority,
-                accesses,
-                tickets,
-                move |ctx: &TaskContext<'_>| run(ctx),
-                inner.root_children.clone(),
-            );
-            Arc::get_mut(&mut node)
-                .expect("freshly acquired node is unshared")
-                .replay_pass = pass;
-            for access in node.accesses.iter() {
-                sids.push(inner.tracker.shard_of(access.region.id.alloc));
-            }
-            if trace_enabled {
-                renames_per_task.push(renames);
-            }
-            nodes.push(node);
+            sids.sort_unstable();
+            sids.dedup();
         }
-        sids.sort_unstable();
-        sids.dedup();
 
         // Batched bookkeeping, mirroring `spawn_node` — counted before the
         // batch can start executing.
-        inner.stats.add(StatField::TasksSpawned, n as u64);
+        inner.stats.add(StatField::TasksSpawned, total as u64);
         if spills != 0 {
             inner.stats.add(StatField::AccessInlineSpills, spills);
         }
-        inner.in_flight.fetch_add(n, Ordering::SeqCst);
-        inner.root_children.add_children(n);
+        if body_spills != 0 {
+            inner.stats.add(StatField::SpawnBodySpills, body_spills);
+        }
+        inner.in_flight.fetch_add(total, Ordering::SeqCst);
+        inner.root_children.add_children(total);
 
-        // Phase 2 — one gate acquisition for the whole batch.
-        let batch = inner.tracker.register_batch(nodes, sids, trace_enabled);
+        // Phase 2 — one gate acquisition for the whole (super-)batch.
+        let mut prewired = false;
+        let batch = if let Some(plan) = &plan {
+            match inner
+                .tracker
+                .register_batch_prewired(nodes, plan, iterations, trace_enabled)
+            {
+                Some(batch) => {
+                    prewired = true;
+                    batch
+                }
+                None => {
+                    // Live state disagrees with the plan (another region id
+                    // appeared on a frozen allocation): unwire the baked
+                    // edges and fall back to full re-derivation. The plan's
+                    // accesses are still the right resolution — freezing
+                    // proved it pass-invariant — so only the registration
+                    // repeats. The plan is kept: the conflict is usually a
+                    // transient tombstone the next GC sweep drops.
+                    graph::unwire_batch(nodes);
+                    inner.tracker.register_batch(nodes, &plan.sids, trace_enabled)
+                }
+            }
+        } else {
+            inner.tracker.register_batch(nodes, sids, trace_enabled)
+        };
         inner.stats.add(StatField::EdgesAdded, batch.edges as u64);
         inner.stats.add(StatField::EdgesRaw, batch.raw_edges as u64);
         inner.stats.add(StatField::EdgesWar, batch.war_edges as u64);
@@ -531,8 +745,19 @@ impl Runtime {
         inner
             .stats
             .add(StatField::DependencesSeen, batch.predecessors_seen as u64);
+
+        // Freeze attempt — a resolved pass with empty bindings that used no
+        // version machinery proves the batch renaming-free; bake it. Done
+        // outside any gate (the shadow registration touches no live shard).
+        if pure {
+            let mut frozen = template.frozen.lock();
+            if frozen.is_none() {
+                *frozen = graph::build_frozen_plan(&nodes[..n], &inner.tracker).map(Arc::new);
+            }
+        }
+
         if trace_enabled {
-            for (i, node) in nodes.iter().enumerate() {
+            for node in nodes.iter() {
                 inner.trace.record(TraceEvent::Spawned {
                     task: node.id,
                     name: node.name.clone(),
@@ -540,18 +765,41 @@ impl Runtime {
                     deps: node.in_edges.load(Ordering::Relaxed),
                     generation: node.generation,
                 });
-                for edge in &batch.per_task[i].1 {
+            }
+            // Live edge records: dense (every task) on the resolved path,
+            // frontier-only on the pre-wired path — indexed by the stored
+            // batch position either way.
+            for (i, edge_list) in &batch.per_task {
+                for edge in edge_list {
                     inner.trace.record(TraceEvent::Edge {
-                        task: node.id,
+                        task: nodes[*i].id,
                         from: edge.pred,
                         shard: edge.shard,
                         fast_path: false,
                         at_ns: inner.trace.now_ns(),
                     });
                 }
-                for ev in &renames_per_task[i] {
+            }
+            if prewired {
+                if let Some(plan) = &plan {
+                    for m in 0..iterations {
+                        let b = m * n;
+                        for e in &plan.edges {
+                            inner.trace.record(TraceEvent::Edge {
+                                task: nodes[b + e.succ].id,
+                                from: nodes[b + e.pred].id,
+                                shard: e.shard,
+                                fast_path: false,
+                                at_ns: inner.trace.now_ns(),
+                            });
+                        }
+                    }
+                }
+            }
+            for (i, renames) in renames_per_task.iter().enumerate() {
+                for ev in renames {
                     inner.trace.record(TraceEvent::Renamed {
-                        task: node.id,
+                        task: nodes[i].id,
                         from_alloc: ev.from.raw(),
                         to_alloc: ev.to.raw(),
                         recycled: ev.recycled,
@@ -560,12 +808,15 @@ impl Runtime {
                     });
                 }
             }
-            inner.trace.record(TraceEvent::Replayed {
-                task: nodes[0].id,
-                tasks: n,
-                pass,
-                at_ns: inner.trace.now_ns(),
-            });
+            for m in 0..iterations {
+                inner.trace.record(TraceEvent::Replayed {
+                    task: nodes[m * n].id,
+                    tasks: n,
+                    pass: base + m as u64 + 1,
+                    prewired,
+                    at_ns: inner.trace.now_ns(),
+                });
+            }
         }
 
         // Phase 3 — release every registration sentinel in capture order,
@@ -590,12 +841,12 @@ impl Runtime {
             inner.stats.add(StatField::ImmediatelyReady, immediately_ready);
         }
         inner.sched.push_spawn_batch(ready);
-        drop(scratch);
+        template.return_scratch(scratch);
         // GC cadence after every lock is released — the sweep takes each
         // shard's gate itself.
-        if inner.note_batch_spawned(n as u64) {
+        if inner.note_batch_spawned(total as u64) {
             inner.tracker.garbage_collect();
         }
-        pass
+        last
     }
 }

@@ -100,7 +100,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
-use crate::access::{Access, AccessKind, Dependence};
+use crate::access::{Access, AccessKind, AccessVec, Dependence};
 use crate::region::{AllocId, Region, RegionId};
 use crate::stats::TrackerCounters;
 use crate::task::{TaskId, TaskNode, TaskState};
@@ -316,6 +316,38 @@ impl TrackerShard {
         }
     }
 
+    /// Bulk-publish one [`FrozenInstall`]: replace the region's history with
+    /// the batch's baked net effect — exactly the state the per-task
+    /// `record_access` interleave of a resolved registration would have left
+    /// (an in-batch overwrite rebuilds the lists from scratch, so the final
+    /// state is a pure function of the batch). `nodes` is the current
+    /// iteration's node slice; the install's positions index into it. In the
+    /// warm steady state this allocates nothing: the entry, its list
+    /// capacities and the `by_alloc` slot all survive from the previous
+    /// pass.
+    fn apply_install(&mut self, inst: &FrozenInstall, nodes: &[Arc<TaskNode>]) {
+        let rid = inst.region.id;
+        let ids = self.by_alloc.entry(rid.alloc).or_default();
+        ids.retain(|r| *r != rid);
+        ids.push(rid);
+        let entry = self.entries.entry(rid).or_default();
+        if entry.region.is_none() {
+            entry.region = Some(inst.region.clone());
+        }
+        entry.writers.clear();
+        entry.readers.clear();
+        entry.concurrent.clear();
+        for &p in &inst.writers {
+            entry.writers.push(HistoryRef::Live(nodes[p].clone()));
+        }
+        for &p in &inst.readers {
+            entry.readers.push(HistoryRef::Live(nodes[p].clone()));
+        }
+        for &p in &inst.concurrent {
+            entry.concurrent.push(HistoryRef::Live(nodes[p].clone()));
+        }
+    }
+
     /// Replace every live history reference of task `id` under region `rid`
     /// with a tombstone (the retire path). A reference already cleared by a
     /// later writer generation is silently gone — that is fine.
@@ -449,8 +481,293 @@ pub(crate) struct BatchRegistration {
     pub predecessors_seen: usize,
     /// `(batch index, added edges)` per task, in batch order. Populated only
     /// when the caller asked for edge records (tracing enabled); empty — and
-    /// allocation-free — otherwise.
+    /// allocation-free — otherwise. The pre-wired path records only the
+    /// *frontier* tasks here (interior edges come from the plan), so entries
+    /// are sparse: index by the stored batch position, not by vector offset.
     pub per_task: Vec<(usize, Vec<EdgeRecord>)>,
+}
+
+/// One pre-resolved intra-batch dependence edge of a [`FrozenPlan`]: both
+/// endpoints are batch positions (stable across passes — task ids are not),
+/// plus the shard label the live scan would have produced, so traces stay
+/// byte-identical with re-derivation. The dependence *class* is not stored
+/// per edge — the per-pass RAW/WAR/WAW contributions are pre-summed into
+/// the plan's counters at freeze time.
+pub(crate) struct FrozenEdge {
+    pub pred: usize,
+    pub succ: usize,
+    pub shard: usize,
+}
+
+/// A replay batch frozen into pre-wired form by [`build_frozen_plan`]: the
+/// per-task resolved accesses (pass-invariant — freezing requires a pass
+/// with zero renames, tickets or binding substitutions, so every clause
+/// resolves to the same plain region every time), the intra-batch edges and
+/// dep counts of every *interior* task baked in, and the validation keys
+/// that let [`ShardedTracker::register_batch_prewired`] prove, under the
+/// gate, that the baked edges are still the edges a live scan would derive.
+///
+/// A task is **interior** when every one of its accesses lands on a region
+/// some earlier in-batch task fully overwrote (`output`/`inout` clears the
+/// region's history and installs itself as the sole writer): from that point
+/// the region's history is a pure function of the batch prefix, so the
+/// task's predecessors — found by shadow-registering the batch against an
+/// *empty* history — are its real predecessors on every pass. Every other
+/// task is **frontier**: its history scan can see pre-batch state (the
+/// previous iteration's tasks still in flight), so it is registered live
+/// under the gate each pass. In an iterative workload the frontier is the
+/// first write per region — a small fixed fringe of the batch.
+pub(crate) struct FrozenPlan {
+    /// Resolved accesses per task, cloned into each pass's nodes.
+    pub accesses: Vec<AccessVec>,
+    /// Sorted, deduplicated union of tracker shards the batch touches.
+    pub sids: Vec<usize>,
+    /// The region ids the batch uses on each allocation it touches —
+    /// pairwise **disjoint** by construction (chunked partitions qualify,
+    /// sub-region mixes do not: an overlapping pair would let one region's
+    /// pre-batch history reach an interior task through the other's scan).
+    pub allocs: Vec<(AllocId, Vec<RegionId>)>,
+    /// Whether each task (by batch position) must be registered live.
+    pub frontier: Vec<bool>,
+    /// Position after the last frontier task. Tasks before it register
+    /// their history live (a later frontier scan may need the prefix);
+    /// tasks at and after it — the interior tail — never touch the history
+    /// maps per task at all: their net effect is applied by the per-region
+    /// bulk [`FrozenInstall`]s below, after each iteration's live prefix.
+    pub scan_upto: usize,
+    /// Per-region bulk history installs (one per region the batch touches,
+    /// when there is anything the live prefix did not already record).
+    pub installs: Vec<FrozenInstall>,
+    /// Baked intra-batch edges into interior tasks.
+    pub edges: Vec<FrozenEdge>,
+    /// Baked in-edge count per task (zero for frontier tasks).
+    pub baked_in: Vec<usize>,
+    /// Baked per-pass counter contributions (interior tasks only).
+    pub baked_raw: usize,
+    pub baked_war: usize,
+    pub baked_waw: usize,
+    pub baked_preds: usize,
+}
+
+impl FrozenPlan {
+    /// Number of tasks one pass of the plan stamps.
+    pub fn len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+/// The net history effect of one batch pass on one region, baked at freeze
+/// time so the interior tail can be published in O(regions + final refs)
+/// instead of O(accesses) per-task `record_access` calls. Only regions an
+/// in-batch `output`/`inout` overwrote get an install (interior tasks touch
+/// no other kind — a task on a never-overwritten region is frontier by
+/// definition, hence inside the live prefix), and an overwrite rebuilds the
+/// region's history from scratch, so every install *replaces* the entry's
+/// lists with the batch's final state. Positions index into the iteration's
+/// node slice.
+pub(crate) struct FrozenInstall {
+    /// The region (carries the id; the range seeds a fresh entry).
+    pub region: Region,
+    /// Live tracker shard of the region's allocation.
+    pub shard: usize,
+    /// Final writer generation (a single position: the last overwriter).
+    pub writers: Vec<usize>,
+    /// Readers since the last writer generation, in batch order.
+    pub readers: Vec<usize>,
+    /// Concurrent accessors since the last plain writer, in batch order.
+    pub concurrent: Vec<usize>,
+}
+
+/// Try to freeze a replay batch into a [`FrozenPlan`]. `nodes` are the
+/// freshly resolved nodes of a pass that performed **zero** renames, version
+/// tickets or binding substitutions (the caller checks — that is what makes
+/// clause resolution pass-invariant). Returns `None` when the batch cannot
+/// be frozen: two *overlapping* regions on one allocation (a sub-region mix
+/// would let the live overlap scan reach history through one region that
+/// the other's baked edges cannot see). Disjoint region ids on one
+/// allocation — the chunks of a partition — freeze fine: no scan of one
+/// chunk ever reaches another's history.
+///
+/// The plan is built by *shadow registration*: the batch runs the very same
+/// `collect_preds`/`record_access` passes a live registration runs, against
+/// a throwaway empty shard. For interior tasks the shadow history at their
+/// position equals the live history (both were rebuilt from scratch by the
+/// same in-batch writes), so the shadow edges are the real edges — the
+/// classification logic is shared with the live path, not re-implemented.
+pub(crate) fn build_frozen_plan(
+    nodes: &[Arc<TaskNode>],
+    tracker: &ShardedTracker,
+) -> Option<FrozenPlan> {
+    let n = nodes.len();
+    if n == 0 {
+        return None;
+    }
+    let mut regions: Vec<(AllocId, Vec<Region>)> = Vec::new();
+    for node in nodes {
+        for access in node.accesses.iter() {
+            let rid = access.region.id;
+            match regions.iter_mut().find(|(a, _)| *a == rid.alloc) {
+                Some((_, seen)) => {
+                    if !seen.iter().any(|r| r.id == rid) {
+                        if seen.iter().any(|r| r.overlaps(&access.region)) {
+                            return None;
+                        }
+                        seen.push(access.region.clone());
+                    }
+                }
+                None => regions.push((rid.alloc, vec![access.region.clone()])),
+            }
+        }
+    }
+    let allocs = regions
+        .into_iter()
+        .map(|(a, rs)| (a, rs.into_iter().map(|r| r.id).collect()))
+        .collect();
+    let mut shadow = TrackerShard::default();
+    // Regions fully overwritten by an earlier in-batch `output`/`inout`.
+    let mut cleared: Vec<RegionId> = Vec::new();
+    let mut index_of: HashMap<TaskId, usize, IdBuildHasher> = HashMap::default();
+    let mut plan = FrozenPlan {
+        accesses: Vec::with_capacity(n),
+        sids: Vec::new(),
+        allocs,
+        frontier: vec![false; n],
+        scan_upto: 0,
+        installs: Vec::new(),
+        edges: Vec::new(),
+        baked_in: vec![0; n],
+        baked_raw: 0,
+        baked_war: 0,
+        baked_waw: 0,
+        baked_preds: 0,
+    };
+    let mut preds: Vec<PredRef> = Vec::new();
+    let mut seen: Vec<TaskId> = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        index_of.insert(node.id, i);
+        let is_frontier = node
+            .accesses
+            .iter()
+            .any(|a| !cleared.contains(&a.region.id));
+        plan.frontier[i] = is_frontier;
+        preds.clear();
+        seen.clear();
+        for access in node.accesses.iter() {
+            let sid = tracker.shard_of(access.region.id.alloc);
+            plan.sids.push(sid);
+            // The shard label is the live shard of the access, not the
+            // shadow's — traces must match the live scan's labelling.
+            shadow.collect_preds(access, sid, &mut preds, &mut seen);
+        }
+        if !is_frontier {
+            for pred in &preds {
+                if pred.id == node.id {
+                    continue;
+                }
+                let p = *index_of
+                    .get(&pred.id)
+                    .expect("shadow history only ever holds in-batch tasks");
+                plan.edges.push(FrozenEdge {
+                    pred: p,
+                    succ: i,
+                    shard: pred.shard,
+                });
+                plan.baked_in[i] += 1;
+                match pred.dependence {
+                    Dependence::ReadAfterWrite => plan.baked_raw += 1,
+                    Dependence::WriteAfterRead => plan.baked_war += 1,
+                    Dependence::WriteAfterWrite => plan.baked_waw += 1,
+                    Dependence::None => {}
+                }
+            }
+            plan.baked_preds += preds.len();
+        }
+        for access in node.accesses.iter() {
+            shadow.record_access(access, node);
+            if matches!(access.kind, AccessKind::Output | AccessKind::InOut)
+                && !cleared.contains(&access.region.id)
+            {
+                cleared.push(access.region.id);
+            }
+        }
+        plan.accesses.push(node.accesses.clone());
+    }
+    plan.sids.sort_unstable();
+    plan.sids.dedup();
+    plan.scan_upto = plan.frontier.iter().rposition(|&f| f).map_or(0, |p| p + 1);
+    // Bake the batch's net history effect per overwritten region from the
+    // shadow's final state. `cleared` (first-overwrite order) keeps the
+    // install list deterministic across freezes.
+    let to_positions = |refs: &[HistoryRef]| -> Vec<usize> {
+        refs.iter()
+            .map(|r| *index_of.get(&r.id()).expect("shadow refs are in-batch"))
+            .collect()
+    };
+    for &rid in &cleared {
+        let entry = shadow
+            .entries
+            .get(&rid)
+            .expect("an overwritten region has a shadow entry");
+        plan.installs.push(FrozenInstall {
+            region: entry.region.clone().expect("recorded regions carry bytes"),
+            shard: tracker.shard_of(rid.alloc),
+            writers: to_positions(&entry.writers),
+            readers: to_positions(&entry.readers),
+            concurrent: to_positions(&entry.concurrent),
+        });
+    }
+    // Never-overwritten regions need no install: every task touching one is
+    // frontier, so all their refs land inside the live prefix.
+    debug_assert!(shadow.entries.iter().all(|(rid, entry)| {
+        cleared.contains(rid)
+            || entry
+                .writers
+                .iter()
+                .chain(entry.readers.iter())
+                .chain(entry.concurrent.iter())
+                .all(|r| index_of[&r.id()] < plan.scan_upto)
+    }));
+    Some(plan)
+}
+
+/// Wire the baked edges of `plan` into `iterations` consecutive copies of
+/// the batch **before** any gate is taken: push each interior successor onto
+/// its predecessor's link list, bump its `pending`, and store the baked
+/// in-edge counts. Nothing here touches tracker state — the nodes are
+/// unpublished (their registration sentinel is still up), so no predecessor
+/// can complete out from under the wiring and `add_edge` semantics are
+/// preserved exactly.
+pub(crate) fn prewire_batch(nodes: &[Arc<TaskNode>], plan: &FrozenPlan, iterations: usize) {
+    let per = plan.len();
+    debug_assert_eq!(nodes.len(), per * iterations);
+    for m in 0..iterations {
+        let base = m * per;
+        for e in &plan.edges {
+            let succ = &nodes[base + e.succ];
+            nodes[base + e.pred]
+                .links
+                .lock()
+                .successors
+                .push(succ.clone());
+            succ.pending.fetch_add(1, Ordering::SeqCst);
+        }
+        for (t, &baked) in plan.baked_in.iter().enumerate() {
+            if !plan.frontier[t] {
+                nodes[base + t].in_edges.store(baked, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Undo [`prewire_batch`] after the plan failed live validation: drop the
+/// baked successor links and reset every node's registration sentinel so an
+/// ordinary [`ShardedTracker::register_batch`] can start from scratch.
+pub(crate) fn unwire_batch(nodes: &[Arc<TaskNode>]) {
+    for node in nodes {
+        node.links.lock().successors.clear();
+        node.pending.store(1, Ordering::SeqCst);
+        node.in_edges.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Shard-count-aware diagnostics of the dependence tracker, from
@@ -1023,6 +1340,121 @@ impl ShardedTracker {
         batch
     }
 
+    /// Register `iterations` consecutive copies of a [`FrozenPlan`] batch
+    /// whose interior edges were already wired by [`prewire_batch`]: under
+    /// one multi-gate acquisition, **validate** the plan against live state,
+    /// then stamp each iteration in two steps. The *live prefix* — batch
+    /// positions up to the last frontier task — runs the ordinary
+    /// scan/record interleave (frontier tasks scan live history; every
+    /// prefix task records its accesses, since a later frontier scan may
+    /// need them). The *interior tail* after it never touches the history
+    /// maps per task: the plan's baked [`FrozenInstall`]s publish the
+    /// iteration's net per-region effect in one pass, so the next
+    /// iteration's frontier scan picks up this iteration's final writers —
+    /// exactly the carried inter-iteration dependence of a fused replay.
+    /// Interior tasks' edges and counters come pre-summed from the plan.
+    ///
+    /// Validation: for each allocation the plan touches, the live
+    /// `by_alloc` index must hold no region id outside the plan's (pairwise
+    /// disjoint) set. Any other id — a sub-region access or a rename minted
+    /// elsewhere since the freeze — would be visible to a live overlap scan
+    /// but not to the baked edges, so the batch returns `None` (having
+    /// touched nothing) and the caller unwires and falls back to
+    /// [`ShardedTracker::register_batch`].
+    pub(crate) fn register_batch_prewired(
+        &self,
+        nodes: &[Arc<TaskNode>],
+        plan: &FrozenPlan,
+        iterations: usize,
+        record_edges: bool,
+    ) -> Option<BatchRegistration> {
+        let per = plan.len();
+        debug_assert_eq!(nodes.len(), per * iterations);
+        let mut batch = BatchRegistration {
+            edges: plan.edges.len() * iterations,
+            raw_edges: plan.baked_raw * iterations,
+            war_edges: plan.baked_war * iterations,
+            waw_edges: plan.baked_waw * iterations,
+            predecessors_seen: plan.baked_preds * iterations,
+            per_task: Vec::new(),
+        };
+        if plan.sids.is_empty() {
+            // Access-free batch: nothing to validate, nothing to gate; the
+            // pre-wiring already stored every (zero) in-edge count.
+            return Some(batch);
+        }
+        let mut guard = BatchGuard::acquire(self, &plan.sids);
+        for (alloc, rids) in &plan.allocs {
+            let sid = self.shard_of(*alloc);
+            if let Some(ids) = guard.shard_mut(sid).by_alloc.get(alloc) {
+                if ids.iter().any(|r| !rids.contains(r)) {
+                    return None;
+                }
+            }
+        }
+        for &sid in &plan.sids {
+            self.counters.hit(sid);
+        }
+        let first = plan.sids[0];
+        let (mut preds, mut seen) = {
+            let shard = guard.shard_mut(first);
+            (
+                std::mem::take(&mut shard.scratch_preds),
+                std::mem::take(&mut shard.scratch_seen),
+            )
+        };
+        debug_assert!(preds.is_empty() && seen.is_empty());
+        for m in 0..iterations {
+            let base = m * per;
+            // Live prefix: up to (and including) the last frontier task,
+            // scan and record in batch order — a frontier task's scan may
+            // need any earlier prefix task's history entry.
+            for t in 0..plan.scan_upto {
+                let node = &nodes[base + t];
+                if plan.frontier[t] {
+                    preds.clear();
+                    seen.clear();
+                    for access in node.accesses.iter() {
+                        let sid = self.shard_of(access.region.id.alloc);
+                        guard
+                            .shard_mut(sid)
+                            .collect_preds(access, sid, &mut preds, &mut seen);
+                    }
+                    let (edges, raw_edges, war_edges, waw_edges, edge_list) =
+                        add_pred_edges(&preds, node, record_edges);
+                    node.in_edges.store(edges, Ordering::Relaxed);
+                    batch.edges += edges;
+                    batch.raw_edges += raw_edges;
+                    batch.war_edges += war_edges;
+                    batch.waw_edges += waw_edges;
+                    batch.predecessors_seen += preds.len();
+                    if record_edges {
+                        batch.per_task.push((base + t, edge_list));
+                    }
+                }
+                for access in node.accesses.iter() {
+                    let sid = self.shard_of(access.region.id.alloc);
+                    guard.shard_mut(sid).record_access(access, node);
+                }
+            }
+            // Interior tail: no per-task history work at all — the baked
+            // installs publish the iteration's net effect per region, so the
+            // next iteration's frontier (and post-batch registrations) see
+            // exactly the state a full per-task interleave would have left.
+            for inst in &plan.installs {
+                guard
+                    .shard_mut(inst.shard)
+                    .apply_install(inst, &nodes[base..base + per]);
+            }
+        }
+        preds.clear();
+        seen.clear();
+        let shard = guard.shard_mut(first);
+        shard.scratch_preds = preds;
+        shard.scratch_seen = seen;
+        Some(batch)
+    }
+
     /// Retire a completed task from the history: every live reference it
     /// still holds in any shard is replaced by a tombstone, releasing the
     /// node. Locks one shard at a time (retirement needs no cross-shard
@@ -1303,6 +1735,8 @@ pub mod bench {
                             AccessVec::one(Access::new(region, AccessKind::Output)),
                             |_| {},
                             parent.clone(),
+                            crate::task::INLINE_BODY_BYTES,
+                            &mut false,
                         )
                     })
                     .collect()
@@ -1341,6 +1775,8 @@ mod tests {
             accesses.into_iter().collect(),
             |_ctx| {},
             ChildTracker::new(),
+            crate::task::INLINE_BODY_BYTES,
+            &mut false,
         )
     }
 

@@ -97,6 +97,18 @@ pub struct RuntimeConfig {
     /// allocates every node fresh — the reference configuration of the
     /// equivalence suite and the full-spawn `insertion_bench` baseline.
     pub task_recycler: bool,
+    /// Bytes of task-closure capture stored inline in the task node; bigger
+    /// bodies are boxed (counted by
+    /// [`RuntimeStats::spawn_body_spills`](crate::RuntimeStats::spawn_body_spills)).
+    /// Capped at the node's 64-byte buffer; lowering it trades inline hits
+    /// for measurement (set it to 0 to box every body).
+    pub inline_body_bytes: usize,
+    /// Whether eligible [`GraphTemplate`](crate::GraphTemplate)s freeze into
+    /// pre-wired form after a clean replay pass (see [`crate::capture`],
+    /// "Pre-wired templates"). Enabled by default; `false` keeps every
+    /// replay on the resolved-per-pass path — the baseline configuration of
+    /// the `graph_replay` benchmark's mode comparison.
+    pub replay_prewiring: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -118,6 +130,8 @@ impl Default for RuntimeConfig {
             rename_elision: true,
             tracker_gc_interval: DEFAULT_TRACKER_GC_INTERVAL,
             task_recycler: true,
+            inline_body_bytes: crate::task::INLINE_BODY_BYTES,
+            replay_prewiring: true,
         }
     }
 }
@@ -217,6 +231,25 @@ impl RuntimeConfig {
     /// pins the edge structure across both settings.
     pub fn with_task_recycler(mut self, recycler: bool) -> Self {
         self.task_recycler = recycler;
+        self
+    }
+
+    /// Set the inline-body threshold in bytes. Values above the node's
+    /// 64-byte buffer are clamped to it (the buffer is a compile-time
+    /// constant; the knob can only tighten the threshold, not grow the
+    /// node). Watch [`RuntimeStats::spawn_body_spills`](crate::RuntimeStats::spawn_body_spills)
+    /// to see whether a workload's captures fit.
+    pub fn with_inline_body_bytes(mut self, bytes: usize) -> Self {
+        self.inline_body_bytes = bytes.min(crate::task::INLINE_BODY_BYTES);
+        self
+    }
+
+    /// Enable or disable pre-wired replay templates. With `false`, every
+    /// [`Runtime::replay`] pass re-resolves clauses and re-derives edges
+    /// (the resolved-per-pass path); the discovered dependence structure is
+    /// identical either way — `tests/replay_equivalence.rs` pins it.
+    pub fn with_replay_prewiring(mut self, prewiring: bool) -> Self {
+        self.replay_prewiring = prewiring;
         self
     }
 
@@ -402,11 +435,15 @@ impl Runtime {
             critical: CriticalSections::new(),
             panics: Mutex::new(Vec::new()),
             rename: Arc::new(RenamePool::new(config.rename_memory_cap)),
-            slab: TaskSlab::new(if config.task_recycler {
-                DEFAULT_TASK_SLAB_CAPACITY
-            } else {
-                0
-            }),
+            slab: TaskSlab::new(
+                if config.task_recycler {
+                    DEFAULT_TASK_SLAB_CAPACITY
+                } else {
+                    0
+                },
+                config.workers,
+                config.inline_body_bytes,
+            ),
             spawn_count: AtomicU64::new(0),
             config,
         });
@@ -541,7 +578,7 @@ impl Runtime {
 
     /// Begin building a task spawned from the main program context.
     pub fn task(&self) -> TaskBuilder<'_> {
-        TaskBuilder::new(&self.inner, self.inner.root_children.clone(), None)
+        TaskBuilder::new(&self.inner, self.inner.root_children.clone(), None, None)
     }
 
     /// Wait until every task spawned from the main context (and transitively
@@ -682,6 +719,7 @@ impl Runtime {
                 .get(StatField::TasksSpawned)
                 .saturating_sub(c.get(StatField::AccessInlineSpills)),
             access_inline_spills: c.get(StatField::AccessInlineSpills),
+            spawn_body_spills: c.get(StatField::SpawnBodySpills),
             tracker_shards: self.inner.tracker.num_shards(),
             tracker_shard_hits: self.inner.tracker.counters().hits(),
             tracker_lock_contention: self.inner.tracker.counters().contention(),
@@ -770,6 +808,7 @@ pub struct TaskBuilder<'r> {
     inner: &'r Arc<RuntimeInner>,
     parent_children: Arc<ChildTracker>,
     deque: Option<&'r WorkerDeque<Arc<TaskNode>>>,
+    worker: Option<usize>,
     name: Option<Arc<str>>,
     priority: TaskPriority,
     /// Declared accesses: ≤2 inline, so the dominant builder shapes never
@@ -786,11 +825,13 @@ impl<'r> TaskBuilder<'r> {
         inner: &'r Arc<RuntimeInner>,
         parent_children: Arc<ChildTracker>,
         deque: Option<&'r WorkerDeque<Arc<TaskNode>>>,
+        worker: Option<usize>,
     ) -> Self {
         TaskBuilder {
             inner,
             parent_children,
             deque,
+            worker,
             name: None,
             priority: TaskPriority::default(),
             accesses: AccessVec::new(),
@@ -898,14 +939,20 @@ impl<'r> TaskBuilder<'r> {
         // retired node is available, a fresh allocation otherwise. Small
         // bodies are written into the node's inline buffer — a steady-state
         // ≤2-access spawn allocates nothing here at all.
+        let mut spilled = false;
         let node = self.inner.slab.acquire(
+            self.worker,
             self.name.take(),
             self.priority,
             accesses,
             tickets,
             body,
             self.parent_children.clone(),
+            &mut spilled,
         );
+        if spilled {
+            self.inner.stats.add(StatField::SpawnBodySpills, 1);
+        }
         self.inner.spawn_node(node, self.deque, renames)
     }
 }
@@ -1291,7 +1338,7 @@ impl<'a> TaskContext<'a> {
 
     /// Begin building a nested task (child of the current task).
     pub fn task(&self) -> TaskBuilder<'a> {
-        TaskBuilder::new(self.inner, self.node.children.clone(), self.deque)
+        TaskBuilder::new(self.inner, self.node.children.clone(), self.deque, self.worker)
     }
 
     /// Wait for the direct children of the current task. While waiting, the

@@ -151,6 +151,15 @@ pub(crate) struct SchedState {
     prio_seq: AtomicU64,
     /// Number of ready-but-not-yet-executing tasks.
     ready_count: AtomicUsize,
+    /// Number of workers currently parked in [`SchedState::idle_wait`]
+    /// (always zero under [`IdlePolicy::Polling`]). Pushers consult it
+    /// *before* touching `sleep_lock`, so the spawn/replay hot path pays no
+    /// mutex round-trip while every worker is busy. The store-buffer race
+    /// (pusher misses a just-parking sleeper) is closed by `SeqCst` on both
+    /// sides: if the pusher reads no sleepers, the parking worker's
+    /// ready-count re-check under the lock sees the pushed work and skips
+    /// the wait.
+    sleepers: AtomicUsize,
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     /// Counters for statistics.
@@ -180,6 +189,7 @@ impl SchedState {
             inbox_last_shard: (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect(),
             prio_seq: AtomicU64::new(0),
             ready_count: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             counters: SchedCounters::default(),
@@ -220,7 +230,7 @@ impl SchedState {
 
     fn note_push(&self) {
         self.ready_count.fetch_add(1, Ordering::SeqCst);
-        if self.idle == IdlePolicy::Blocking {
+        if self.idle == IdlePolicy::Blocking && self.sleepers.load(Ordering::SeqCst) != 0 {
             let _g = self.sleep_lock.lock();
             self.sleep_cv.notify_one();
         }
@@ -286,7 +296,7 @@ impl SchedState {
                 | SchedulerPolicy::ShardAffinity => self.injector.push(node),
             }
         }
-        if self.idle == IdlePolicy::Blocking {
+        if self.idle == IdlePolicy::Blocking && self.sleepers.load(Ordering::SeqCst) != 0 {
             let _g = self.sleep_lock.lock();
             self.sleep_cv.notify_all();
         }
@@ -532,10 +542,15 @@ impl SchedState {
             }
             IdlePolicy::Blocking => {
                 let mut guard = self.sleep_lock.lock();
+                // Announce the park *before* re-checking for work (see the
+                // `sleepers` field docs); the short timeout bounds any
+                // missed wakeup and keeps shutdown responsive.
+                self.sleepers.fetch_add(1, Ordering::SeqCst);
                 if self.ready_count.load(Ordering::SeqCst) == 0 {
                     self.sleep_cv
                         .wait_for(&mut guard, Duration::from_millis(1));
                 }
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -560,6 +575,8 @@ mod tests {
             AccessVec::new(),
             |_| {},
             ChildTracker::new(),
+            crate::task::INLINE_BODY_BYTES,
+            &mut false,
         )
     }
 

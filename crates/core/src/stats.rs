@@ -28,6 +28,10 @@ pub(crate) struct StatCounters {
     /// rare spill is counted on the hot path; inline hits are derived as
     /// `tasks_spawned - spills` when stats are snapshotted.
     pub access_inline_spills: AtomicU64,
+    /// Spawns whose body closure spilled past the node's inline body buffer
+    /// (the [`RuntimeConfig::with_inline_body_bytes`](crate::RuntimeConfig::with_inline_body_bytes)
+    /// threshold) into a `Box`.
+    pub spawn_body_spills: AtomicU64,
 }
 
 impl StatCounters {
@@ -53,6 +57,7 @@ impl StatCounters {
             StatField::TaskwaitOns => &self.taskwait_ons,
             StatField::ImmediatelyReady => &self.immediately_ready,
             StatField::AccessInlineSpills => &self.access_inline_spills,
+            StatField::SpawnBodySpills => &self.spawn_body_spills,
         }
     }
 }
@@ -152,6 +157,7 @@ pub(crate) enum StatField {
     TaskwaitOns,
     ImmediatelyReady,
     AccessInlineSpills,
+    SpawnBodySpills,
 }
 
 /// A point-in-time snapshot of runtime statistics, obtained from
@@ -270,6 +276,10 @@ pub struct RuntimeStats {
     /// Spawned tasks whose access list spilled to the heap (more than 2
     /// declared accesses).
     pub access_inline_spills: u64,
+    /// Spawned tasks whose body closure was too large (or too aligned) for
+    /// the node's inline body buffer and was boxed instead. Tune with
+    /// [`RuntimeConfig::with_inline_body_bytes`](crate::RuntimeConfig::with_inline_body_bytes).
+    pub spawn_body_spills: u64,
 }
 
 impl RuntimeStats {

@@ -157,21 +157,27 @@ impl Default for BodySlot {
 }
 
 impl BodySlot {
-    /// Store `f`, inline when it fits.
-    pub(crate) fn set<F>(&mut self, f: F)
+    /// Store `f`, inline when it fits within `limit` bytes (the effective
+    /// threshold from [`RuntimeConfig::with_inline_body_bytes`](crate::RuntimeConfig::with_inline_body_bytes),
+    /// never above the [`INLINE_BODY_BYTES`] buffer). Returns `true` when the
+    /// closure spilled to a `Box` — the caller feeds the `spawn_body_spills`
+    /// counter so workloads can see when the inline budget is too small.
+    pub(crate) fn set<F>(&mut self, f: F, limit: usize) -> bool
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
         debug_assert!(self.is_empty(), "body slot armed twice");
-        if std::mem::size_of::<F>() <= INLINE_BODY_BYTES
+        if std::mem::size_of::<F>() <= limit.min(INLINE_BODY_BYTES)
             && std::mem::align_of::<F>() <= INLINE_BODY_ALIGN
         {
             // Safety: the buffer is large and aligned enough for `F`, and the
             // thunks recorded alongside are instantiated for this exact `F`.
             unsafe { (self.buf.0.as_mut_ptr() as *mut F).write(f) };
             self.inline = Some((call_thunk::<F>, drop_thunk::<F>));
+            false
         } else {
             self.boxed = Some(Box::new(f));
+            true
         }
     }
 
@@ -368,18 +374,21 @@ unsafe impl Sync for TaskNode {}
 
 impl TaskNode {
     /// Create a fresh node with the registration sentinel held (pending = 1).
+    /// `spilled` reports whether the body missed the inline buffer.
     pub(crate) fn new<F>(
         name: Option<Arc<str>>,
         priority: TaskPriority,
         accesses: AccessVec,
         body: F,
         parent_children: Arc<ChildTracker>,
+        inline_limit: usize,
+        spilled: &mut bool,
     ) -> Arc<Self>
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
         let mut slot = BodySlot::default();
-        slot.set(body);
+        *spilled = slot.set(body, inline_limit);
         Arc::new(TaskNode {
             id: TaskId::fresh(),
             name,
@@ -388,7 +397,15 @@ impl TaskNode {
             generation: 0,
             body: Mutex::new(slot),
             pending: AtomicUsize::new(1),
-            links: Mutex::new(NodeLinks::default()),
+            // A little successor capacity from birth: `complete_into` drains
+            // in place and recycling keeps the buffer, so this makes the
+            // first few edge insertions through any node allocation-free no
+            // matter which batch position a recycled node lands in
+            // (`tests/spawn_alloc.rs` counts a warmed window).
+            links: Mutex::new(NodeLinks {
+                completed: false,
+                successors: Vec::with_capacity(4),
+            }),
             children: ChildTracker::new(),
             parent_children,
             state: AtomicU8::new(TaskState::WaitingDeps as u8),
@@ -415,6 +432,8 @@ impl TaskNode {
         body: F,
         parent_children: Arc<ChildTracker>,
         live_token: LiveToken,
+        inline_limit: usize,
+        spilled: &mut bool,
     ) where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
@@ -426,7 +445,7 @@ impl TaskNode {
         self.priority = priority;
         self.accesses = accesses;
         self.replay_pass = 0;
-        self.body.get_mut().set(body);
+        *spilled = self.body.get_mut().set(body, inline_limit);
         if !tickets.is_empty() {
             // Move the hooks into the node-resident vector, which kept its
             // capacity across the in-place release at last completion.
@@ -538,6 +557,12 @@ impl std::fmt::Debug for TaskNode {
 /// Default bound on the number of retired nodes a runtime keeps for reuse.
 pub(crate) const DEFAULT_TASK_SLAB_CAPACITY: usize = 4096;
 
+/// Bound on each worker-local free stack. Small on purpose: the local stack
+/// only has to cover a worker's spawn-from-body burst between completions;
+/// everything beyond overflows to the shared injector, which is what keeps
+/// spawner threads (which never recycle) fed.
+pub(crate) const LOCAL_FREE_STACK_CAP: usize = 64;
+
 /// Shared slab accounting counters (separate from the slab so each node can
 /// hold a handle and decrement on its final drop).
 #[derive(Debug, Default)]
@@ -602,15 +627,26 @@ impl TaskSlabDiagnostics {
 /// reuse safe without any interior mutability.
 pub(crate) struct TaskSlab {
     free: Injector<Arc<TaskNode>>,
+    /// Per-worker free stacks, indexed by worker id: a worker recycles into
+    /// (and its in-body spawns acquire from) its own stack first, touching no
+    /// shared line. Each mutex is taken by its own worker on the hot path and
+    /// only by rare diagnostics reads otherwise, so it is uncontended in
+    /// steady state; overflow goes to the shared `free` injector, mirroring
+    /// the deque/injector split of the scheduler.
+    locals: Box<[Mutex<Vec<Arc<TaskNode>>>]>,
     /// Bound on the free list; 0 disables recycling entirely
     /// ([`RuntimeConfig::with_task_recycler`](crate::RuntimeConfig::with_task_recycler)).
     capacity: usize,
     /// Approximate free-list length (push/pop race only costs a slot or two
-    /// of the bound).
+    /// of the bound). Tracks the shared injector only; the locals are bounded
+    /// by `LOCAL_FREE_STACK_CAP` each.
     free_len: AtomicUsize,
     allocated: AtomicU64,
     recycled: AtomicU64,
     counters: Arc<SlabCounters>,
+    /// Effective inline-body threshold
+    /// ([`RuntimeConfig::with_inline_body_bytes`](crate::RuntimeConfig::with_inline_body_bytes)).
+    inline_limit: usize,
     /// Placeholder parent tracker parked nodes point at, so the free list
     /// never pins a real parent's `ChildTracker`.
     detached: Arc<ChildTracker>,
@@ -618,30 +654,45 @@ pub(crate) struct TaskSlab {
 
 impl TaskSlab {
     /// Create a slab keeping at most `capacity` retired nodes (0 = recycling
-    /// off).
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// off), with one local free stack per worker and bodies inlined up to
+    /// `inline_limit` bytes.
+    pub(crate) fn new(capacity: usize, workers: usize, inline_limit: usize) -> Self {
+        // Stacks are allocated at their bound up front so a push during a
+        // steady-state measurement window never grows the vector
+        // (`tests/spawn_alloc.rs` counts every heap allocation).
+        let locals = (0..if capacity == 0 { 0 } else { workers })
+            .map(|_| Mutex::new(Vec::with_capacity(LOCAL_FREE_STACK_CAP)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         TaskSlab {
             free: Injector::new(),
+            locals,
             capacity,
             free_len: AtomicUsize::new(0),
             allocated: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
             counters: Arc::new(SlabCounters::default()),
+            inline_limit,
             detached: ChildTracker::new(),
         }
     }
 
-    /// Obtain a node armed for `body` — recycled from the free list when
-    /// possible, freshly allocated otherwise. The node has the registration
-    /// sentinel held (pending = 1) and a fresh [`TaskId`].
+    /// Obtain a node armed for `body` — recycled from the calling worker's
+    /// local stack when `worker` is set, then from the shared free list,
+    /// freshly allocated otherwise. The node has the registration sentinel
+    /// held (pending = 1) and a fresh [`TaskId`]. `spilled` reports whether
+    /// the body missed the inline buffer (the `spawn_body_spills` counter).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn acquire<F>(
         &self,
+        worker: Option<usize>,
         name: Option<Arc<str>>,
         priority: TaskPriority,
         accesses: AccessVec,
         tickets: Vec<Box<dyn VersionTicket>>,
         body: F,
         parent_children: Arc<ChildTracker>,
+        spilled: &mut bool,
     ) -> Arc<TaskNode>
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
@@ -650,27 +701,70 @@ impl TaskSlab {
             counters: self.counters.clone(),
         };
         token.counters.outstanding.fetch_add(1, Ordering::Relaxed);
-        loop {
-            match self.free.steal() {
-                Steal::Success(mut node) => {
-                    self.free_len.fetch_sub(1, Ordering::Relaxed);
-                    let Some(n) = Arc::get_mut(&mut node) else {
-                        // Unreachable by construction (free-list entries are
-                        // unique); tolerate by falling through to a fresh
-                        // allocation rather than risking shared re-init.
-                        debug_assert!(false, "shared node in the slab free list");
-                        continue;
-                    };
-                    n.reinit(name, priority, accesses, tickets, body, parent_children, token);
-                    self.recycled.fetch_add(1, Ordering::Relaxed);
-                    return node;
-                }
-                Steal::Empty => break,
-                Steal::Retry => continue,
+        let mut parked: Option<Arc<TaskNode>> = None;
+        if let Some(w) = worker {
+            if let Some(stack) = self.locals.get(w) {
+                parked = stack.lock().pop();
             }
         }
+        if parked.is_none() {
+            loop {
+                match self.free.steal() {
+                    Steal::Success(node) => {
+                        self.free_len.fetch_sub(1, Ordering::Relaxed);
+                        parked = Some(node);
+                        break;
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        if parked.is_none() {
+            // Raid the workers' local stacks before paying for a fresh
+            // allocation: a main-thread (or off-worker) spawner never feeds
+            // the local stacks itself, so without this the workers would
+            // hoard every recycled node and the producer thread would
+            // allocate forever. The raid is the miss path only — the
+            // steady-state spawn never gets here.
+            for stack in self.locals.iter() {
+                if let Some(node) = stack.lock().pop() {
+                    parked = Some(node);
+                    break;
+                }
+            }
+        }
+        if let Some(mut node) = parked {
+            if let Some(n) = Arc::get_mut(&mut node) {
+                n.reinit(
+                    name,
+                    priority,
+                    accesses,
+                    tickets,
+                    body,
+                    parent_children,
+                    token,
+                    self.inline_limit,
+                    spilled,
+                );
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                return node;
+            }
+            // Unreachable by construction (parked entries are unique);
+            // tolerate by falling through to a fresh allocation rather than
+            // risking shared re-init.
+            debug_assert!(false, "shared node in the slab free list");
+        }
         self.allocated.fetch_add(1, Ordering::Relaxed);
-        let mut node = TaskNode::new(name, priority, accesses, body, parent_children);
+        let mut node = TaskNode::new(
+            name,
+            priority,
+            accesses,
+            body,
+            parent_children,
+            self.inline_limit,
+            spilled,
+        );
         let n = Arc::get_mut(&mut node).expect("freshly allocated node is unique");
         if !tickets.is_empty() {
             *n.tickets.get_mut() = tickets;
@@ -680,7 +774,9 @@ impl TaskSlab {
     }
 
     /// Return a completed node to the free list, if the caller holds the
-    /// last reference and the slab has room. Nodes still referenced
+    /// last reference and the slab has room: the recycling worker's local
+    /// stack first (up to [`LOCAL_FREE_STACK_CAP`]), the shared injector on
+    /// overflow or when recycling off-worker. Nodes still referenced
     /// elsewhere (a `taskwait_on` spinner, a trace reader) simply drop
     /// normally — correctness never depends on recycling succeeding.
     ///
@@ -688,14 +784,29 @@ impl TaskSlab {
     /// still owes it a `child_done`): taken out of the node when it is
     /// parked, cloned only on the non-recycling paths — so the steady state
     /// adds no refcount traffic on the sibling-shared tracker line.
-    pub(crate) fn try_recycle(&self, mut node: Arc<TaskNode>) -> Arc<ChildTracker> {
-        if self.capacity != 0 && self.free_len.load(Ordering::Relaxed) < self.capacity {
+    pub(crate) fn try_recycle(
+        &self,
+        mut node: Arc<TaskNode>,
+        worker: Option<usize>,
+    ) -> Arc<ChildTracker> {
+        if self.capacity != 0 {
             if let Some(n) = Arc::get_mut(&mut node) {
-                let (token, parent) = n.reset_for_reuse(&self.detached);
-                drop(token);
-                self.free_len.fetch_add(1, Ordering::Relaxed);
-                self.free.push(node);
-                return parent;
+                if let Some(stack) = worker.and_then(|w| self.locals.get(w)) {
+                    let mut stack = stack.lock();
+                    if stack.len() < LOCAL_FREE_STACK_CAP {
+                        let (token, parent) = n.reset_for_reuse(&self.detached);
+                        drop(token);
+                        stack.push(node);
+                        return parent;
+                    }
+                }
+                if self.free_len.load(Ordering::Relaxed) < self.capacity {
+                    let (token, parent) = n.reset_for_reuse(&self.detached);
+                    drop(token);
+                    self.free_len.fetch_add(1, Ordering::Relaxed);
+                    self.free.push(node);
+                    return parent;
+                }
             }
         }
         // Recycling refused (disabled, full, or the node is still shared):
@@ -704,12 +815,14 @@ impl TaskSlab {
         node.parent_children.clone()
     }
 
-    /// Current accounting snapshot.
+    /// Current accounting snapshot. `free` counts the shared injector plus
+    /// every worker-local stack.
     pub(crate) fn diagnostics(&self) -> TaskSlabDiagnostics {
+        let local_free: usize = self.locals.iter().map(|s| s.lock().len()).sum();
         TaskSlabDiagnostics {
             allocated: self.allocated.load(Ordering::Relaxed),
             recycled: self.recycled.load(Ordering::Relaxed),
-            free: self.free_len.load(Ordering::Relaxed),
+            free: self.free_len.load(Ordering::Relaxed) + local_free,
             outstanding: self.counters.outstanding.load(Ordering::Relaxed),
         }
     }
@@ -736,7 +849,31 @@ mod tests {
             AccessVec::new(),
             |_ctx| {},
             ChildTracker::new(),
+            INLINE_BODY_BYTES,
+            &mut false,
         )
+    }
+
+    /// `TaskSlab::acquire` with the boilerplate arguments filled in.
+    fn acquire_plain(slab: &TaskSlab, worker: Option<usize>) -> Arc<TaskNode> {
+        slab.acquire(
+            worker,
+            None,
+            TaskPriority::default(),
+            AccessVec::new(),
+            Vec::new(),
+            |_ctx| {},
+            ChildTracker::new(),
+            &mut false,
+        )
+    }
+
+    /// Complete a node by hand so `try_recycle` accepts it.
+    fn finish_by_hand(n: &Arc<TaskNode>) {
+        let _ = n.body.lock().take();
+        n.links.lock().completed = true;
+        n.pending.store(1, Ordering::Relaxed);
+        n.set_state(TaskState::WaitingDeps);
     }
 
     #[test]
@@ -765,6 +902,8 @@ mod tests {
             AccessVec::new(),
             |_ctx| {},
             ChildTracker::new(),
+            INLINE_BODY_BYTES,
+            &mut false,
         );
         assert_eq!(n.display_name(), format!("{}", n.id));
     }
@@ -819,16 +958,24 @@ mod tests {
     fn small_bodies_store_inline_large_bodies_box() {
         let mut slot = BodySlot::default();
         let small = [7u64; 2];
-        slot.set(move |_ctx: &TaskContext<'_>| {
-            std::hint::black_box(small);
-        });
+        let spilled = slot.set(
+            move |_ctx: &TaskContext<'_>| {
+                std::hint::black_box(small);
+            },
+            INLINE_BODY_BYTES,
+        );
+        assert!(!spilled);
         assert!(slot.is_inline());
         slot.clear();
         assert!(slot.is_empty());
         let big = [0u64; 32]; // 256 bytes: over the inline bound
-        slot.set(move |_ctx: &TaskContext<'_>| {
-            std::hint::black_box(big);
-        });
+        let spilled = slot.set(
+            move |_ctx: &TaskContext<'_>| {
+                std::hint::black_box(big);
+            },
+            INLINE_BODY_BYTES,
+        );
+        assert!(spilled);
         assert!(!slot.is_inline());
         assert!(!slot.is_empty());
         assert!(slot.take().is_some());
@@ -837,13 +984,31 @@ mod tests {
     }
 
     #[test]
+    fn inline_limit_below_body_size_forces_spill() {
+        let mut slot = BodySlot::default();
+        let small = [7u64; 2]; // 16 bytes: inline at the default threshold
+        let spilled = slot.set(
+            move |_ctx: &TaskContext<'_>| {
+                std::hint::black_box(small);
+            },
+            8, // shrunken knob: the 16-byte capture must spill
+        );
+        assert!(spilled);
+        assert!(!slot.is_inline());
+        assert!(slot.take().is_some());
+    }
+
+    #[test]
     fn unrun_taken_body_drops_its_captures() {
         let marker = Arc::new(());
         let mut slot = BodySlot::default();
         let held = marker.clone();
-        slot.set(move |_ctx: &TaskContext<'_>| {
-            let _ = &held;
-        });
+        slot.set(
+            move |_ctx: &TaskContext<'_>| {
+                let _ = &held;
+            },
+            INLINE_BODY_BYTES,
+        );
         assert!(slot.is_inline());
         let taken = slot.take().expect("armed");
         assert_eq!(Arc::strong_count(&marker), 2);
@@ -851,45 +1016,30 @@ mod tests {
         assert_eq!(Arc::strong_count(&marker), 1, "captures dropped unrun");
         // And clearing an armed slot drops the captures too.
         let held = marker.clone();
-        slot.set(move |_ctx: &TaskContext<'_>| {
-            let _ = &held;
-        });
+        slot.set(
+            move |_ctx: &TaskContext<'_>| {
+                let _ = &held;
+            },
+            INLINE_BODY_BYTES,
+        );
         slot.clear();
         assert_eq!(Arc::strong_count(&marker), 1);
     }
 
     #[test]
     fn slab_recycles_the_same_storage_with_bumped_generation() {
-        let slab = TaskSlab::new(8);
-        let n1 = slab.acquire(
-            None,
-            TaskPriority::default(),
-            AccessVec::new(),
-            Vec::new(),
-            |_ctx| {},
-            ChildTracker::new(),
-        );
+        let slab = TaskSlab::new(8, 0, INLINE_BODY_BYTES);
+        let n1 = acquire_plain(&slab, None);
         let first_id = n1.id;
         assert_eq!(n1.generation, 0);
         let d = slab.diagnostics();
         assert_eq!((d.allocated, d.recycled, d.outstanding), (1, 0, 1));
-        // Complete the node by hand, then recycle it.
-        let _ = n1.body.lock().take();
-        n1.links.lock().completed = true;
-        n1.pending.store(1, Ordering::Relaxed);
-        n1.set_state(TaskState::WaitingDeps);
+        finish_by_hand(&n1);
         let raw = Arc::as_ptr(&n1);
-        slab.try_recycle(n1);
+        slab.try_recycle(n1, None);
         let d = slab.diagnostics();
         assert_eq!((d.free, d.outstanding), (1, 0));
-        let n2 = slab.acquire(
-            None,
-            TaskPriority::default(),
-            AccessVec::new(),
-            Vec::new(),
-            |_ctx| {},
-            ChildTracker::new(),
-        );
+        let n2 = acquire_plain(&slab, None);
         assert_eq!(Arc::as_ptr(&n2), raw, "storage reused");
         assert_eq!(n2.generation, 1, "generation bumped on recycle");
         assert!(n2.id.raw() > first_id.raw(), "fresh id per reuse");
@@ -900,19 +1050,12 @@ mod tests {
 
     #[test]
     fn shared_nodes_and_disabled_slabs_are_never_recycled() {
-        let slab = TaskSlab::new(8);
-        let n = slab.acquire(
-            None,
-            TaskPriority::default(),
-            AccessVec::new(),
-            Vec::new(),
-            |_ctx| {},
-            ChildTracker::new(),
-        );
+        let slab = TaskSlab::new(8, 0, INLINE_BODY_BYTES);
+        let n = acquire_plain(&slab, None);
         let _ = n.body.lock().take();
         n.links.lock().completed = true;
         let held = n.clone();
-        slab.try_recycle(n); // shared: plain drop path
+        slab.try_recycle(n, None); // shared: plain drop path
         assert_eq!(slab.diagnostics().free, 0);
         drop(held);
         assert_eq!(
@@ -920,19 +1063,58 @@ mod tests {
             0,
             "final drop released the accounting token"
         );
-        let off = TaskSlab::new(0);
-        let n = off.acquire(
-            None,
-            TaskPriority::default(),
-            AccessVec::new(),
-            Vec::new(),
-            |_ctx| {},
-            ChildTracker::new(),
-        );
+        let off = TaskSlab::new(0, 2, INLINE_BODY_BYTES);
+        let n = acquire_plain(&off, Some(0));
         let _ = n.body.lock().take();
         n.links.lock().completed = true;
-        off.try_recycle(n);
+        off.try_recycle(n, Some(0));
         assert_eq!(off.diagnostics().free, 0, "capacity 0 disables recycling");
         assert_eq!(off.diagnostics().outstanding, 0);
+    }
+
+    #[test]
+    fn worker_local_stack_recycles_without_touching_the_shared_list() {
+        let slab = TaskSlab::new(8, 2, INLINE_BODY_BYTES);
+        let local = acquire_plain(&slab, Some(1));
+        let shared = acquire_plain(&slab, Some(1));
+        finish_by_hand(&local);
+        finish_by_hand(&shared);
+        let raw_local = Arc::as_ptr(&local);
+        let raw_shared = Arc::as_ptr(&shared);
+        // A worker-side recycle parks on the worker's private stack, an
+        // off-worker recycle on the shared injector.
+        slab.try_recycle(local, Some(1));
+        assert_eq!(
+            slab.free_len.load(Ordering::Relaxed),
+            0,
+            "worker-local recycle bypasses the shared injector"
+        );
+        slab.try_recycle(shared, None);
+        let d = slab.diagnostics();
+        assert_eq!((d.free, d.outstanding), (2, 0));
+        assert_eq!(slab.free_len.load(Ordering::Relaxed), 1);
+        // The owning worker prefers its private stack even with the
+        // injector stocked.
+        let own = acquire_plain(&slab, Some(1));
+        assert_eq!(Arc::as_ptr(&own), raw_local, "owning worker reuses its stack");
+        finish_by_hand(&own);
+        slab.try_recycle(own, Some(1));
+        // A different worker takes the shared injector first…
+        let other = acquire_plain(&slab, Some(0));
+        assert_eq!(
+            Arc::as_ptr(&other),
+            raw_shared,
+            "a foreign worker drains the shared list before raiding"
+        );
+        // …and raids foreign local stacks only once the injector is empty,
+        // so an off-stack producer never allocates while workers hoard
+        // recycled nodes.
+        let raided = acquire_plain(&slab, Some(0));
+        assert_eq!(
+            Arc::as_ptr(&raided),
+            raw_local,
+            "the raid tier serves misses from foreign local stacks"
+        );
+        assert_eq!(slab.diagnostics().free, 0);
     }
 }

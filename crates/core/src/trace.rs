@@ -117,6 +117,9 @@ pub enum TraceEvent {
         tasks: usize,
         /// 1-based replay pass number (the capture itself is pass 0).
         pass: u64,
+        /// Whether this pass was stamped through the frozen, pre-wired plan
+        /// (baked interior edges) rather than resolved per pass.
+        prewired: bool,
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },

@@ -171,7 +171,7 @@ pub(crate) fn execute_task(
     // `task_slab_diagnostics().outstanding == 0` is a firm post-drain
     // invariant, not a race. The parent tracker comes back out of the node
     // (the worker still owes it the `child_done` below).
-    let parent_children = inner.slab.try_recycle(node);
+    let parent_children = inner.slab.try_recycle(node, worker);
 
     parent_children.child_done();
     inner.in_flight.fetch_sub(1, Ordering::SeqCst);

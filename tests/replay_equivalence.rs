@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use ompss::{Data, GraphTemplate, ReplayBindings, Runtime, RuntimeConfig, TraceEvent};
+use ompss::{Data, GraphTemplate, PartitionedData, ReplayBindings, Runtime, RuntimeConfig, TraceEvent};
 
 /// The shard counts the suite compares (matching `tracker_equivalence`).
 const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
@@ -446,6 +446,17 @@ fn capture_and_replay_trace_events() {
         })
         .collect();
     assert_eq!(replayed, vec![(2, 1), (2, 2), (2, 3)]);
+    // Plain handles: pass 1 resolves (and freezes the template), passes
+    // 2 and 3 stamp through the pre-wired plan.
+    assert!(template.is_frozen());
+    let prewired: Vec<bool> = trace
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Replayed { prewired, .. } => Some(*prewired),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(prewired, vec![false, true, true]);
     rt.shutdown();
 }
 
@@ -516,9 +527,355 @@ fn rename_ring_rebind_rotates_replayed_slots() {
         ring.rebind(&mut bindings, 0, iteration);
         let pass = rt.replay(&template, &bindings);
         assert_eq!(pass as usize, iteration);
+        // Bound passes must never freeze the template (and the versioned
+        // slots would forbid it anyway — see
+        // `versioned_template_never_freezes`).
+        assert!(!template.is_frozen(), "bound replay froze the template");
     }
     rt.taskwait();
     // Iteration k contributes 10k: 0 + 10 + 20 + 30 + 40 + 50.
     assert_eq!(rt.fetch(&sum), 150);
     rt.shutdown();
+}
+
+/// Capture the program, optionally run one warm (drained) replay so the
+/// template freezes, then stamp `k` more passes gated as one measured
+/// segment — either one [`Runtime::replay_fused`] super-batch or `k`
+/// sequential [`Runtime::replay`] calls with no drain between them — and
+/// return the segment's structure plus the final cell values.
+fn replayed_multi(
+    shards: usize,
+    recycler: bool,
+    cells: usize,
+    ops: &[Op],
+    k: usize,
+    fused: bool,
+    warm: bool,
+) -> (InsertionStructure, Vec<u64>) {
+    let rt = runtime_for(shards, recycler);
+    let handles: Vec<Data<u64>> = (0..cells).map(|_| rt.data(0u64)).collect();
+    let gate = Arc::new(AtomicBool::new(false));
+    let template = capture_program(&rt, &handles, ops, &gate);
+    gate.store(true, Ordering::Release);
+    rt.taskwait();
+    assert!(!template.is_frozen(), "capture alone must not freeze");
+    if warm {
+        rt.replay(&template, &ReplayBindings::new());
+        rt.taskwait();
+        assert!(
+            template.is_frozen(),
+            "a pure empty-bindings pass freezes a plain-handle template"
+        );
+    }
+
+    gate.store(false, Ordering::Release);
+    let skip = rt.trace().len();
+    let before = rt.stats();
+    if fused {
+        let last = rt.replay_fused(&template, k);
+        assert_eq!(last, warm as u64 + k as u64, "fused passes number from 1");
+    } else {
+        let bindings = ReplayBindings::new();
+        for _ in 0..k {
+            rt.replay(&template, &bindings);
+        }
+    }
+    let after = rt.stats();
+    let trace = rt.trace();
+    let structure = segment_structure(
+        &trace[skip..],
+        ops.len() * k,
+        shards,
+        &before,
+        &after,
+    );
+    gate.store(true, Ordering::Release);
+    rt.taskwait();
+    assert_eq!(template.passes(), warm as u64 + k as u64);
+    let values = handles.iter().map(|h| rt.fetch(h)).collect();
+    rt.shutdown();
+    (structure, values)
+}
+
+/// One `replay_fused(k)` super-batch must discover byte-identical structure
+/// (edge multiset over all k·n tasks, per-task dependence counts, counter
+/// deltas) to `k` sequential `replay` calls with no drain between them —
+/// including the carried inter-iteration dependences — across the full
+/// shard × recycler grid, both before the template freezes (fused resolved
+/// insertion) and after (fused pre-wired insertion).
+#[test]
+fn fused_replay_matches_sequential_replays_across_grid() {
+    let ops = demo_ops();
+    let k = 2;
+    for warm in [false, true] {
+        let rounds = 1 + usize::from(warm) + k; // capture + warm + measured
+        let expected = run_sequential_rounds(4, &ops, rounds);
+        for shards in SHARD_COUNTS {
+            for recycler in [true, false] {
+                let (seq_structure, seq_values) =
+                    replayed_multi(shards, recycler, 4, &ops, k, false, warm);
+                let (fused_structure, fused_values) =
+                    replayed_multi(shards, recycler, 4, &ops, k, true, warm);
+                assert_eq!(
+                    fused_structure, seq_structure,
+                    "shards = {shards}, recycler = {recycler}, warm = {warm}"
+                );
+                assert_eq!(
+                    seq_values, expected,
+                    "sequential values, shards = {shards}, recycler = {recycler}, warm = {warm}"
+                );
+                assert_eq!(
+                    fused_values, expected,
+                    "fused values, shards = {shards}, recycler = {recycler}, warm = {warm}"
+                );
+            }
+        }
+    }
+}
+
+/// A template over **versioned** handles must never freeze, even across
+/// empty-bindings passes: every pass produces version tickets, so clause
+/// resolution is not pass-invariant and every `Replayed` event reports the
+/// resolved (non-pre-wired) path.
+#[test]
+fn versioned_template_never_freezes() {
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2).with_tracing(true));
+    let v = rt.versioned_data(0u64);
+    let out = rt.data(0u64);
+    let mut scope = rt.capture();
+    {
+        let v = v.clone();
+        scope.task().output(&v).spawn(move |ctx| *ctx.write(&v) = 7);
+    }
+    {
+        let v = v.clone();
+        let out = out.clone();
+        scope.task().input(&v).inout(&out).spawn(move |ctx| {
+            let add = *ctx.read(&v);
+            *ctx.write(&out) += add;
+        });
+    }
+    let template = scope.finish();
+    rt.taskwait();
+    for _ in 0..3 {
+        rt.replay(&template, &ReplayBindings::new());
+        rt.taskwait();
+        assert!(!template.is_frozen(), "versioned template froze");
+    }
+    let prewired: Vec<bool> = rt
+        .trace()
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Replayed { prewired, .. } => Some(*prewired),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(prewired, vec![false, false, false]);
+    // Capture + 3 passes, each writing 7 then folding it in.
+    assert_eq!(rt.fetch(&out), 28);
+    rt.shutdown();
+}
+
+/// Spawn a gated no-op task on `chunk`, minting its region id in the live
+/// history while the gate is closed.
+fn spawn_chunk_disturbance(rt: &Runtime, chunk: &ompss::Chunk<u64>, gate: &Arc<AtomicBool>) {
+    let gate = gate.clone();
+    rt.task().inout(chunk).spawn(move |_ctx| {
+        while !gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    });
+}
+
+/// A frozen template whose allocation gains a second live region id mid-run
+/// — here a gated task on a sibling chunk of the same allocation, the same
+/// live-state change a rename would make — must fail plan validation for
+/// that pass and fall back to resolved-per-pass insertion, keep the plan,
+/// and recover the pre-wired path once the disturbance drains (the
+/// quiescent `taskwait` garbage-collects the stale region id).
+#[test]
+fn sibling_chunk_mid_run_forces_fallback_then_recovers() {
+    let rt = Runtime::new(RuntimeConfig::default().with_workers(2).with_tracing(true));
+    let part = PartitionedData::new(vec![0u64, 0], 1);
+    let c0 = part.chunk(0);
+    let acc = rt.data(0u64);
+    let gate = Arc::new(AtomicBool::new(false));
+
+    let mut scope = rt.capture();
+    {
+        let c0 = c0.clone();
+        let gate = gate.clone();
+        scope.task().inout(&c0).spawn(move |ctx| {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            ctx.write_chunk(&c0)[0] += 1;
+        });
+    }
+    {
+        let c0 = c0.clone();
+        let acc = acc.clone();
+        let gate = gate.clone();
+        scope.task().input(&c0).inout(&acc).spawn(move |ctx| {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let add = ctx.read_chunk(&c0)[0];
+            *ctx.write(&acc) += add;
+        });
+    }
+    let template = scope.finish();
+    gate.store(true, Ordering::Release);
+    rt.taskwait();
+
+    // Pass 1 resolves (and freezes); pass 2 stamps pre-wired.
+    rt.replay(&template, &ReplayBindings::new());
+    rt.taskwait();
+    assert!(template.is_frozen());
+    rt.replay(&template, &ReplayBindings::new());
+    rt.taskwait();
+
+    // Pass 3: while a gated task holds chunk 1 live, the template's
+    // allocation carries a region id the plan does not know — validation
+    // must reject the pre-wired path for this pass only.
+    gate.store(false, Ordering::Release);
+    spawn_chunk_disturbance(&rt, &part.chunk(1), &gate);
+    rt.replay(&template, &ReplayBindings::new());
+    gate.store(true, Ordering::Release);
+    rt.taskwait();
+    assert!(template.is_frozen(), "fallback must keep the plan");
+
+    // Pass 4: disturbance drained and garbage-collected; pre-wired again.
+    rt.replay(&template, &ReplayBindings::new());
+    rt.taskwait();
+
+    let prewired: Vec<bool> = rt
+        .trace()
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Replayed { prewired, .. } => Some(*prewired),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(prewired, vec![false, true, false, true]);
+    // chunk 0 increments once per round (capture + 4 passes) and each
+    // round folds the running value into `acc`: 1 + 2 + 3 + 4 + 5.
+    assert_eq!(rt.fetch(&acc), 15);
+    rt.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random interleavings of clean passes, passes with a live
+    /// sibling-chunk disturbance on a frozen allocation (the mid-run
+    /// invalidation), and passes with non-empty bindings: every pass that
+    /// cannot use the plan must fall back to resolved-per-pass insertion
+    /// (pinned through `Replayed.prewired`), the plan must survive, and
+    /// every pass must compute the sequential values.
+    #[test]
+    fn prop_invalidated_passes_fall_back_with_correct_values(
+        actions in proptest::collection::vec(0u8..3, 1..8),
+    ) {
+        let rt = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_tracker_shards(7)
+                .with_tracing(true),
+        );
+        let part = PartitionedData::new(vec![0u64, 0], 1);
+        let c0 = part.chunk(0);
+        let acc = rt.data(0u64);
+        let spare = rt.data(0u64);
+        let gate = Arc::new(AtomicBool::new(false));
+
+        let mut scope = rt.capture();
+        {
+            let c0 = c0.clone();
+            let gate = gate.clone();
+            scope.task().inout(&c0).spawn(move |ctx| {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                ctx.write_chunk(&c0)[0] += 1;
+            });
+        }
+        // Passes with a binding redirect the `inout(acc)` clause to
+        // `spare`; the body follows the driver-set flag so it writes
+        // through the handle whose access the pass actually declared
+        // (bindings substitute the dependence, not the body's storage —
+        // passes are drained, so the flag cannot race).
+        let bound_now = Arc::new(AtomicBool::new(false));
+        {
+            let c0 = c0.clone();
+            let acc = acc.clone();
+            let spare = spare.clone();
+            let gate = gate.clone();
+            let bound_now = bound_now.clone();
+            scope.task().input(&c0).inout(&acc).spawn(move |ctx| {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                let add = ctx.read_chunk(&c0)[0];
+                let target = if bound_now.load(Ordering::Acquire) {
+                    &spare
+                } else {
+                    &acc
+                };
+                *ctx.write(target) += add;
+            });
+        }
+        let template = scope.finish();
+        gate.store(true, Ordering::Release);
+        rt.taskwait();
+
+        // Warm pass: resolved, freezes the template.
+        rt.replay(&template, &ReplayBindings::new());
+        rt.taskwait();
+        prop_assert!(template.is_frozen());
+
+        // Oracle: chunk 0 increments once per round; each round folds the
+        // running value into the pass's accumulator (`spare` on bound
+        // passes, `acc` otherwise).
+        let mut expect_c0 = 2u64; // capture + warm pass
+        let mut expect_acc = 3u64; // 1 + 2
+        let mut expect_spare = 0u64;
+        let mut expected_prewired = vec![false]; // the warm pass
+
+        for &action in &actions {
+            gate.store(false, Ordering::Release);
+            bound_now.store(action == 2, Ordering::Release);
+            if action == 1 {
+                spawn_chunk_disturbance(&rt, &part.chunk(1), &gate);
+            }
+            let mut bindings = ReplayBindings::new();
+            if action == 2 {
+                bindings.bind(&acc, &spare);
+            }
+            rt.replay(&template, &bindings);
+            gate.store(true, Ordering::Release);
+            rt.taskwait();
+            expect_c0 += 1;
+            if action == 2 {
+                expect_spare += expect_c0;
+            } else {
+                expect_acc += expect_c0;
+            }
+            expected_prewired.push(action == 0);
+            prop_assert!(template.is_frozen(), "plan lost after action {}", action);
+        }
+
+        let prewired: Vec<bool> = rt
+            .trace()
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Replayed { prewired, .. } => Some(*prewired),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(prewired, expected_prewired);
+        prop_assert_eq!(rt.fetch(&acc), expect_acc);
+        prop_assert_eq!(rt.fetch(&spare), expect_spare);
+        rt.shutdown();
+    }
 }

@@ -111,6 +111,31 @@ fn steady_state_spawn_is_allocation_free() {
          across a {BATCH}-task replayed batch)"
     );
     assert_eq!(template.passes(), 5);
+    // The batch is renaming-free over plain handles, so pass 1 froze the
+    // template and the measured pass above stamped through the pre-wired
+    // plan — the zero-allocation claim covers the fast path, not just the
+    // resolved one.
+    assert!(
+        template.is_frozen(),
+        "a renaming-free batch must freeze after its first pure pass"
+    );
+
+    // Fused super-batches ride the same diet: the first fused pass widens
+    // the working set to 2×BATCH nodes (allocating the extra ones once),
+    // after which a warm fused replay — one gate acquisition, one wakeup,
+    // 2×BATCH tasks — performs zero heap allocations.
+    rt.replay_fused(&template, 2);
+    drain(&rt);
+    let before = CountingAllocator::allocations();
+    rt.replay_fused(&template, 2);
+    drain(&rt);
+    let delta_fused = CountingAllocator::allocations() - before;
+    assert_eq!(
+        delta_fused, 0,
+        "warm fused replay must not allocate (saw {delta_fused} allocations \
+         across a 2x{BATCH}-task fused batch)"
+    );
+    assert_eq!(template.passes(), 9);
 
     // And with the recycler disabled the same batch does allocate — the
     // counter hook itself is alive and the zero above is meaningful.

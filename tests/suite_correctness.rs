@@ -13,6 +13,32 @@ fn every_benchmark_has_three_agreeing_variants() {
 }
 
 #[test]
+fn every_captured_benchmark_has_three_agreeing_variants() {
+    for name in benchsuite::captured_benchmark_names() {
+        let checksum = verify_benchmark(name, 3);
+        assert_ne!(checksum, 0, "{name}: checksum should be non-trivial");
+        // A captured row reproduces its base row's output: replaying the
+        // captured graph is an insertion-side optimisation, never a
+        // semantic change.
+        let base = name.strip_suffix("-cap").expect("captured names end in -cap");
+        assert_eq!(
+            checksum,
+            verify_benchmark(base, 3),
+            "{name}: captured row diverges from its fresh-spawn row"
+        );
+    }
+}
+
+#[test]
+fn captured_ompss_worker_count_does_not_change_output() {
+    for name in benchsuite::captured_benchmark_names() {
+        let a = run_benchmark(name, Variant::Ompss, 1, WorkloadSize::Small).checksum;
+        let b = run_benchmark(name, Variant::Ompss, 4, WorkloadSize::Small).checksum;
+        assert_eq!(a, b, "{name}: ompss output depends on worker count");
+    }
+}
+
+#[test]
 fn thread_count_does_not_change_any_benchmark_output() {
     for name in benchsuite::benchmark_names() {
         let one = run_benchmark(name, Variant::Pthreads, 1, WorkloadSize::Small).checksum;
