@@ -1,0 +1,243 @@
+//! `service_load` — multi-tenant service smoke/load harness.
+//!
+//! Drives the `service` crate's job frontend the way a saturated deployment
+//! would: 8 client threads stream jobs at 4 tenants (mixed lanes, pools and
+//! budgets) through 2 dispatchers, with one tenant deliberately plugged so
+//! part of the load is guaranteed to hit admission control. Asserts the
+//! properties the service promises under overload:
+//!
+//! * **zero lost jobs** — every accepted ticket resolves, and each job's
+//!   side effect is observed exactly once;
+//! * **bounded queue depth** — the recorded peak never exceeds the
+//!   configured capacity;
+//! * **non-zero shed** — the deliberate overload produces typed rejections
+//!   (admission control actually engaged);
+//! * **ledger balance** — submitted == accepted + rejected at both the
+//!   service and tenant level.
+//!
+//! Records throughput and shed rate into `BENCH_replay.json` under the
+//! `service_load` section.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench_harness::update_bench_json;
+use service::{
+    JobService, JobSpec, Lane, RetryPolicy, ServiceConfig, TenantId, TenantSpec,
+};
+
+const CLIENTS: usize = 8;
+const JOBS_PER_CLIENT: usize = 40;
+const QUEUE_CAPACITY: usize = 16;
+
+fn main() {
+    let svc = Arc::new(JobService::new(
+        ServiceConfig::default()
+            .with_dispatchers(2)
+            .with_queue_capacity(QUEUE_CAPACITY),
+    ));
+
+    // Four tenants with deliberately different shapes: a latency-lane
+    // tenant, two bulk tenants (one with a 2-runtime pool), and a "flood"
+    // tenant whose budget of 1 is held by a plug job for the whole
+    // submission phase — every job aimed at it sheds on TenantBudget.
+    let tenants: Vec<TenantId> = vec![
+        svc.register_tenant(
+            TenantSpec::new("interactive")
+                .with_lane(Lane::Latency)
+                .with_in_flight_budget(8),
+        )
+        .unwrap(),
+        svc.register_tenant(TenantSpec::new("batch-a").with_in_flight_budget(8))
+            .unwrap(),
+        svc.register_tenant(
+            TenantSpec::new("batch-b")
+                .with_pool_size(2)
+                .with_in_flight_budget(8),
+        )
+        .unwrap(),
+        svc.register_tenant(TenantSpec::new("flood").with_in_flight_budget(1))
+            .unwrap(),
+    ];
+
+    let gate = Arc::new(AtomicBool::new(false));
+    let plug = {
+        let gate = Arc::clone(&gate);
+        svc.submit(
+            tenants[3],
+            JobSpec::spawn(move |_cx| {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            }),
+        )
+        .expect("plug job must admit")
+    };
+
+    // Per-tenant observed side-effect sum; each job adds its unique weight
+    // exactly once if and only if it runs exactly once.
+    let effects: Vec<Arc<AtomicU64>> = (0..tenants.len())
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let tenants = tenants.clone();
+            let effects: Vec<_> = effects.iter().map(Arc::clone).collect();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy::default();
+                // (ticket, tenant index, weight) per accepted job.
+                let mut accepted = Vec::new();
+                let mut rejected = 0u64;
+                for j in 0..JOBS_PER_CLIENT {
+                    let t = (c + j) % tenants.len();
+                    let weight = (c * JOBS_PER_CLIENT + j) as u64 + 1;
+                    let sum = Arc::clone(&effects[t]);
+                    let job = JobSpec::spawn(move |cx| {
+                        let h = cx.runtime.data(0u64);
+                        let hh = h.clone();
+                        let sum = Arc::clone(&sum);
+                        cx.runtime.task().inout(&hh).spawn(move |tc| {
+                            let mut acc = 0u64;
+                            for k in 0..200u64 {
+                                acc = acc.wrapping_add(k);
+                            }
+                            *tc.write(&hh) = std::hint::black_box(acc);
+                            sum.fetch_add(weight, Ordering::SeqCst);
+                        });
+                    })
+                    .with_affinity(j as u32);
+                    // Even clients retry soft rejections; odd clients shed
+                    // immediately — both paths must keep the ledger exact.
+                    let outcome = if c % 2 == 0 {
+                        svc.submit_with_retry(tenants[t], job, &policy)
+                    } else {
+                        svc.submit(tenants[t], job)
+                    };
+                    match outcome {
+                        Ok(ticket) => accepted.push((ticket, t, weight)),
+                        Err(r) => {
+                            assert!(
+                                r.error.is_soft(),
+                                "client {c}: unexpected hard rejection {:?}",
+                                r.error
+                            );
+                            rejected += 1;
+                        }
+                    }
+                }
+                (accepted, rejected)
+            })
+        })
+        .collect();
+
+    let mut accepted = Vec::new();
+    let mut client_rejected = 0u64;
+    for client in clients {
+        let (a, r) = client.join().expect("client thread");
+        accepted.extend(a);
+        client_rejected += r;
+    }
+
+    // Submission phase over: release the plug and let everything drain.
+    gate.store(true, Ordering::SeqCst);
+    assert!(plug.wait().is_completed(), "plug job failed");
+    svc.drain();
+    let elapsed = start.elapsed();
+
+    // Zero lost jobs: every accepted ticket resolved as completed, and the
+    // per-tenant side-effect sums match the accepted weights exactly.
+    let mut expected = vec![0u64; tenants.len()];
+    for (ticket, t, weight) in &accepted {
+        assert!(
+            ticket.status().is_completed(),
+            "accepted job (tenant {t}, weight {weight}) not completed after drain"
+        );
+        expected[*t] += weight;
+    }
+    for (t, sum) in effects.iter().enumerate() {
+        assert_eq!(
+            sum.load(Ordering::SeqCst),
+            expected[t],
+            "tenant {t}: side effects disagree with accepted jobs (lost or duplicated work)"
+        );
+    }
+
+    let svc = Arc::into_inner(svc).expect("clients joined");
+    let m = svc.shutdown();
+    // `submitted`/`rejected` count submission *attempts*: a job retried R
+    // times contributes R+1 submissions, R+[finally shed] rejections, and R
+    // retries — so the client-side job count reconciles through `retries`.
+    let jobs_offered = (CLIENTS * JOBS_PER_CLIENT) as u64 + 1; // + plug
+    assert_eq!(m.submitted, jobs_offered + m.retries, "ledger lost submissions");
+    assert_eq!(
+        m.submitted,
+        m.accepted + m.rejected(),
+        "submitted != accepted + rejected"
+    );
+    assert_eq!(m.accepted, accepted.len() as u64 + 1, "accepted mismatch");
+    assert_eq!(
+        m.rejected(),
+        client_rejected + m.retries,
+        "rejected mismatch"
+    );
+    assert_eq!(m.completed, m.accepted, "accepted jobs failed or were lost");
+    assert_eq!(m.failed, 0, "no job should fail in this harness");
+    assert!(
+        m.rejected() > 0,
+        "deliberate overload produced no rejections — admission control never engaged"
+    );
+    assert!(
+        m.peak_queue_depth <= m.queue_capacity,
+        "queue depth {} exceeded capacity {}",
+        m.peak_queue_depth,
+        m.queue_capacity
+    );
+    for tm in &m.tenants {
+        assert_eq!(
+            tm.submitted,
+            tm.accepted + tm.rejected_queue_full + tm.rejected_budget,
+            "tenant {} ledger does not balance",
+            tm.name
+        );
+        assert_eq!(tm.in_flight, 0, "tenant {} still has in-flight jobs", tm.name);
+    }
+
+    let shed_rate = m.shed_rate().unwrap_or(0.0);
+    let throughput = m.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!("=== service_load: {CLIENTS} clients x {} tenants ===", tenants.len());
+    println!("submitted        {:>8}", m.submitted);
+    println!("accepted         {:>8}", m.accepted);
+    println!("completed        {:>8}", m.completed);
+    println!("rejected         {:>8}  (queue_full {}, budget {})",
+        m.rejected(), m.rejected_queue_full, m.rejected_tenant_budget);
+    println!("retries          {:>8}", m.retries);
+    println!("peak queue depth {:>8}  (capacity {})", m.peak_queue_depth, m.queue_capacity);
+    println!("shed rate        {shed_rate:>8.3}");
+    println!("throughput       {throughput:>8.0} jobs/s");
+    println!("all invariants held: zero lost jobs, bounded depth, non-zero shed");
+
+    update_bench_json(
+        "service_load",
+        &format!(
+            "{{\"clients\": {CLIENTS}, \"tenants\": {}, \"submitted\": {}, \
+             \"accepted\": {}, \"completed\": {}, \"rejected\": {}, \
+             \"retries\": {}, \"peak_queue_depth\": {}, \"queue_capacity\": {}, \
+             \"shed_rate\": {:.4}, \"throughput_jobs_per_s\": {:.0}}}",
+            tenants.len(),
+            m.submitted,
+            m.accepted,
+            m.completed,
+            m.rejected(),
+            m.retries,
+            m.peak_queue_depth,
+            m.queue_capacity,
+            shed_rate,
+            throughput
+        ),
+    );
+    println!("service_load section recorded in BENCH_replay.json");
+}

@@ -548,6 +548,9 @@ impl Runtime {
         let last = base + iterations as u64;
         let trace_enabled = inner.trace.is_enabled();
         let n = template.tasks.len();
+        inner
+            .stats
+            .add(StatField::ReplayPasses, iterations as u64);
         if n == 0 {
             if trace_enabled {
                 for m in 0..iterations as u64 {
@@ -703,6 +706,7 @@ impl Runtime {
         // Batched bookkeeping, mirroring `spawn_node` — counted before the
         // batch can start executing.
         inner.stats.add(StatField::TasksSpawned, total as u64);
+        inner.stats.add(StatField::ReplayTasks, total as u64);
         if spills != 0 {
             inner.stats.add(StatField::AccessInlineSpills, spills);
         }

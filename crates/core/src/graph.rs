@@ -549,6 +549,19 @@ pub(crate) struct FrozenPlan {
     pub baked_preds: usize,
 }
 
+// Safety: `FrozenPlan` stops being auto-Send/Sync only because the resolved
+// per-task `Access`es carry the raw storage pointer of the version each
+// clause bound (see `crate::access::BoundPtr`). Freezing requires a pass
+// with zero renames or binding substitutions, so those pointers target the
+// sole, address-stable version of each handle, kept alive by the owning
+// `GraphTemplate`'s recorded clauses for as long as the plan exists; the
+// plan itself is immutable after construction, and the accesses are only
+// *cloned* into pass nodes, where `TaskNode`'s own Send/Sync argument
+// governs dereferencing. Sharing the plan across threads (templates are
+// replayed concurrently) is therefore sound.
+unsafe impl Send for FrozenPlan {}
+unsafe impl Sync for FrozenPlan {}
+
 impl FrozenPlan {
     /// Number of tasks one pass of the plan stamps.
     pub fn len(&self) -> usize {

@@ -662,23 +662,53 @@ impl Runtime {
     }
 
     /// Wait for all tasks touching `data`, then unwrap the value. Panics if
-    /// other clones of the handle are still alive.
+    /// other clones of the handle are still alive — multi-tenant callers
+    /// that must not crash a shared process use
+    /// [`Runtime::try_into_inner`] instead.
     pub fn into_inner<T: Send + 'static>(&self, data: Data<T>) -> T {
-        self.taskwait_on(&data);
-        match data.try_into_inner() {
+        match self.try_into_inner(data) {
             Ok(v) => v,
-            Err(_) => panic!("Data handle is still shared; drop the other clones first"),
+            Err((_, _)) => panic!("Data handle is still shared; drop the other clones first"),
         }
     }
 
+    /// Fallible [`Runtime::into_inner`]: wait for all tasks touching
+    /// `data`, then try to unwrap the value. If other clones of the handle
+    /// are still alive, returns [`Error::StillShared`] together with the
+    /// handle (unharmed — the caller can drop the stray clones and retry)
+    /// instead of panicking, so a misbehaving service tenant cannot take
+    /// down the shared process.
+    pub fn try_into_inner<T: Send + 'static>(
+        &self,
+        data: Data<T>,
+    ) -> std::result::Result<T, (Data<T>, Error)> {
+        self.taskwait_on(&data);
+        data.try_into_inner().map_err(|d| (d, Error::StillShared))
+    }
+
     /// Wait for all tasks touching the partitioned vector, then unwrap it.
-    /// Panics if other clones of the handle (or of any chunk) are alive.
+    /// Panics if other clones of the handle (or of any chunk) are alive —
+    /// see [`Runtime::try_into_vec`] for the non-panicking variant.
     pub fn into_vec<T: Send + 'static>(&self, data: PartitionedData<T>) -> Vec<T> {
-        self.taskwait_on(&data.whole());
-        match data.try_into_vec() {
+        match self.try_into_vec(data) {
             Ok(v) => v,
-            Err(_) => panic!("PartitionedData handle is still shared; drop the other clones first"),
+            Err((_, _)) => {
+                panic!("PartitionedData handle is still shared; drop the other clones first")
+            }
         }
+    }
+
+    /// Fallible [`Runtime::into_vec`]: wait for all tasks touching the
+    /// partitioned vector, then try to unwrap it. If other clones of the
+    /// handle (or of any chunk) are still alive, returns
+    /// [`Error::StillShared`] together with the handle instead of
+    /// panicking.
+    pub fn try_into_vec<T: Send + 'static>(
+        &self,
+        data: PartitionedData<T>,
+    ) -> std::result::Result<Vec<T>, (PartitionedData<T>, Error)> {
+        self.taskwait_on(&data.whole());
+        data.try_into_vec().map_err(|d| (d, Error::StillShared))
     }
 
     /// Snapshot of the runtime statistics.
@@ -720,6 +750,8 @@ impl Runtime {
                 .saturating_sub(c.get(StatField::AccessInlineSpills)),
             access_inline_spills: c.get(StatField::AccessInlineSpills),
             spawn_body_spills: c.get(StatField::SpawnBodySpills),
+            replay_passes: c.get(StatField::ReplayPasses),
+            replay_tasks: c.get(StatField::ReplayTasks),
             tracker_shards: self.inner.tracker.num_shards(),
             tracker_shard_hits: self.inner.tracker.counters().hits(),
             tracker_lock_contention: self.inner.tracker.counters().contention(),
@@ -1262,16 +1294,28 @@ impl<'a> TaskContext<'a> {
     /// [`TaskContext::read_chunk`] per chunk, or
     /// [`TaskContext::gather_whole`] for a copied-out contiguous view.
     pub fn read_whole<'d, T: Send + 'static>(&self, whole: &'d Whole<T>) -> SliceReadGuard<'d, T> {
-        assert!(
-            !whole.is_versioned(),
+        self.try_read_whole(whole).expect(
             "read_whole needs contiguous storage; a versioned partition's chunks \
-             live in independent version buffers — use read_chunk or gather_whole"
-        );
+             live in independent version buffers — use read_chunk or gather_whole",
+        )
+    }
+
+    /// Fallible [`TaskContext::read_whole`]: returns
+    /// [`Error::VersionedWhole`] instead of panicking when the partition is
+    /// versioned (its chunks live in independent version buffers, so no
+    /// contiguous slice exists).
+    pub fn try_read_whole<'d, T: Send + 'static>(
+        &self,
+        whole: &'d Whole<T>,
+    ) -> Result<SliceReadGuard<'d, T>> {
+        if whole.is_versioned() {
+            return Err(Error::VersionedWhole);
+        }
         self.check_access(&whole.region(), false, "array");
         let (ptr, len) = whole.slice_ptr();
-        SliceReadGuard {
+        Ok(SliceReadGuard {
             slice: unsafe { std::slice::from_raw_parts(ptr, len) },
-        }
+        })
     }
 
     /// Obtain exclusive access to the whole partitioned vector as one
@@ -1285,16 +1329,27 @@ impl<'a> TaskContext<'a> {
         &self,
         whole: &'d Whole<T>,
     ) -> SliceWriteGuard<'d, T> {
-        assert!(
-            !whole.is_versioned(),
+        self.try_write_whole(whole).expect(
             "write_whole needs contiguous storage; a versioned partition's chunks \
-             live in independent version buffers — use write_chunk or scatter_whole"
-        );
+             live in independent version buffers — use write_chunk or scatter_whole",
+        )
+    }
+
+    /// Fallible [`TaskContext::write_whole`]: returns
+    /// [`Error::VersionedWhole`] instead of panicking when the partition is
+    /// versioned (see [`TaskContext::try_read_whole`]).
+    pub fn try_write_whole<'d, T: Send + 'static>(
+        &self,
+        whole: &'d Whole<T>,
+    ) -> Result<SliceWriteGuard<'d, T>> {
+        if whole.is_versioned() {
+            return Err(Error::VersionedWhole);
+        }
         self.check_access(&whole.region(), true, "array");
         let (ptr, len) = whole.slice_ptr();
-        SliceWriteGuard {
+        Ok(SliceWriteGuard {
             slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
-        }
+        })
     }
 
     /// Copy the whole partitioned vector out into one contiguous `Vec`,

@@ -1,0 +1,159 @@
+//! Typed admission-control errors and the bounded retry policy.
+
+use std::time::Duration;
+
+use crate::job::JobSpec;
+use crate::tenant::TenantId;
+
+/// Why a submission was shed at the door.
+///
+/// [`QueueFull`](AdmissionError::QueueFull) and
+/// [`TenantBudget`](AdmissionError::TenantBudget) are *soft*: the condition
+/// is transient and a bounded retry with backoff
+/// ([`JobService::submit_with_retry`](crate::JobService::submit_with_retry))
+/// may get the job in. The others are hard — retrying cannot help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The shared ingest queue is at capacity.
+    QueueFull {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The configured capacity it hit.
+        capacity: usize,
+    },
+    /// The tenant already has its full budget of jobs queued or executing.
+    TenantBudget {
+        /// The over-budget tenant.
+        tenant: TenantId,
+        /// In-flight jobs observed at rejection time.
+        in_flight: usize,
+        /// The tenant's configured budget.
+        budget: usize,
+    },
+    /// No tenant with this id is registered.
+    UnknownTenant(TenantId),
+    /// The service is shutting down and no longer admits jobs.
+    ShuttingDown,
+}
+
+impl AdmissionError {
+    /// Whether the rejection is transient and worth retrying.
+    pub fn is_soft(&self) -> bool {
+        matches!(
+            self,
+            AdmissionError::QueueFull { .. } | AdmissionError::TenantBudget { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { depth, capacity } => {
+                write!(f, "ingest queue full ({depth}/{capacity})")
+            }
+            AdmissionError::TenantBudget {
+                tenant,
+                in_flight,
+                budget,
+            } => write!(
+                f,
+                "{tenant} in-flight budget exhausted ({in_flight}/{budget})"
+            ),
+            AdmissionError::UnknownTenant(tenant) => {
+                write!(f, "{tenant} is not registered")
+            }
+            AdmissionError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A shed submission: the error plus the job handed back so the client can
+/// resubmit it without rebuilding closures.
+pub struct Rejected {
+    /// The job, returned unconsumed.
+    pub job: JobSpec,
+    /// Why it was shed.
+    pub error: AdmissionError,
+}
+
+impl std::fmt::Debug for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rejected")
+            .field("job", &self.job)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+/// Bounded exponential backoff for soft rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial submission (0 = no retries).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each further attempt.
+    pub backoff: Duration,
+    /// Ceiling on any single sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (0-based): `backoff << attempt`,
+    /// capped at `max_backoff`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .backoff
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff);
+        exp.min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softness_classification() {
+        assert!(AdmissionError::QueueFull {
+            depth: 4,
+            capacity: 4
+        }
+        .is_soft());
+        assert!(AdmissionError::TenantBudget {
+            tenant: TenantId(1),
+            in_flight: 8,
+            budget: 8
+        }
+        .is_soft());
+        assert!(!AdmissionError::UnknownTenant(TenantId(9)).is_soft());
+        assert!(!AdmissionError::ShuttingDown.is_soft());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(450),
+        };
+        assert_eq!(policy.delay(0), Duration::from_micros(100));
+        assert_eq!(policy.delay(1), Duration::from_micros(200));
+        assert_eq!(policy.delay(2), Duration::from_micros(400));
+        assert_eq!(policy.delay(3), Duration::from_micros(450));
+        assert_eq!(policy.delay(31), Duration::from_micros(450));
+        assert_eq!(policy.delay(40), Duration::from_micros(450));
+    }
+}

@@ -1,0 +1,214 @@
+//! Job descriptions, tickets and the context a job body runs with.
+
+use std::sync::Arc;
+
+use ompss::Runtime;
+use parking_lot::{Condvar, Mutex};
+
+use crate::tenant::TemplateSlots;
+
+/// What a [`JobSpec::spawn`] body sees: the tenant's routed [`Runtime`] and
+/// the template slots attached to it. A capture job builds a template with
+/// `cx.runtime.capture()` and parks it in `cx.templates`; later
+/// [`JobSpec::replay`] jobs with the same affinity key find it there.
+pub struct TenantCx<'a> {
+    /// The pooled runtime this job was routed to.
+    pub runtime: &'a Runtime,
+    /// The template slots of that runtime.
+    pub templates: &'a TemplateSlots,
+}
+
+/// A fresh-spawn job body.
+pub type SpawnFn = Box<dyn FnOnce(&TenantCx<'_>) + Send + 'static>;
+
+/// The three job shapes the service executes.
+pub enum JobKind {
+    /// Run an arbitrary closure against the tenant's runtime (spawn tasks,
+    /// capture templates, …). The dispatcher calls `taskwait()` afterwards,
+    /// so the job is complete — not merely submitted — when its ticket
+    /// resolves.
+    Spawn(SpawnFn),
+    /// Replay the template in `slot` for `passes` re-stamped passes.
+    Replay {
+        /// Template slot to look up on the routed runtime.
+        slot: u32,
+        /// Number of replay passes.
+        passes: u32,
+    },
+    /// Fused replay of the template in `slot`: one super-batch covering
+    /// `iterations` passes.
+    ReplayFused {
+        /// Template slot to look up on the routed runtime.
+        slot: u32,
+        /// Number of passes fused into the super-batch.
+        iterations: u32,
+    },
+}
+
+impl std::fmt::Debug for JobKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobKind::Spawn(_) => f.write_str("Spawn(..)"),
+            JobKind::Replay { slot, passes } => f
+                .debug_struct("Replay")
+                .field("slot", slot)
+                .field("passes", passes)
+                .finish(),
+            JobKind::ReplayFused { slot, iterations } => f
+                .debug_struct("ReplayFused")
+                .field("slot", slot)
+                .field("iterations", iterations)
+                .finish(),
+        }
+    }
+}
+
+/// One unit of client work: a job kind plus the affinity key that picks
+/// which runtime of the tenant's pool it lands on.
+#[derive(Debug)]
+pub struct JobSpec {
+    pub(crate) kind: JobKind,
+    pub(crate) affinity: u32,
+}
+
+impl JobSpec {
+    /// A fresh-spawn job running `f` against the routed runtime.
+    pub fn spawn<F>(f: F) -> Self
+    where
+        F: FnOnce(&TenantCx<'_>) + Send + 'static,
+    {
+        JobSpec {
+            kind: JobKind::Spawn(Box::new(f)),
+            affinity: 0,
+        }
+    }
+
+    /// A template-replay job: `passes` re-stamped passes of the template a
+    /// prior capture job stored in `slot`.
+    pub fn replay(slot: u32, passes: u32) -> Self {
+        JobSpec {
+            kind: JobKind::Replay { slot, passes },
+            affinity: 0,
+        }
+    }
+
+    /// A fused-replay job: one super-batch covering `iterations` passes of
+    /// the template in `slot`.
+    pub fn replay_fused(slot: u32, iterations: u32) -> Self {
+        JobSpec {
+            kind: JobKind::ReplayFused { slot, iterations },
+            affinity: 0,
+        }
+    }
+
+    /// Set the affinity key (default 0). Jobs with equal keys route to the
+    /// same runtime of the tenant's pool — required for replay jobs to find
+    /// the template their capture job stored.
+    pub fn with_affinity(mut self, affinity: u32) -> Self {
+        self.affinity = affinity;
+        self
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a dispatcher.
+    Queued,
+    /// A dispatcher is executing it.
+    Running,
+    /// Ran to quiescence with no task panics.
+    Completed,
+    /// The job body or one of its tasks panicked, or a replay slot was
+    /// empty; the message says which.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Whether the job finished successfully.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobStatus::Completed)
+    }
+
+    /// Whether the job is in a terminal state (completed or failed).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Completed | JobStatus::Failed(_))
+    }
+}
+
+struct TicketInner {
+    state: Mutex<JobStatus>,
+    cv: Condvar,
+}
+
+/// A clonable handle to one admitted job's status; returned by
+/// [`JobService::submit`](crate::JobService::submit).
+#[derive(Clone)]
+pub struct JobTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl JobTicket {
+    pub(crate) fn new() -> Self {
+        JobTicket {
+            inner: Arc::new(TicketInner {
+                state: Mutex::new(JobStatus::Queued),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return it.
+    pub fn wait(&self) -> JobStatus {
+        let mut state = self.inner.state.lock();
+        while !state.is_terminal() {
+            self.inner.cv.wait(&mut state);
+        }
+        state.clone()
+    }
+
+    /// The job's current status, without blocking.
+    pub fn status(&self) -> JobStatus {
+        self.inner.state.lock().clone()
+    }
+
+    pub(crate) fn set(&self, status: JobStatus) {
+        let mut state = self.inner.state.lock();
+        *state = status;
+        drop(state);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_wait_sees_terminal_state() {
+        let ticket = JobTicket::new();
+        assert_eq!(ticket.status(), JobStatus::Queued);
+        let waiter = {
+            let t = ticket.clone();
+            std::thread::spawn(move || t.wait())
+        };
+        ticket.set(JobStatus::Running);
+        ticket.set(JobStatus::Completed);
+        assert!(waiter.join().unwrap().is_completed());
+    }
+
+    #[test]
+    fn failed_is_terminal_but_not_completed() {
+        let s = JobStatus::Failed("boom".into());
+        assert!(s.is_terminal());
+        assert!(!s.is_completed());
+    }
+}

@@ -1,0 +1,75 @@
+//! # service — a multi-tenant job frontend over the OmpSs-style runtime
+//!
+//! The core crate executes task graphs for **one** program; this crate wraps
+//! it in a runtime-as-a-service frontend that serves **many concurrent
+//! clients**: clients submit streams of task-graph *jobs* (fresh spawns,
+//! template replays, fused replays) over an in-process channel API, and the
+//! service executes each job on its tenant's private [`Runtime`] pool.
+//!
+//! The moving parts, front to back:
+//!
+//! * **Tenants** ([`TenantSpec`] → [`TenantId`]): each tenant owns a pool of
+//!   one or more isolated `Runtime`s (its task graphs, versions and tracker
+//!   state never mix with another tenant's) plus per-runtime
+//!   [`TemplateSlots`] for captured graph templates. A tenant's [`Lane`]
+//!   decides which ingest lane its jobs queue on.
+//! * **Ingest queue** with **admission control**: a bounded two-lane queue
+//!   ([`Lane::Latency`] drains strictly before [`Lane::Bulk`]). Submissions
+//!   are rejected with a typed [`AdmissionError`] when the queue is at
+//!   capacity or the tenant's in-flight budget is exhausted — *shedding*,
+//!   the backpressure a service under overload applies instead of growing
+//!   without bound. Soft rejections can be retried with bounded backoff
+//!   ([`JobService::submit_with_retry`], [`RetryPolicy`]).
+//! * **Dispatchers**: a small pool of threads pops admitted jobs and runs
+//!   each to quiescence on the tenant's runtime, routing by the job's
+//!   affinity key so template-replay jobs land on the runtime that captured
+//!   their template. Job-body panics are caught and reported through the
+//!   job's [`JobTicket`] — a misbehaving tenant fails its own job, never the
+//!   process.
+//! * **Metrics** ([`ServiceMetrics`] / [`TenantMetrics`]): queue depth and
+//!   peak, per-tenant accept/reject/complete counters, dispatcher
+//!   utilisation, and per-tenant runtime statistics (spawns, replays,
+//!   renames, steals) snapshotted from the core crate's
+//!   [`RuntimeStats`](ompss::RuntimeStats)/`TrackerDiagnostics` plumbing.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use service::{JobService, JobSpec, ServiceConfig, TenantSpec};
+//!
+//! let svc = JobService::new(ServiceConfig::default().with_dispatchers(1));
+//! let tenant = svc.register_tenant(TenantSpec::new("acme")).unwrap();
+//! let ticket = svc
+//!     .submit(
+//!         tenant,
+//!         JobSpec::spawn(|cx| {
+//!             let a = cx.runtime.data(0u64);
+//!             let h = a.clone();
+//!             cx.runtime
+//!                 .task()
+//!                 .inout(&h)
+//!                 .spawn(move |tc| *tc.write(&h) += 41);
+//!             cx.runtime.taskwait();
+//!             assert_eq!(cx.runtime.fetch(&a), 41);
+//!         }),
+//!     )
+//!     .unwrap();
+//! assert!(ticket.wait().is_completed());
+//! svc.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod admission;
+mod job;
+mod metrics;
+mod queue;
+mod service;
+mod tenant;
+
+pub use admission::{AdmissionError, Rejected, RetryPolicy};
+pub use job::{JobKind, JobSpec, JobStatus, JobTicket, TenantCx};
+pub use metrics::{ServiceMetrics, TenantMetrics};
+pub use service::{JobService, ServiceConfig};
+pub use tenant::{Lane, TemplateSlots, TenantId, TenantSpec};

@@ -1,0 +1,439 @@
+//! The service itself: tenant registry, admission, dispatcher pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ompss::ReplayBindings;
+use parking_lot::{Condvar, Mutex};
+
+use crate::admission::{AdmissionError, Rejected, RetryPolicy};
+use crate::job::{JobKind, JobSpec, JobStatus, JobTicket, TenantCx};
+use crate::metrics::{ServiceMetrics, TenantMetrics};
+use crate::queue::{IngestQueue, QueuedJob};
+use crate::tenant::{Lane, TenantId, TenantSpec, TenantState};
+
+/// Service-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Ingest-queue capacity, bounding both lanes combined (default 256).
+    pub queue_capacity: usize,
+    /// Dispatcher threads popping and executing jobs (default 2).
+    pub dispatchers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 256,
+            dispatchers: 2,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the ingest-queue capacity (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the dispatcher-thread count (clamped to at least 1).
+    pub fn with_dispatchers(mut self, dispatchers: usize) -> Self {
+        self.dispatchers = dispatchers.max(1);
+        self
+    }
+}
+
+#[derive(Default)]
+struct ServiceCounters {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_budget: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    rejected_unknown: AtomicU64,
+}
+
+struct ServiceInner {
+    queue: IngestQueue,
+    tenants: Mutex<Vec<Arc<TenantState>>>,
+    counters: ServiceCounters,
+    dispatcher_count: usize,
+    shutting_down: AtomicBool,
+    drain_lock: Mutex<()>,
+    drain_cv: Condvar,
+}
+
+/// The multi-tenant job frontend. See the [crate docs](crate) for the
+/// model; construct with [`JobService::new`], feed with
+/// [`submit`](JobService::submit), observe with
+/// [`metrics`](JobService::metrics), stop with
+/// [`shutdown`](JobService::shutdown).
+pub struct JobService {
+    inner: Arc<ServiceInner>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Start the service: the ingest queue plus `config.dispatchers`
+    /// dispatcher threads, all idle until tenants register and submit.
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(ServiceInner {
+            queue: IngestQueue::new(config.queue_capacity),
+            tenants: Mutex::new(Vec::new()),
+            counters: ServiceCounters::default(),
+            dispatcher_count: config.dispatchers,
+            shutting_down: AtomicBool::new(false),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
+        });
+        let dispatchers = (0..config.dispatchers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("svc-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(&inner))
+                    .expect("spawn dispatcher thread")
+            })
+            .collect();
+        JobService { inner, dispatchers }
+    }
+
+    /// Register a tenant, creating its private runtime pool. Tenants cannot
+    /// be registered once shutdown has begun.
+    pub fn register_tenant(&self, spec: TenantSpec) -> Result<TenantId, AdmissionError> {
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        let mut tenants = self.inner.tenants.lock();
+        let id = TenantId(tenants.len() as u32);
+        tenants.push(Arc::new(TenantState::new(id, spec)));
+        Ok(id)
+    }
+
+    /// Submit one job for `tenant`. On admission the job is queued on the
+    /// tenant's lane and a [`JobTicket`] tracks it to completion; on
+    /// rejection the job comes back inside [`Rejected`] together with the
+    /// typed reason, so soft rejections can be resubmitted without
+    /// rebuilding the job.
+    pub fn submit(&self, tenant: TenantId, job: JobSpec) -> Result<JobTicket, Rejected> {
+        let c = &self.inner.counters;
+        c.submitted.fetch_add(1, Ordering::SeqCst);
+        let state = match self.tenant_state(tenant) {
+            Some(state) => state,
+            None => {
+                c.rejected_unknown.fetch_add(1, Ordering::SeqCst);
+                return Err(Rejected {
+                    job,
+                    error: AdmissionError::UnknownTenant(tenant),
+                });
+            }
+        };
+        state.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            c.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+            return Err(Rejected {
+                job,
+                error: AdmissionError::ShuttingDown,
+            });
+        }
+        if let Err(in_flight) = state.try_claim_in_flight() {
+            c.rejected_budget.fetch_add(1, Ordering::SeqCst);
+            state.counters.rejected_budget.fetch_add(1, Ordering::SeqCst);
+            return Err(Rejected {
+                job,
+                error: AdmissionError::TenantBudget {
+                    tenant,
+                    in_flight,
+                    budget: state.in_flight_budget,
+                },
+            });
+        }
+        let ticket = JobTicket::new();
+        let queued = QueuedJob {
+            tenant: Arc::clone(&state),
+            kind: job.kind,
+            affinity: job.affinity,
+            ticket: ticket.clone(),
+        };
+        match self
+            .inner
+            .queue
+            .push(queued, matches!(state.lane, Lane::Latency))
+        {
+            Ok(_) => {
+                c.accepted.fetch_add(1, Ordering::SeqCst);
+                state.counters.accepted.fetch_add(1, Ordering::SeqCst);
+                Ok(ticket)
+            }
+            Err(back) => {
+                state.release_in_flight();
+                c.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+                state
+                    .counters
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::SeqCst);
+                Err(Rejected {
+                    job: JobSpec {
+                        kind: back.kind,
+                        affinity: back.affinity,
+                    },
+                    error: AdmissionError::QueueFull {
+                        depth: self.inner.queue.capacity(),
+                        capacity: self.inner.queue.capacity(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// [`submit`](Self::submit), but soft rejections (queue full, tenant
+    /// budget) are retried up to `policy.attempts` times with exponential
+    /// backoff. Hard rejections return immediately.
+    pub fn submit_with_retry(
+        &self,
+        tenant: TenantId,
+        job: JobSpec,
+        policy: &RetryPolicy,
+    ) -> Result<JobTicket, Rejected> {
+        let mut job = job;
+        let mut attempt = 0;
+        loop {
+            match self.submit(tenant, job) {
+                Ok(ticket) => return Ok(ticket),
+                Err(rejected) if rejected.error.is_soft() && attempt < policy.attempts => {
+                    self.inner.counters.retries.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                    job = rejected.job;
+                }
+                Err(rejected) => return Err(rejected),
+            }
+        }
+    }
+
+    /// Block until every admitted job has finished (queue empty and no
+    /// dispatcher mid-job). New submissions arriving while draining extend
+    /// the wait.
+    pub fn drain(&self) {
+        let mut guard = self.inner.drain_lock.lock();
+        while self.inner.queue.depth() != 0 || self.inner.queue.active() != 0 {
+            self.inner
+                .drain_cv
+                .wait_for(&mut guard, Duration::from_millis(1));
+        }
+    }
+
+    /// Snapshot service- and per-tenant metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let inner = &self.inner;
+        let c = &inner.counters;
+        let tenants = inner
+            .tenants
+            .lock()
+            .iter()
+            .map(|state| tenant_metrics(state))
+            .collect();
+        ServiceMetrics {
+            ingest_queue_depth: inner.queue.depth(),
+            peak_queue_depth: inner.queue.peak(),
+            queue_capacity: inner.queue.capacity(),
+            dispatchers: inner.dispatcher_count,
+            active_dispatchers: inner.queue.active(),
+            submitted: c.submitted.load(Ordering::SeqCst),
+            accepted: c.accepted.load(Ordering::SeqCst),
+            completed: c.completed.load(Ordering::SeqCst),
+            failed: c.failed.load(Ordering::SeqCst),
+            retries: c.retries.load(Ordering::SeqCst),
+            rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
+            rejected_tenant_budget: c.rejected_budget.load(Ordering::SeqCst),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::SeqCst),
+            rejected_unknown_tenant: c.rejected_unknown.load(Ordering::SeqCst),
+            tenants,
+        }
+    }
+
+    /// Stop admitting, let the dispatchers drain every already-admitted job
+    /// (none are lost), join them, and return the final metrics snapshot.
+    /// Tenant runtimes shut down when the service is dropped.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.begin_shutdown();
+        self.metrics()
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn tenant_state(&self, tenant: TenantId) -> Option<Arc<TenantState>> {
+        self.inner
+            .tenants
+            .lock()
+            .get(tenant.0 as usize)
+            .map(Arc::clone)
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}
+
+impl std::fmt::Debug for JobService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobService")
+            .field("dispatchers", &self.inner.dispatcher_count)
+            .field("queue_depth", &self.inner.queue.depth())
+            .field("tenants", &self.inner.tenants.lock().len())
+            .finish()
+    }
+}
+
+fn tenant_metrics(state: &TenantState) -> TenantMetrics {
+    let mut runtime = ompss::RuntimeStats::default();
+    let mut tracked_regions = 0;
+    let mut tracked_allocs = 0;
+    for entry in &state.pool {
+        runtime.merge(&entry.runtime.stats());
+        let diag = entry.runtime.tracker_diagnostics();
+        tracked_regions += diag.total_regions();
+        tracked_allocs += diag.total_allocs();
+    }
+    let c = &state.counters;
+    TenantMetrics {
+        tenant: state.id,
+        name: state.name.clone(),
+        lane: state.lane,
+        in_flight: state.in_flight.load(Ordering::SeqCst),
+        submitted: c.submitted.load(Ordering::SeqCst),
+        accepted: c.accepted.load(Ordering::SeqCst),
+        completed: c.completed.load(Ordering::SeqCst),
+        failed: c.failed.load(Ordering::SeqCst),
+        rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
+        rejected_budget: c.rejected_budget.load(Ordering::SeqCst),
+        spawn_jobs: c.spawn_jobs.load(Ordering::SeqCst),
+        replay_jobs: c.replay_jobs.load(Ordering::SeqCst),
+        fused_jobs: c.fused_jobs.load(Ordering::SeqCst),
+        runtime,
+        tracked_regions,
+        tracked_allocs,
+    }
+}
+
+fn dispatcher_loop(inner: &ServiceInner) {
+    while let Some(job) = inner.queue.pop() {
+        run_job(inner, job);
+        inner.queue.finish_active();
+        // Taken and dropped so a drain() between the check and the wait
+        // still sees the notify.
+        drop(inner.drain_lock.lock());
+        inner.drain_cv.notify_all();
+    }
+}
+
+fn run_job(inner: &ServiceInner, job: QueuedJob) {
+    let QueuedJob {
+        tenant,
+        kind,
+        affinity,
+        ticket,
+    } = job;
+    ticket.set(JobStatus::Running);
+    let entry = tenant.route(affinity);
+    let kind_counter = match &kind {
+        JobKind::Spawn(_) => &tenant.counters.spawn_jobs,
+        JobKind::Replay { .. } => &tenant.counters.replay_jobs,
+        JobKind::ReplayFused { .. } => &tenant.counters.fused_jobs,
+    };
+    kind_counter.fetch_add(1, Ordering::SeqCst);
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(kind, entry)));
+    let status = match outcome {
+        Ok(Ok(())) => {
+            let panics = entry.runtime.take_panics();
+            if panics.is_empty() {
+                JobStatus::Completed
+            } else {
+                JobStatus::Failed(format!(
+                    "{} task panic(s), first: {}",
+                    panics.len(),
+                    panics[0]
+                ))
+            }
+        }
+        Ok(Err(msg)) => JobStatus::Failed(msg),
+        Err(payload) => {
+            // Quiesce the runtime so a half-spawned graph cannot leak into
+            // the tenant's next job, then fold any task panics in.
+            let _ = catch_unwind(AssertUnwindSafe(|| entry.runtime.taskwait()));
+            let _ = entry.runtime.take_panics();
+            JobStatus::Failed(panic_message(payload.as_ref()))
+        }
+    };
+    let ok = status.is_completed();
+    ticket.set(status);
+    tenant.release_in_flight();
+    if ok {
+        tenant.counters.completed.fetch_add(1, Ordering::SeqCst);
+        inner.counters.completed.fetch_add(1, Ordering::SeqCst);
+    } else {
+        tenant.counters.failed.fetch_add(1, Ordering::SeqCst);
+        inner.counters.failed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn execute(kind: JobKind, entry: &crate::tenant::PoolEntry) -> Result<(), String> {
+    match kind {
+        JobKind::Spawn(body) => {
+            let cx = TenantCx {
+                runtime: &entry.runtime,
+                templates: &entry.templates,
+            };
+            body(&cx);
+            entry.runtime.taskwait();
+            Ok(())
+        }
+        JobKind::Replay { slot, passes } => {
+            let template = entry
+                .templates
+                .get(slot)
+                .ok_or_else(|| format!("no template in slot {slot}"))?;
+            let bindings = ReplayBindings::new();
+            for _ in 0..passes {
+                entry.runtime.replay(&template, &bindings);
+            }
+            entry.runtime.taskwait();
+            Ok(())
+        }
+        JobKind::ReplayFused { slot, iterations } => {
+            let template = entry
+                .templates
+                .get(slot)
+                .ok_or_else(|| format!("no template in slot {slot}"))?;
+            entry.runtime.replay_fused(&template, iterations as usize);
+            entry.runtime.taskwait();
+            Ok(())
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}

@@ -1,0 +1,254 @@
+//! Tenant identity, configuration and per-tenant runtime pools.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ompss::{GraphTemplate, Runtime, RuntimeConfig};
+use parking_lot::Mutex;
+
+/// Identifies a registered tenant (index into the service's registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Which ingest lane a tenant's jobs queue on. Dispatchers drain
+/// [`Lane::Latency`] strictly before [`Lane::Bulk`], so a latency-sensitive
+/// tenant's jobs are never stuck behind a bulk tenant's backlog — only
+/// behind other latency jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lane {
+    /// Latency-sensitive: drained first.
+    Latency,
+    /// Throughput-oriented (the default): drained when the latency lane is
+    /// empty.
+    #[default]
+    Bulk,
+}
+
+/// Configuration of one tenant, consumed by
+/// [`JobService::register_tenant`](crate::JobService::register_tenant).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (shown in metrics).
+    pub name: String,
+    /// Ingest lane of this tenant's jobs.
+    pub lane: Lane,
+    /// Number of `Runtime`s in the tenant's pool. Jobs route to
+    /// `pool[affinity % pool_size]`, so jobs sharing an affinity key share a
+    /// runtime (and its template slots).
+    pub pool_size: usize,
+    /// Maximum number of this tenant's jobs queued or executing at once;
+    /// submissions beyond it are shed with
+    /// [`AdmissionError::TenantBudget`](crate::AdmissionError::TenantBudget).
+    pub in_flight_budget: usize,
+    /// Configuration of each pooled runtime (worker count, renaming knobs…).
+    pub runtime: RuntimeConfig,
+}
+
+impl TenantSpec {
+    /// A tenant with the default single-runtime pool, bulk lane and a
+    /// 64-job in-flight budget; each pooled runtime gets one worker thread
+    /// (tenants share the machine — size pools deliberately, not by
+    /// `available_parallelism`).
+    pub fn new(name: &str) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            lane: Lane::default(),
+            pool_size: 1,
+            in_flight_budget: 64,
+            runtime: RuntimeConfig::default().with_workers(1),
+        }
+    }
+
+    /// Set the ingest lane.
+    pub fn with_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Set the runtime-pool size (clamped to at least 1).
+    pub fn with_pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size.max(1);
+        self
+    }
+
+    /// Set the in-flight job budget (clamped to at least 1).
+    pub fn with_in_flight_budget(mut self, budget: usize) -> Self {
+        self.in_flight_budget = budget.max(1);
+        self
+    }
+
+    /// Set the configuration of each pooled runtime.
+    pub fn with_runtime_config(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+}
+
+/// Per-runtime store of captured [`GraphTemplate`]s, keyed by small slot
+/// numbers the client picks. A capture job stores the template it captured;
+/// later replay jobs with the same affinity key find it here. Templates are
+/// runtime-specific (replaying on another runtime panics in the core
+/// crate), which is exactly why the slots live on the pool entry rather
+/// than on the tenant.
+#[derive(Default)]
+pub struct TemplateSlots {
+    slots: Mutex<HashMap<u32, Arc<GraphTemplate>>>,
+}
+
+impl TemplateSlots {
+    /// Store `template` in `slot`, replacing any previous occupant.
+    pub fn store(&self, slot: u32, template: GraphTemplate) {
+        self.slots.lock().insert(slot, Arc::new(template));
+    }
+
+    /// The template in `slot`, if a capture job has stored one.
+    pub fn get(&self, slot: u32) -> Option<Arc<GraphTemplate>> {
+        self.slots.lock().get(&slot).cloned()
+    }
+
+    /// Remove and return the template in `slot`.
+    pub fn take(&self, slot: u32) -> Option<Arc<GraphTemplate>> {
+        self.slots.lock().remove(&slot)
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for TemplateSlots {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemplateSlots")
+            .field("slots", &self.len())
+            .finish()
+    }
+}
+
+/// One entry of a tenant's runtime pool: the runtime plus its template
+/// slots.
+pub(crate) struct PoolEntry {
+    pub(crate) runtime: Runtime,
+    pub(crate) templates: TemplateSlots,
+}
+
+/// Per-tenant service-side counters (all monotonic except `in_flight`).
+#[derive(Default)]
+pub(crate) struct TenantCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_budget: AtomicU64,
+    pub(crate) spawn_jobs: AtomicU64,
+    pub(crate) replay_jobs: AtomicU64,
+    pub(crate) fused_jobs: AtomicU64,
+}
+
+/// The service-side state of one registered tenant.
+pub(crate) struct TenantState {
+    pub(crate) id: TenantId,
+    pub(crate) name: String,
+    pub(crate) lane: Lane,
+    pub(crate) in_flight_budget: usize,
+    pub(crate) pool: Vec<PoolEntry>,
+    /// Jobs queued or executing right now (admission-controlled).
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) counters: TenantCounters,
+}
+
+impl TenantState {
+    pub(crate) fn new(id: TenantId, spec: TenantSpec) -> Self {
+        let pool = (0..spec.pool_size)
+            .map(|_| PoolEntry {
+                runtime: Runtime::new(spec.runtime.clone()),
+                templates: TemplateSlots::default(),
+            })
+            .collect();
+        TenantState {
+            id,
+            name: spec.name,
+            lane: spec.lane,
+            in_flight_budget: spec.in_flight_budget,
+            pool,
+            in_flight: AtomicUsize::new(0),
+            counters: TenantCounters::default(),
+        }
+    }
+
+    /// Atomically claim one unit of the in-flight budget. Returns the
+    /// pre-claim count on success, or the observed count when the budget is
+    /// exhausted (the caller sheds). A compare-exchange loop, so the budget
+    /// is an exact bound however many clients submit concurrently.
+    pub(crate) fn try_claim_in_flight(&self) -> Result<usize, usize> {
+        self.in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                (v < self.in_flight_budget).then_some(v + 1)
+            })
+    }
+
+    /// Release one unit of the in-flight budget (job completed, or its
+    /// queue push was rejected after the claim).
+    pub(crate) fn release_in_flight(&self) {
+        let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "in-flight release without a claim");
+    }
+
+    /// The pool entry a job with `affinity` routes to.
+    pub(crate) fn route(&self, affinity: u32) -> &PoolEntry {
+        &self.pool[affinity as usize % self.pool.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_claims_are_exact() {
+        let state = TenantState::new(
+            TenantId(0),
+            TenantSpec::new("t").with_in_flight_budget(2),
+        );
+        assert_eq!(state.try_claim_in_flight(), Ok(0));
+        assert_eq!(state.try_claim_in_flight(), Ok(1));
+        assert_eq!(state.try_claim_in_flight(), Err(2));
+        state.release_in_flight();
+        assert_eq!(state.try_claim_in_flight(), Ok(1));
+    }
+
+    #[test]
+    fn routing_wraps_over_the_pool() {
+        let state = TenantState::new(TenantId(0), TenantSpec::new("t").with_pool_size(2));
+        assert!(std::ptr::eq(state.route(0), state.route(2)));
+        assert!(std::ptr::eq(state.route(1), state.route(3)));
+        assert!(!std::ptr::eq(state.route(0), state.route(1)));
+    }
+
+    #[test]
+    fn template_slots_store_and_take() {
+        let rt = Runtime::new(RuntimeConfig::default().with_workers(1));
+        let slots = TemplateSlots::default();
+        assert!(slots.is_empty());
+        let scope = rt.capture();
+        slots.store(7, scope.finish());
+        assert_eq!(slots.len(), 1);
+        assert!(slots.get(7).is_some());
+        assert!(slots.get(8).is_none());
+        assert!(slots.take(7).is_some());
+        assert!(slots.is_empty());
+    }
+}

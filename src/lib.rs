@@ -9,10 +9,12 @@
 //! * [`kernels`] — the computational kernels of the 10 benchmarks,
 //! * [`benchsuite`] — sequential / Pthreads / OmpSs variants of each benchmark,
 //! * [`simsched`] — the discrete-event multicore simulator used for the
-//!   1–32 core scaling study (Table 1).
+//!   1–32 core scaling study (Table 1),
+//! * [`service`] — the multi-tenant job frontend with admission control.
 
 pub use benchsuite;
 pub use kernels;
 pub use ompss;
+pub use service;
 pub use simsched;
 pub use threadkit;

@@ -56,6 +56,44 @@ fn ompss_worker_count_does_not_change_output() {
     }
 }
 
+/// Regression gate for the kmeans speedup anomaly: with the per-iteration
+/// `taskwait` barrier removed (iterations are ordered by the RAW edge on
+/// the centroids alone), the OmpSs variant must stay within a small
+/// constant factor of sequential even on a single-core host. The recorded
+/// anomaly was a 0.085× slowdown — far below this gate — caused by the
+/// main thread spin-polling a barrier once per iteration; a pathological
+/// stall scales with the iteration count, not the kernel, so the small
+/// workload catches it. The runtime is built outside the timed window
+/// (worker-thread startup is not what the fix changed) and both sides take
+/// best-of-3 to damp scheduler noise in CI.
+#[test]
+fn kmeans_ompss_is_not_pathologically_slower_than_seq() {
+    use benchsuite::benchmarks::kmeans;
+    use std::time::Instant;
+
+    let p = kmeans::Params::small();
+    let rt = ompss::Runtime::new(ompss::RuntimeConfig::default().with_workers(2));
+    let timed = |f: &dyn Fn() -> u64| {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let seq = timed(&|| kmeans::run_seq(&p));
+    let ompss = timed(&|| kmeans::run_ompss(&p, &rt));
+    rt.shutdown();
+    let speedup = seq.as_secs_f64() / ompss.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 0.5,
+        "kmeans ompss speedup {speedup:.3}x at 2 workers (seq {seq:?}, ompss {ompss:?}); \
+         the per-iteration barrier anomaly is back"
+    );
+}
+
 #[test]
 fn results_are_reproducible_across_runs() {
     for name in ["md5", "streamcluster", "bodytrack"] {
