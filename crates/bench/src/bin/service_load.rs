@@ -17,14 +17,22 @@
 //!
 //! Records throughput and shed rate into `BENCH_replay.json` under the
 //! `service_load` section.
+//!
+//! A second **chaos phase** then reruns a stream of jobs against a tenant
+//! whose runtimes carry a seeded `FaultPlan` injecting ~1% task panics:
+//! every ticket must still resolve (zero lost tickets), the terminal-state
+//! ledger must balance, completed jobs' effects must be exactly intact, and
+//! the injected failures must actually show up as poisoned-task counters.
+//! Recorded under the `service_chaos` section.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bench_harness::update_bench_json;
+use ompss::{FaultClass, FaultPlan, RuntimeConfig};
 use service::{
-    JobService, JobSpec, Lane, RetryPolicy, ServiceConfig, TenantId, TenantSpec,
+    JobService, JobSpec, JobStatus, Lane, RetryPolicy, ServiceConfig, TenantId, TenantSpec,
 };
 
 const CLIENTS: usize = 8;
@@ -240,4 +248,147 @@ fn main() {
         ),
     );
     println!("service_load section recorded in BENCH_replay.json");
+
+    chaos_phase();
+}
+
+const CHAOS_JOBS: usize = 300;
+const CHAOS_TASKS_PER_JOB: u64 = 8;
+/// ~1% of tasks panic (rate per million executions).
+const CHAOS_PANIC_PPM: u32 = 10_000;
+
+/// Drive a seeded ~1%-task-panic fault plan through the full service stack
+/// and assert the failure-semantics invariants hold under injected faults.
+fn chaos_phase() {
+    // Injected panics are the point of this phase; keep them off stderr so
+    // a real failure stands out. Anything else still prints normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected fault"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected fault"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let plan = FaultPlan::seeded(0xC4405).rate_per_million(FaultClass::TaskPanic, CHAOS_PANIC_PPM);
+    let svc = JobService::new(
+        ServiceConfig::default()
+            .with_dispatchers(2)
+            .with_queue_capacity(512),
+    );
+    let tenant = svc
+        .register_tenant(
+            TenantSpec::new("chaos")
+                .with_pool_size(2)
+                .with_in_flight_budget(512)
+                .with_runtime_config(
+                    RuntimeConfig::default()
+                        .with_workers(2)
+                        .with_fault_plan(plan.clone()),
+                ),
+        )
+        .unwrap();
+
+    let start = Instant::now();
+    let mut jobs = Vec::with_capacity(CHAOS_JOBS);
+    for j in 0..CHAOS_JOBS {
+        let effect = Arc::new(AtomicU64::new(0));
+        let ticket = {
+            let effect = Arc::clone(&effect);
+            svc.submit(
+                tenant,
+                JobSpec::spawn(move |cx| {
+                    let h = cx.runtime.data(0u64);
+                    for _ in 0..CHAOS_TASKS_PER_JOB {
+                        let hh = h.clone();
+                        let effect = Arc::clone(&effect);
+                        cx.runtime.task().inout(&hh).spawn(move |tc| {
+                            effect.fetch_add(1, Ordering::SeqCst);
+                            *tc.write(&hh) += 1;
+                        });
+                    }
+                })
+                .with_affinity(j as u32),
+            )
+            .expect("chaos queue sized for the whole stream")
+        };
+        jobs.push((ticket, effect));
+    }
+
+    // Zero lost tickets: every submission resolves to a terminal state.
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    for (ticket, effect) in &jobs {
+        match ticket.wait() {
+            JobStatus::Completed => {
+                completed += 1;
+                assert_eq!(
+                    effect.load(Ordering::SeqCst),
+                    CHAOS_TASKS_PER_JOB,
+                    "a completed chaos job lost some of its effects"
+                );
+            }
+            JobStatus::Failed(_) => failed += 1,
+            other => panic!("chaos job resolved {other:?}"),
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let m = svc.shutdown();
+    assert_eq!(m.accepted, CHAOS_JOBS as u64, "chaos phase shed unexpectedly");
+    assert_eq!(
+        m.completed + m.failed + m.cancelled + m.expired,
+        m.accepted,
+        "chaos ledger does not balance"
+    );
+    assert_eq!(m.completed, completed);
+    assert_eq!(m.failed, failed);
+
+    let injected = plan.injected(FaultClass::TaskPanic);
+    let tm = &m.tenants[0];
+    assert!(
+        injected > 0 && tm.runtime.tasks_poisoned > 0,
+        "the fault plan injected nothing ({injected} panics, {} poisoned) — \
+         raise CHAOS_JOBS or the rate",
+        tm.runtime.tasks_poisoned
+    );
+    assert_eq!(
+        tm.runtime.tasks_panicked, injected,
+        "every injected panic must surface as a panicked task"
+    );
+    assert_eq!(tm.tracked_regions, 0, "chaos pools must drain their trackers");
+    assert_eq!(tm.in_flight, 0);
+
+    println!("=== service_chaos: {CHAOS_JOBS} jobs @ {CHAOS_PANIC_PPM} ppm task panics ===");
+    println!("completed        {:>8}", m.completed);
+    println!("failed           {:>8}", m.failed);
+    println!("injected panics  {:>8}", injected);
+    println!("tasks poisoned   {:>8}", tm.runtime.tasks_poisoned);
+    println!("all invariants held: zero lost tickets, exact effects, clean drain");
+
+    update_bench_json(
+        "service_chaos",
+        &format!(
+            "{{\"jobs\": {CHAOS_JOBS}, \"tasks_per_job\": {CHAOS_TASKS_PER_JOB}, \
+             \"panic_ppm\": {CHAOS_PANIC_PPM}, \"completed\": {}, \"failed\": {}, \
+             \"injected_panics\": {}, \"tasks_poisoned\": {}, \"tasks_cancelled\": {}, \
+             \"throughput_jobs_per_s\": {:.0}}}",
+            m.completed,
+            m.failed,
+            injected,
+            tm.runtime.tasks_poisoned,
+            tm.runtime.tasks_cancelled,
+            m.completed as f64 / elapsed.as_secs_f64().max(1e-9)
+        ),
+    );
+    println!("service_chaos section recorded in BENCH_replay.json");
 }

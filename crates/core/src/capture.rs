@@ -566,6 +566,10 @@ impl Runtime {
             return last;
         }
         let total = n * iterations;
+        // Replayed tasks join the replaying thread's cancel scope, exactly
+        // as fresh root spawns do — a cancelled job's queued replay batches
+        // are retired without running, and the template stays reusable.
+        let cancel = crate::runtime::current_cancel_scope();
         let mut scratch = template.lease_scratch();
         let ReplayScratch { nodes, ready, sids } = &mut scratch;
         nodes.clear();
@@ -618,9 +622,12 @@ impl Runtime {
                     if spilled {
                         body_spills += 1;
                     }
-                    Arc::get_mut(&mut node)
-                        .expect("freshly acquired node is unshared")
-                        .replay_pass = base + m as u64 + 1;
+                    {
+                        let fresh = Arc::get_mut(&mut node)
+                            .expect("freshly acquired node is unshared");
+                        fresh.replay_pass = base + m as u64 + 1;
+                        fresh.cancel = cancel.clone();
+                    }
                     nodes.push(node);
                 }
             }
@@ -687,9 +694,12 @@ impl Runtime {
                     if spilled {
                         body_spills += 1;
                     }
-                    Arc::get_mut(&mut node)
-                        .expect("freshly acquired node is unshared")
-                        .replay_pass = base + m as u64 + 1;
+                    {
+                        let fresh = Arc::get_mut(&mut node)
+                            .expect("freshly acquired node is unshared");
+                        fresh.replay_pass = base + m as u64 + 1;
+                        fresh.cancel = cancel.clone();
+                    }
                     for access in node.accesses.iter() {
                         sids.push(inner.tracker.shard_of(access.region.id.alloc));
                     }

@@ -35,6 +35,16 @@ pub enum Error {
     /// copying [`crate::TaskContext::gather_whole`] /
     /// [`crate::TaskContext::scatter_whole`] instead.
     VersionedWhole,
+    /// Part of the task graph was poisoned: a task panicked or was
+    /// cancelled, and every transitive successor was retired without running
+    /// (see the README's "Failure semantics"). `origin` is the first task
+    /// that introduced the poison. Surfaced by
+    /// [`crate::Runtime::try_taskwait`] and the `try_into_*` unwrappers so
+    /// partially computed results are never committed silently.
+    Poisoned {
+        /// The panicked or cancelled task the poison originated from.
+        origin: crate::TaskId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -50,6 +60,11 @@ impl fmt::Display for Error {
                 f,
                 "versioned partition has no contiguous whole-array storage; \
                  use per-chunk access, gather_whole or scatter_whole"
+            ),
+            Error::Poisoned { origin } => write!(
+                f,
+                "task graph poisoned by {origin}: its transitive successors \
+                 were retired without running"
             ),
         }
     }
@@ -79,6 +94,14 @@ mod tests {
     fn display_invalid_config() {
         let e = Error::InvalidConfig("workers must be > 0".into());
         assert!(e.to_string().contains("workers must be > 0"));
+    }
+
+    #[test]
+    fn display_poisoned() {
+        let e = Error::Poisoned {
+            origin: crate::TaskId::fresh(),
+        };
+        assert!(e.to_string().contains("poisoned"));
     }
 
     #[test]

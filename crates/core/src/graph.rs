@@ -1058,6 +1058,10 @@ pub(crate) struct ShardedTracker {
     /// path. `false` forces every registration through the mutex path (the
     /// equivalence-suite reference configuration).
     fast_path: bool,
+    /// Chaos-test hook: when set, individual operations may be forced off
+    /// the fast path ([`FaultClass::TrackerFallback`](crate::failpoint::FaultClass)).
+    /// `None` in production — a single pointer check on the hot path.
+    fault: Option<crate::failpoint::FaultPlan>,
 }
 
 /// The shard locks one registration holds: the allocation-free singleton
@@ -1094,7 +1098,22 @@ impl ShardedTracker {
             shards: (0..shards).map(|_| ShardSlot::new()).collect(),
             counters: TrackerCounters::new(shards),
             fast_path,
+            fault: None,
         }
+    }
+
+    /// Install a fault-injection plan (chaos tests only; see
+    /// [`crate::failpoint`]). Called before the tracker is shared.
+    pub(crate) fn set_fault_plan(&mut self, plan: crate::failpoint::FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Whether the installed fault plan (if any) forces this operation off
+    /// the optimistic fast path.
+    fn forced_fallback(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|p| p.roll_next(crate::failpoint::FaultClass::TrackerFallback))
     }
 
     /// Number of shards.
@@ -1201,12 +1220,16 @@ impl ShardedTracker {
             };
         }
         if self.fast_path {
-            match self.try_register_fast(node, record_edges) {
-                Some(registration) => {
-                    self.counters.fast_hit();
-                    return registration;
+            if self.forced_fallback() {
+                self.counters.fast_fallback();
+            } else {
+                match self.try_register_fast(node, record_edges) {
+                    Some(registration) => {
+                        self.counters.fast_hit();
+                        return registration;
+                    }
+                    None => self.counters.fast_fallback(),
                 }
-                None => self.counters.fast_fallback(),
             }
         }
         let mut locked = self.lock_for(&node.accesses);
@@ -1482,7 +1505,7 @@ impl ShardedTracker {
         if let [access] = &*node.accesses {
             let rid = access.region.id;
             let sid = self.shard_of(rid.alloc);
-            if self.fast_path {
+            if self.fast_path && !self.forced_fallback() {
                 if let Some(mut gate) = self.shards[sid].try_fast_gate() {
                     self.counters.hit(sid);
                     gate.retire_region(rid, node.id);
@@ -1703,6 +1726,34 @@ pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
     let mut ready = Vec::new();
     complete_into(node, &mut ready);
     ready
+}
+
+/// The poisoning counterpart of [`complete_into`]: mark `node` completed,
+/// poison every still-linked successor with `origin`, and release them
+/// exactly as a normal completion would. Poisoning under the predecessor's
+/// links lock before the `pending` decrement is race-free: a successor
+/// cannot become ready (and so cannot start running) until every
+/// predecessor has completed, so the poison mark is always visible to the
+/// worker that eventually dequeues it. Transitive propagation is inductive —
+/// each poisoned node passes the *same* origin to its own successors when it
+/// is retired without running (see `worker::retire_without_run`).
+pub(crate) fn complete_into_poison(
+    node: &Arc<TaskNode>,
+    ready: &mut Vec<Arc<TaskNode>>,
+    origin: TaskId,
+) {
+    node.set_state(TaskState::Completed);
+    let mut links = node.links.lock();
+    links.completed = true;
+    for succ in links.successors.drain(..) {
+        succ.poison_with(origin);
+        let prev = succ.pending.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev >= 1);
+        if prev == 1 {
+            succ.set_state(TaskState::Ready);
+            ready.push(succ);
+        }
+    }
 }
 
 /// Benchmark support: drives the tracker's register→complete→retire cycle

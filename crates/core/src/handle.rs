@@ -445,7 +445,7 @@ fn rename_data_version<T: Send + 'static>(
     let (cell, reservation, recycled) = if let Some(free) = st.free.pop() {
         (free.cell, free.reservation, true)
     } else {
-        match cx.pool().try_reserve(chain.bytes_per_version) {
+        match cx.try_reserve(chain.bytes_per_version) {
             Some(res) => (Box::new(UnsafeCell::new((chain.make)())), Some(res), false),
             None => {
                 cx.pool().note_fallback();
@@ -806,7 +806,7 @@ fn rename_chunk_version<T: Send + 'static>(
         (free.cell, free.reservation, true)
     } else {
         let bytes = chunk_len * inner.elem_size;
-        match cx.pool().try_reserve(bytes) {
+        match cx.try_reserve(bytes) {
             Some(res) => {
                 let fresh = (chains.make)(chunk_len);
                 debug_assert_eq!(fresh.len(), chunk_len, "make() returned the wrong length");
@@ -1377,6 +1377,7 @@ mod tests {
             pool,
             pool_depth: 4,
             max_versions: 16,
+            fault: None,
         }
     }
 
@@ -1584,6 +1585,7 @@ mod tests {
                 pool: &pool,
                 pool_depth: 0,
                 max_versions: 3,
+                fault: None,
             };
             let d = Data::versioned(0u64);
             // Hold every version in flight so none can be reclaimed.

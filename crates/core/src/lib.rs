@@ -89,6 +89,7 @@ pub mod barrier;
 pub mod capture;
 pub mod critical;
 pub mod error;
+pub mod failpoint;
 pub mod graph;
 pub mod handle;
 pub mod pipeline;
@@ -108,6 +109,7 @@ pub use barrier::{BarrierKind, BarrierWait, TaskBarrier};
 pub use capture::{CaptureScope, CapturedTaskBuilder, GraphTemplate, ReplayBindings};
 pub use critical::CriticalSections;
 pub use error::{Error, Result};
+pub use failpoint::{FaultClass, FaultPlan};
 pub use graph::TrackerDiagnostics;
 pub use handle::{
     Accessible, Chunk, Data, PartitionedData, ReadGuard, SliceReadGuard, SliceWriteGuard, Whole,
@@ -116,7 +118,9 @@ pub use handle::{
 pub use pipeline::RenameRing;
 pub use region::{Region, RegionId};
 pub use rename::{RenameEvent, RenamePool};
-pub use runtime::{Runtime, RuntimeConfig, TaskBuilder, TaskContext, DEFAULT_TRACKER_GC_INTERVAL};
+pub use runtime::{
+    CancelToken, Runtime, RuntimeConfig, TaskBuilder, TaskContext, DEFAULT_TRACKER_GC_INTERVAL,
+};
 pub use scheduler::{IdlePolicy, SchedulerPolicy};
 pub use stats::RuntimeStats;
 pub use task::{TaskId, TaskPriority, TaskSlabDiagnostics, TaskState};

@@ -305,6 +305,9 @@ pub struct RenameCx<'a> {
     pub(crate) pool: &'a Arc<RenamePool>,
     pub(crate) pool_depth: usize,
     pub(crate) max_versions: usize,
+    /// Fault-injection plan, if one is installed: may force a reservation to
+    /// see an exhausted budget (see [`crate::failpoint`]).
+    pub(crate) fault: Option<&'a crate::failpoint::FaultPlan>,
 }
 
 impl<'a> RenameCx<'a> {
@@ -333,6 +336,22 @@ impl<'a> RenameCx<'a> {
     /// Bound on the number of live versions per handle.
     pub fn max_versions(&self) -> usize {
         self.max_versions
+    }
+
+    /// Reserve `bytes` against the rename budget — the fault-aware front
+    /// door every rename-allocation site goes through. An installed
+    /// [`FaultPlan`](crate::failpoint::FaultPlan) may force the reservation
+    /// to report exhaustion, driving the access down the documented
+    /// serialise-in-place backpressure path with the budget untouched.
+    pub fn try_reserve(&self, bytes: usize) -> Option<Reservation> {
+        if let Some(plan) = self.fault {
+            if plan.roll_next(crate::failpoint::FaultClass::RenameExhaustion) {
+                // The caller counts the fallback, exactly as for a genuine
+                // budget miss.
+                return None;
+            }
+        }
+        self.pool.try_reserve(bytes)
     }
 }
 

@@ -6,6 +6,7 @@
 //! a [`TaskContext`] gives checked access to the declared data and allows
 //! nested task creation.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -16,6 +17,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::access::{Access, AccessKind, AccessVec};
 use crate::critical::CriticalSections;
 use crate::error::{Error, Result};
+use crate::failpoint::FaultPlan;
 use crate::graph::{self, ShardedTracker, TrackerDiagnostics};
 use crate::handle::{
     Accessible, Chunk, Data, PartitionedData, ReadGuard, SliceReadGuard, SliceWriteGuard, Whole,
@@ -109,6 +111,12 @@ pub struct RuntimeConfig {
     /// replay on the resolved-per-pass path — the baseline configuration of
     /// the `graph_replay` benchmark's mode comparison.
     pub replay_prewiring: bool,
+    /// Optional deterministic fault-injection plan (see [`crate::failpoint`]).
+    /// `None` (the default) compiles the hooks down to a single `Option`
+    /// check; a seeded plan injects task panics, delayed completions, forced
+    /// rename-budget exhaustion and forced tracker fallbacks at the plan's
+    /// rates — reproducibly, from nothing but the seed.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -132,6 +140,7 @@ impl Default for RuntimeConfig {
             task_recycler: true,
             inline_body_bytes: crate::task::INLINE_BODY_BYTES,
             replay_prewiring: true,
+            fault_plan: None,
         }
     }
 }
@@ -253,6 +262,14 @@ impl RuntimeConfig {
         self
     }
 
+    /// Install a deterministic fault-injection plan (see
+    /// [`crate::failpoint`] for the worked chaos-test example). Keep a clone
+    /// of the plan to read its injection counters after the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// The shard count a runtime built from this configuration will use.
     pub fn effective_tracker_shards(&self) -> usize {
         if self.tracker_shards == 0 {
@@ -276,6 +293,10 @@ pub(crate) struct RuntimeInner {
     pub(crate) panics: Mutex<Vec<Error>>,
     pub(crate) rename: Arc<RenamePool>,
     pub(crate) slab: TaskSlab,
+    pub(crate) fault: Option<FaultPlan>,
+    /// First poison origin observed since the last `try_taskwait` — the
+    /// panicked or cancelled task a subsequent typed error points at.
+    poison_note: Mutex<Option<TaskId>>,
     spawn_count: AtomicU64,
 }
 
@@ -364,6 +385,24 @@ impl RuntimeInner {
         self.panics.lock().push(err);
     }
 
+    /// Remember the first poison origin (a panicked or cancelled task).
+    /// Recorded at the source only — transitively poisoned retirements keep
+    /// the original culprit.
+    pub(crate) fn note_poison(&self, origin: TaskId) {
+        let mut note = self.poison_note.lock();
+        if note.is_none() {
+            *note = Some(origin);
+        }
+    }
+
+    pub(crate) fn take_poison_note(&self) -> Option<TaskId> {
+        self.poison_note.lock().take()
+    }
+
+    pub(crate) fn peek_poison_note(&self) -> Option<TaskId> {
+        *self.poison_note.lock()
+    }
+
     /// The rename context clause resolution runs under — one construction
     /// shared by the builder's declaration path and template replay, so both
     /// resolve against identical policy knobs.
@@ -374,6 +413,7 @@ impl RuntimeInner {
             pool: &self.rename,
             pool_depth: self.config.rename_pool_depth,
             max_versions: self.config.rename_max_versions,
+            fault: self.fault.as_ref(),
         }
     }
 
@@ -391,6 +431,59 @@ impl RuntimeInner {
 
     fn quiescent(&self) -> bool {
         self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+thread_local! {
+    /// The cancel scope tasks spawned from this thread inherit (set by
+    /// [`Runtime::with_cancel_scope`]; nested tasks inherit their parent's
+    /// scope from the task node instead).
+    static CANCEL_SCOPE: RefCell<Option<Arc<AtomicBool>>> = const { RefCell::new(None) };
+}
+
+/// The cancel scope of the current (spawning) thread, if any.
+pub(crate) fn current_cancel_scope() -> Option<Arc<AtomicBool>> {
+    CANCEL_SCOPE.with(|scope| scope.borrow().clone())
+}
+
+/// A cancellation token for a subtree of work (see
+/// [`Runtime::cancel_scope`]).
+///
+/// Cancelling is cooperative and *graph-shaped*, not preemptive: a running
+/// task body is never interrupted, but every not-yet-started task carrying
+/// this token is retired without running the next time a worker dequeues it
+/// — and it poisons its own transitive successors on the way out, so the
+/// graph still drains, version tickets are still released, and
+/// [`Runtime::try_taskwait`] reports [`Error::Poisoned`] instead of hanging.
+///
+/// Clones share the flag; cancelling any clone cancels them all. Cheap to
+/// store (one `Arc<AtomicBool>`), checked with one atomic load per task
+/// dispatch.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Raise the flag: every not-yet-started task in the scope is retired
+    /// without running from now on. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        self.flag.clone()
     }
 }
 
@@ -424,9 +517,13 @@ impl Runtime {
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let tracker_shards = config.effective_tracker_shards();
         let sched = SchedState::new(config.policy, config.idle, stealers, tracker_shards);
+        let mut tracker = ShardedTracker::new(tracker_shards, config.tracker_fast_path);
+        if let Some(plan) = config.fault_plan.clone() {
+            tracker.set_fault_plan(plan);
+        }
         let inner = Arc::new(RuntimeInner {
             sched,
-            tracker: ShardedTracker::new(tracker_shards, config.tracker_fast_path),
+            tracker,
             root_children: ChildTracker::new(),
             in_flight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -444,6 +541,8 @@ impl Runtime {
                 config.workers,
                 config.inline_body_bytes,
             ),
+            fault: config.fault_plan.clone(),
+            poison_note: Mutex::new(None),
             spawn_count: AtomicU64::new(0),
             config,
         });
@@ -576,9 +675,40 @@ impl Runtime {
         PartitionedData::versioned_with(data, chunk_len, make)
     }
 
-    /// Begin building a task spawned from the main program context.
+    /// Begin building a task spawned from the main program context. The task
+    /// inherits the calling thread's cancel scope, if one is active (see
+    /// [`Runtime::with_cancel_scope`]).
     pub fn task(&self) -> TaskBuilder<'_> {
-        TaskBuilder::new(&self.inner, self.inner.root_children.clone(), None, None)
+        let mut builder =
+            TaskBuilder::new(&self.inner, self.inner.root_children.clone(), None, None);
+        builder.cancel = current_cancel_scope();
+        builder
+    }
+
+    /// Mint a fresh [`CancelToken`]. Pair with
+    /// [`Runtime::with_cancel_scope`] to attach it to a subtree of spawns.
+    pub fn cancel_scope(&self) -> CancelToken {
+        CancelToken::new()
+    }
+
+    /// Run `f`, attaching `token` to every task spawned from this thread
+    /// inside it (and, transitively, to tasks those tasks spawn). Restores
+    /// the previous scope on exit, panic included, so scopes nest.
+    ///
+    /// Cancelling the token afterwards retires every not-yet-started task of
+    /// the scope without running it (see [`CancelToken`]).
+    pub fn with_cancel_scope<R>(&self, token: &CancelToken, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Option<Arc<AtomicBool>>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                if let Some(prev) = self.0.take() {
+                    CANCEL_SCOPE.with(|scope| *scope.borrow_mut() = prev);
+                }
+            }
+        }
+        let prev = CANCEL_SCOPE.with(|scope| scope.replace(Some(token.flag())));
+        let _restore = Restore(Some(prev));
+        f()
     }
 
     /// Wait until every task spawned from the main context (and transitively
@@ -599,6 +729,20 @@ impl Runtime {
         // deterministically drops the tombstoned history — a drained runtime
         // tracks nothing (see `Runtime::tracker_diagnostics`).
         self.inner.tracker.garbage_collect();
+    }
+
+    /// [`Runtime::taskwait`] that reports failure instead of swallowing it:
+    /// waits for the graph to drain (poisoned or not — a poisoned graph
+    /// still drains, its unrun tasks are just retired without executing),
+    /// then returns [`Error::Poisoned`] naming the first panicked or
+    /// cancelled task if any poison flowed since the last call. The note is
+    /// consumed: a subsequent clean round reports `Ok`.
+    pub fn try_taskwait(&self) -> Result<()> {
+        self.taskwait();
+        match self.inner.take_poison_note() {
+            Some(origin) => Err(Error::Poisoned { origin }),
+            None => Ok(()),
+        }
     }
 
     /// Wait only for the in-flight tasks that access (a region overlapping)
@@ -668,6 +812,9 @@ impl Runtime {
     pub fn into_inner<T: Send + 'static>(&self, data: Data<T>) -> T {
         match self.try_into_inner(data) {
             Ok(v) => v,
+            Err((_, Error::Poisoned { origin })) => {
+                panic!("cannot unwrap data after a poisoned run (origin {origin}); use try_into_inner")
+            }
             Err((_, _)) => panic!("Data handle is still shared; drop the other clones first"),
         }
     }
@@ -683,6 +830,14 @@ impl Runtime {
         data: Data<T>,
     ) -> std::result::Result<T, (Data<T>, Error)> {
         self.taskwait_on(&data);
+        // Refuse to unwrap after a poisoned run: a poisoned task's renamed
+        // output committed at spawn time, so the current version may hold
+        // junk the unrun body never filled in — surface the origin instead
+        // of silently handing torn data out. The note is only *peeked* here;
+        // `try_taskwait` is the acknowledging (consuming) call.
+        if let Some(origin) = self.inner.peek_poison_note() {
+            return Err((data, Error::Poisoned { origin }));
+        }
         data.try_into_inner().map_err(|d| (d, Error::StillShared))
     }
 
@@ -692,6 +847,9 @@ impl Runtime {
     pub fn into_vec<T: Send + 'static>(&self, data: PartitionedData<T>) -> Vec<T> {
         match self.try_into_vec(data) {
             Ok(v) => v,
+            Err((_, Error::Poisoned { origin })) => {
+                panic!("cannot unwrap data after a poisoned run (origin {origin}); use try_into_vec")
+            }
             Err((_, _)) => {
                 panic!("PartitionedData handle is still shared; drop the other clones first")
             }
@@ -708,6 +866,11 @@ impl Runtime {
         data: PartitionedData<T>,
     ) -> std::result::Result<Vec<T>, (PartitionedData<T>, Error)> {
         self.taskwait_on(&data.whole());
+        // As in `try_into_inner`: never hand out data a poisoned run may
+        // have left torn.
+        if let Some(origin) = self.inner.peek_poison_note() {
+            return Err((data, Error::Poisoned { origin }));
+        }
         data.try_into_vec().map_err(|d| (d, Error::StillShared))
     }
 
@@ -721,6 +884,8 @@ impl Runtime {
             tasks_spawned: c.get(StatField::TasksSpawned),
             tasks_executed: c.get(StatField::TasksExecuted),
             tasks_panicked: c.get(StatField::TasksPanicked),
+            tasks_poisoned: c.get(StatField::TasksPoisoned),
+            tasks_cancelled: c.get(StatField::TasksCancelled),
             edges_added: c.get(StatField::EdgesAdded),
             raw_edges: c.get(StatField::EdgesRaw),
             war_edges: c.get(StatField::EdgesWar),
@@ -850,6 +1015,9 @@ pub struct TaskBuilder<'r> {
     tickets: Vec<Box<dyn crate::rename::VersionTicket>>,
     commits: Vec<Box<dyn crate::rename::RenameCommit>>,
     renames: Vec<RenameEvent>,
+    /// Cancel scope the spawned task will carry: the spawning thread's
+    /// active scope for root spawns, the parent task's flag for nested ones.
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'r> TaskBuilder<'r> {
@@ -870,6 +1038,7 @@ impl<'r> TaskBuilder<'r> {
             tickets: Vec::new(),
             commits: Vec::new(),
             renames: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -967,12 +1136,13 @@ impl<'r> TaskBuilder<'r> {
         let accesses = std::mem::take(&mut self.accesses);
         let tickets = std::mem::take(&mut self.tickets);
         let renames = std::mem::take(&mut self.renames);
+        let cancel = self.cancel.take();
         // The node comes from the runtime's slab: recycled storage when a
         // retired node is available, a fresh allocation otherwise. Small
         // bodies are written into the node's inline buffer — a steady-state
         // ≤2-access spawn allocates nothing here at all.
         let mut spilled = false;
-        let node = self.inner.slab.acquire(
+        let mut node = self.inner.slab.acquire(
             self.worker,
             self.name.take(),
             self.priority,
@@ -982,6 +1152,13 @@ impl<'r> TaskBuilder<'r> {
             self.parent_children.clone(),
             &mut spilled,
         );
+        if let Some(flag) = cancel {
+            // The node is provably unique until `spawn_node` publishes it to
+            // the tracker/scheduler (same reasoning as replay re-stamping).
+            Arc::get_mut(&mut node)
+                .expect("fresh task node is uniquely held before spawn")
+                .cancel = Some(flag);
+        }
         if spilled {
             self.inner.stats.add(StatField::SpawnBodySpills, 1);
         }
@@ -1391,9 +1568,14 @@ impl<'a> TaskContext<'a> {
         }
     }
 
-    /// Begin building a nested task (child of the current task).
+    /// Begin building a nested task (child of the current task). The child
+    /// inherits the current task's cancel scope, so cancelling a subtree's
+    /// token also covers tasks spawned from inside its tasks.
     pub fn task(&self) -> TaskBuilder<'a> {
-        TaskBuilder::new(self.inner, self.node.children.clone(), self.deque, self.worker)
+        let mut builder =
+            TaskBuilder::new(self.inner, self.node.children.clone(), self.deque, self.worker);
+        builder.cancel = self.node.cancel.clone();
+        builder
     }
 
     /// Wait for the direct children of the current task. While waiting, the

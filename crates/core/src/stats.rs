@@ -37,6 +37,13 @@ pub(crate) struct StatCounters {
     pub replay_passes: AtomicU64,
     /// Tasks stamped by template replay, a subset of `tasks_spawned`.
     pub replay_tasks: AtomicU64,
+    /// Tasks retired without running because a failing predecessor (panic or
+    /// cancellation) poisoned them. Disjoint from `tasks_executed`.
+    pub tasks_poisoned: AtomicU64,
+    /// Tasks retired without running because their cancel scope was
+    /// cancelled before they started. Disjoint from `tasks_executed` and
+    /// `tasks_poisoned`.
+    pub tasks_cancelled: AtomicU64,
 }
 
 impl StatCounters {
@@ -65,6 +72,8 @@ impl StatCounters {
             StatField::SpawnBodySpills => &self.spawn_body_spills,
             StatField::ReplayPasses => &self.replay_passes,
             StatField::ReplayTasks => &self.replay_tasks,
+            StatField::TasksPoisoned => &self.tasks_poisoned,
+            StatField::TasksCancelled => &self.tasks_cancelled,
         }
     }
 }
@@ -167,6 +176,8 @@ pub(crate) enum StatField {
     SpawnBodySpills,
     ReplayPasses,
     ReplayTasks,
+    TasksPoisoned,
+    TasksCancelled,
 }
 
 /// A point-in-time snapshot of runtime statistics, obtained from
@@ -297,6 +308,16 @@ pub struct RuntimeStats {
     /// Tasks stamped by template replay — a subset of
     /// [`RuntimeStats::tasks_spawned`], which counts them too.
     pub replay_tasks: u64,
+    /// Tasks retired without running because a failing predecessor (panic
+    /// or cancellation) poisoned them — see the README's "Failure
+    /// semantics". Disjoint from [`RuntimeStats::tasks_executed`]; a drained
+    /// runtime satisfies `spawned == executed + poisoned + cancelled`.
+    pub tasks_poisoned: u64,
+    /// Tasks retired without running because their
+    /// [`CancelToken`](crate::CancelToken) scope was cancelled before they
+    /// started. Disjoint from [`RuntimeStats::tasks_executed`] and
+    /// [`RuntimeStats::tasks_poisoned`].
+    pub tasks_cancelled: u64,
 }
 
 impl RuntimeStats {
@@ -333,9 +354,13 @@ impl RuntimeStats {
         }
     }
 
-    /// Tasks still in flight (spawned but not yet executed).
+    /// Tasks still in flight (spawned but not yet executed, poisoned or
+    /// cancelled).
     pub fn tasks_in_flight(&self) -> u64 {
-        self.tasks_spawned.saturating_sub(self.tasks_executed)
+        self.tasks_spawned
+            .saturating_sub(self.tasks_executed)
+            .saturating_sub(self.tasks_poisoned)
+            .saturating_sub(self.tasks_cancelled)
     }
 
     /// Fraction of tracker shard-lock acquisitions that had to wait for
@@ -402,6 +427,8 @@ impl RuntimeStats {
         self.spawn_body_spills += other.spawn_body_spills;
         self.replay_passes += other.replay_passes;
         self.replay_tasks += other.replay_tasks;
+        self.tasks_poisoned += other.tasks_poisoned;
+        self.tasks_cancelled += other.tasks_cancelled;
         self.tracker_shards += other.tracker_shards;
         self.tracker_lock_contention += other.tracker_lock_contention;
         self.tracker_fast_path_hits += other.tracker_fast_path_hits;

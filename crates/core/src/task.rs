@@ -350,6 +350,17 @@ pub(crate) struct TaskNode {
     /// dependence tracker, making retirement idempotent (see
     /// [`TaskNode::mark_retired`]).
     pub retired: AtomicBool,
+    /// Raw id of the task whose failure poisoned this node (`0` = clean —
+    /// ids are minted from 1). A poisoned node is dequeued and retired
+    /// without running its body, propagating the same origin to its own
+    /// successors; set at most once, under the poisoning predecessor's
+    /// links lock (see [`crate::graph::complete_into_poison`]).
+    pub poison: AtomicU64,
+    /// Cancellation flag of the [`CancelToken`](crate::CancelToken) scope
+    /// this task was spawned under (`None` outside any scope). Written under
+    /// `Arc::get_mut` before publication, like the other per-spawn fields;
+    /// checked by the worker at execute time.
+    pub cancel: Option<Arc<AtomicBool>>,
     /// Slab-accounting token: present while the node is checked out of (or
     /// was never in) a slab's free list, dropped — decrementing the slab's
     /// outstanding count — when the node returns to the free list or is
@@ -413,6 +424,8 @@ impl TaskNode {
             replay_pass: 0,
             tickets: Mutex::new(Vec::new()),
             retired: AtomicBool::new(false),
+            poison: AtomicU64::new(0),
+            cancel: None,
             live_token: None,
         })
     }
@@ -494,6 +507,8 @@ impl TaskNode {
             .store(TaskState::WaitingDeps as u8, Ordering::Relaxed);
         self.in_edges.store(0, Ordering::Relaxed);
         self.retired.store(false, Ordering::Relaxed);
+        self.poison.store(0, Ordering::Relaxed);
+        self.cancel = None;
         self.generation = self.generation.wrapping_add(1);
         (self.live_token.take(), parent)
     }
@@ -503,6 +518,31 @@ impl TaskNode {
     /// shard walk.
     pub(crate) fn mark_retired(&self) -> bool {
         !self.retired.swap(true, Ordering::AcqRel)
+    }
+
+    /// Poison this node with `origin` unless it is already poisoned (the
+    /// first origin wins, so a diamond of failing predecessors reports one
+    /// stable culprit).
+    pub(crate) fn poison_with(&self, origin: TaskId) {
+        let _ = self
+            .poison
+            .compare_exchange(0, origin.0, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The origin this node was poisoned with, if any.
+    pub(crate) fn poison_origin(&self) -> Option<TaskId> {
+        match self.poison.load(Ordering::Acquire) {
+            0 => None,
+            raw => Some(TaskId(raw)),
+        }
+    }
+
+    /// Whether the cancel scope this task was spawned under (if any) has
+    /// been cancelled.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
     }
 
     /// Release the version-binding hooks in place (called once, at

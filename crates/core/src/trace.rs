@@ -123,6 +123,26 @@ pub enum TraceEvent {
         /// Nanoseconds since runtime start.
         at_ns: u64,
     },
+    /// A task was retired without running because a failing predecessor
+    /// (panic or cancellation) poisoned it (see the README's "Failure
+    /// semantics").
+    Poisoned {
+        /// The poisoned task.
+        task: TaskId,
+        /// The panicked or cancelled task the poison originated from.
+        origin: TaskId,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
+    /// A task was retired without running because its
+    /// [`CancelToken`](crate::CancelToken) scope was cancelled before it
+    /// started.
+    Cancelled {
+        /// The cancelled task.
+        task: TaskId,
+        /// Nanoseconds since runtime start.
+        at_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -136,7 +156,9 @@ impl TraceEvent {
             | TraceEvent::Started { task, .. }
             | TraceEvent::Finished { task, .. }
             | TraceEvent::Captured { task, .. }
-            | TraceEvent::Replayed { task, .. } => *task,
+            | TraceEvent::Replayed { task, .. }
+            | TraceEvent::Poisoned { task, .. }
+            | TraceEvent::Cancelled { task, .. } => *task,
         }
     }
 
@@ -150,7 +172,9 @@ impl TraceEvent {
             | TraceEvent::Started { at_ns, .. }
             | TraceEvent::Finished { at_ns, .. }
             | TraceEvent::Captured { at_ns, .. }
-            | TraceEvent::Replayed { at_ns, .. } => *at_ns,
+            | TraceEvent::Replayed { at_ns, .. }
+            | TraceEvent::Poisoned { at_ns, .. }
+            | TraceEvent::Cancelled { at_ns, .. } => *at_ns,
         }
     }
 }
@@ -302,7 +326,9 @@ impl TraceRecorder {
                 | TraceEvent::Edge { .. }
                 | TraceEvent::Renamed { .. }
                 | TraceEvent::Captured { .. }
-                | TraceEvent::Replayed { .. } => {}
+                | TraceEvent::Replayed { .. }
+                | TraceEvent::Poisoned { .. }
+                | TraceEvent::Cancelled { .. } => {}
             }
         }
         out.push(']');

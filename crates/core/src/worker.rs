@@ -7,10 +7,11 @@ use std::sync::Arc;
 use crossbeam::deque::Worker as WorkerDeque;
 
 use crate::error::Error;
+use crate::failpoint::FaultClass;
 use crate::graph;
 use crate::runtime::{RuntimeInner, TaskContext};
 use crate::stats::StatField;
-use crate::task::{TaskNode, TaskState};
+use crate::task::{TaskId, TaskNode, TaskState};
 use crate::trace::TraceEvent;
 
 /// Main loop of one worker thread.
@@ -58,6 +59,18 @@ pub(crate) fn execute_task(
     deque: Option<&WorkerDeque<Arc<TaskNode>>>,
     ready: &mut Vec<Arc<TaskNode>>,
 ) {
+    // Poison / cancellation short-circuit: the node is retired through the
+    // exact same tracker/ticket tail as an executed task — only the body is
+    // skipped — so diagnostics still drain to zero and versions recycle.
+    if let Some(origin) = node.poison_origin() {
+        retire_without_run(inner, node, worker, deque, ready, Some(origin));
+        return;
+    }
+    if node.is_cancelled() {
+        retire_without_run(inner, node, worker, deque, ready, None);
+        return;
+    }
+
     node.set_state(TaskState::Running);
     // Snapshot the identity: the node must not be re-initialised (a recycle
     // would mint a new id and bump the generation) while we execute it.
@@ -76,6 +89,10 @@ pub(crate) fn execute_task(
         .lock()
         .take()
         .expect("task body executed more than once");
+    let inject_panic = inner
+        .fault
+        .as_ref()
+        .is_some_and(|plan| plan.roll(FaultClass::TaskPanic, task_id.raw()));
     let panicked = {
         let ctx = TaskContext {
             inner,
@@ -83,7 +100,12 @@ pub(crate) fn execute_task(
             worker,
             deque,
         };
-        let result = catch_unwind(AssertUnwindSafe(|| body.run(&ctx)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: task panic");
+            }
+            body.run(&ctx)
+        }));
         match result {
             Ok(()) => false,
             Err(payload) => {
@@ -106,13 +128,105 @@ pub(crate) fn execute_task(
         });
     }
 
+    // Deterministic completion delay: widens the window between "body done"
+    // and "successors woken / history retired" to shake out ordering bugs,
+    // without touching the wall clock.
+    if let Some(plan) = inner.fault.as_ref() {
+        if plan.roll(FaultClass::DelayedCompletion, task_id.raw()) {
+            for _ in 0..plan.delay_spins() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    // Wake successors. A panicked task still releases its dependants so the
+    // graph always drains — but it *poisons* them on the way out: they flow
+    // through the scheduler and the retire tail below like any other task,
+    // they just never run their bodies (see `retire_without_run`).
+    debug_assert!(ready.is_empty());
+    if panicked {
+        inner.note_poison(task_id);
+        graph::complete_into_poison(&node, ready, task_id);
+    } else {
+        graph::complete_into(&node, ready);
+    }
+
+    inner.stats.add(StatField::TasksExecuted, 1);
+    retire_node(inner, node, worker, deque, ready, task_id, generation);
+}
+
+/// Retire a poisoned or cancelled task without running its body.
+///
+/// `poisoned_by` is `Some(origin)` for a node poisoned by an upstream
+/// failure and `None` for a node whose cancel flag was raised — in the
+/// latter case this node becomes the poison origin for everything
+/// downstream. Either way the node takes the exact same completion tail as
+/// an executed task (poison-propagate → retire → release tickets →
+/// recycle), which is what keeps `in_flight`, the tracker diagnostics and
+/// the slab ledger balanced after a failed run.
+fn retire_without_run(
+    inner: &Arc<RuntimeInner>,
+    node: Arc<TaskNode>,
+    worker: Option<usize>,
+    deque: Option<&WorkerDeque<Arc<TaskNode>>>,
+    ready: &mut Vec<Arc<TaskNode>>,
+    poisoned_by: Option<TaskId>,
+) {
+    let (task_id, generation) = (node.id, node.generation);
+    // Drop the unrun closure now: a skipped task must release its captured
+    // data handles exactly like an executed one, or `into_inner` could
+    // never regain exclusivity after a poisoned drain.
+    node.body.lock().clear();
+
+    let origin = match poisoned_by {
+        Some(origin) => {
+            inner.stats.add(StatField::TasksPoisoned, 1);
+            if inner.trace.is_enabled() {
+                inner.trace.record(TraceEvent::Poisoned {
+                    task: task_id,
+                    origin,
+                    at_ns: inner.trace.now_ns(),
+                });
+            }
+            origin
+        }
+        None => {
+            inner.stats.add(StatField::TasksCancelled, 1);
+            inner.note_poison(task_id);
+            if inner.trace.is_enabled() {
+                inner.trace.record(TraceEvent::Cancelled {
+                    task: task_id,
+                    at_ns: inner.trace.now_ns(),
+                });
+            }
+            task_id
+        }
+    };
+
+    debug_assert!(ready.is_empty());
+    graph::complete_into_poison(&node, ready, origin);
+    retire_node(inner, node, worker, deque, ready, task_id, generation);
+}
+
+/// The shared completion tail: wake (already-drained-into-`ready`)
+/// successors, retire the dependence history, release version tickets, and
+/// hand the node back to the slab. Identical for executed, panicked,
+/// poisoned and cancelled tasks — the ordering here is load-bearing (see
+/// the comments inline).
+fn retire_node(
+    inner: &Arc<RuntimeInner>,
+    node: Arc<TaskNode>,
+    worker: Option<usize>,
+    deque: Option<&WorkerDeque<Arc<TaskNode>>>,
+    ready: &mut Vec<Arc<TaskNode>>,
+    task_id: TaskId,
+    generation: u32,
+) {
+    let trace_enabled = inner.trace.is_enabled();
     let affinity = inner.config.policy == crate::scheduler::SchedulerPolicy::ShardAffinity;
 
-    // Wake successors (a panicked task still releases its dependants so the
-    // graph always drains). Under shard-affinity scheduling each successor
-    // carries its dominant tracker shard as a placement hint.
-    debug_assert!(ready.is_empty());
-    graph::complete_into(&node, ready);
+    // Under shard-affinity scheduling each successor carries its dominant
+    // tracker shard as a placement hint.
     for succ in ready.drain(..) {
         if trace_enabled {
             inner.trace.record(TraceEvent::Ready {
@@ -156,7 +270,6 @@ pub(crate) fn execute_task(
         }
     }
 
-    inner.stats.add(StatField::TasksExecuted, 1);
     debug_assert!(
         node.id == task_id && node.generation == generation,
         "task node was recycled while executing"

@@ -1,8 +1,10 @@
 //! Job descriptions, tickets and the context a job body runs with.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use ompss::Runtime;
+use ompss::{CancelToken, Runtime};
 use parking_lot::{Condvar, Mutex};
 
 use crate::tenant::TemplateSlots;
@@ -69,6 +71,7 @@ impl std::fmt::Debug for JobKind {
 pub struct JobSpec {
     pub(crate) kind: JobKind,
     pub(crate) affinity: u32,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -80,6 +83,7 @@ impl JobSpec {
         JobSpec {
             kind: JobKind::Spawn(Box::new(f)),
             affinity: 0,
+            deadline: None,
         }
     }
 
@@ -89,6 +93,7 @@ impl JobSpec {
         JobSpec {
             kind: JobKind::Replay { slot, passes },
             affinity: 0,
+            deadline: None,
         }
     }
 
@@ -98,6 +103,7 @@ impl JobSpec {
         JobSpec {
             kind: JobKind::ReplayFused { slot, iterations },
             affinity: 0,
+            deadline: None,
         }
     }
 
@@ -106,6 +112,18 @@ impl JobSpec {
     /// the template their capture job stored.
     pub fn with_affinity(mut self, affinity: u32) -> Self {
         self.affinity = affinity;
+        self
+    }
+
+    /// Give the job a deadline, measured from admission. A job still queued
+    /// when its deadline passes is shed at dequeue (ticket resolves
+    /// [`JobStatus::Expired`], no work runs); a job already running has its
+    /// remaining not-yet-started tasks cancelled by the service watchdog —
+    /// the tasks are retired without running and the ticket resolves
+    /// `Expired`. No deadline (the default) means the job runs to
+    /// completion however long it takes.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -122,6 +140,14 @@ pub enum JobStatus {
     /// The job body or one of its tasks panicked, or a replay slot was
     /// empty; the message says which.
     Failed(String),
+    /// [`JobTicket::cancel`] was called: either the job was shed at dequeue
+    /// before any work ran, or its remaining tasks were cancelled (retired
+    /// without running) mid-job. Already-completed tasks keep their effects.
+    Cancelled,
+    /// The job's [`deadline`](JobSpec::with_deadline) passed: shed at
+    /// dequeue, or its remaining tasks were cancelled mid-job by the
+    /// watchdog.
+    Expired,
 }
 
 impl JobStatus {
@@ -130,15 +156,32 @@ impl JobStatus {
         matches!(self, JobStatus::Completed)
     }
 
-    /// Whether the job is in a terminal state (completed or failed).
+    /// Whether the job is in a terminal state (completed, failed,
+    /// cancelled or expired).
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobStatus::Completed | JobStatus::Failed(_))
+        matches!(
+            self,
+            JobStatus::Completed
+                | JobStatus::Failed(_)
+                | JobStatus::Cancelled
+                | JobStatus::Expired
+        )
     }
 }
 
 struct TicketInner {
     state: Mutex<JobStatus>,
     cv: Condvar,
+    /// Set by [`JobTicket::cancel`]; observed by the dispatcher at dequeue
+    /// (shed before running) and after execution (maps the outcome to
+    /// [`JobStatus::Cancelled`]).
+    cancel_requested: AtomicBool,
+    /// Set by the service watchdog when the job's deadline passes mid-run;
+    /// takes precedence over `cancel_requested` in the outcome mapping.
+    deadline_expired: AtomicBool,
+    /// The core-runtime cancel token of the running job, parked here so
+    /// `cancel()` (and the deadline watchdog) can reach into the task graph.
+    scope: Mutex<Option<CancelToken>>,
 }
 
 /// A clonable handle to one admitted job's status; returned by
@@ -154,6 +197,9 @@ impl JobTicket {
             inner: Arc::new(TicketInner {
                 state: Mutex::new(JobStatus::Queued),
                 cv: Condvar::new(),
+                cancel_requested: AtomicBool::new(false),
+                deadline_expired: AtomicBool::new(false),
+                scope: Mutex::new(None),
             }),
         }
     }
@@ -167,9 +213,76 @@ impl JobTicket {
         state.clone()
     }
 
+    /// Block until the job reaches a terminal state or `timeout` elapses,
+    /// returning the status observed — possibly still [`JobStatus::Queued`]
+    /// or [`JobStatus::Running`] on timeout, which is the caller's signal to
+    /// escalate (e.g. [`JobTicket::cancel`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> JobStatus {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        while !state.is_terminal() {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            self.inner.cv.wait_for(&mut state, remaining);
+        }
+        state.clone()
+    }
+
+    /// Request cancellation. Cooperative, never blocking: a still-queued job
+    /// is shed at dequeue without running; a running job has its
+    /// not-yet-started tasks cancelled (retired without running — see the
+    /// core crate's `CancelToken`) and resolves [`JobStatus::Cancelled`]. A
+    /// job that already reached a terminal state is unaffected. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancel_requested.store(true, Ordering::SeqCst);
+        if let Some(token) = self.inner.scope.lock().as_ref() {
+            token.cancel();
+        }
+    }
+
     /// The job's current status, without blocking.
     pub fn status(&self) -> JobStatus {
         self.inner.state.lock().clone()
+    }
+
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.inner.cancel_requested.load(Ordering::SeqCst)
+    }
+
+    /// Mark the deadline as expired mid-run and cancel the task-graph scope
+    /// (watchdog side).
+    pub(crate) fn expire(&self) {
+        self.inner.deadline_expired.store(true, Ordering::SeqCst);
+        if let Some(token) = self.inner.scope.lock().as_ref() {
+            token.cancel();
+        }
+    }
+
+    pub(crate) fn deadline_expired(&self) -> bool {
+        self.inner.deadline_expired.load(Ordering::SeqCst)
+    }
+
+    /// Park the running job's cancel token where `cancel()`/`expire()` can
+    /// reach it. If a cancel or expiry raced in before registration, the
+    /// token is cancelled on the spot — the request is never lost.
+    pub(crate) fn register_scope(&self, token: CancelToken) {
+        *self.inner.scope.lock() = Some(token);
+        if self.inner.cancel_requested.load(Ordering::SeqCst)
+            || self.inner.deadline_expired.load(Ordering::SeqCst)
+        {
+            if let Some(token) = self.inner.scope.lock().as_ref() {
+                token.cancel();
+            }
+        }
+    }
+
+    /// Drop the parked cancel token (job finished; the scope must not leak
+    /// into the runtime's next job).
+    pub(crate) fn clear_scope(&self) {
+        *self.inner.scope.lock() = None;
     }
 
     pub(crate) fn set(&self, status: JobStatus) {

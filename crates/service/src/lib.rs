@@ -31,6 +31,16 @@
 //!   utilisation, and per-tenant runtime statistics (spawns, replays,
 //!   renames, steals) snapshotted from the core crate's
 //!   [`RuntimeStats`](ompss::RuntimeStats)/`TrackerDiagnostics` plumbing.
+//! * **Failure semantics**: jobs carry optional
+//!   [`deadlines`](JobSpec::with_deadline) (expired jobs are shed at
+//!   dequeue or cancelled mid-run by the watchdog thread, resolving
+//!   [`JobStatus::Expired`]); clients can [`cancel`](JobTicket::cancel) a
+//!   job at any point ([`JobStatus::Cancelled`]); a task panic inside a job
+//!   poisons that job's remaining tasks (they retire without running — see
+//!   the core crate's `failpoint` and poison docs) and fails only that job;
+//!   the watchdog publishes a [`StallReport`] when task progress flatlines
+//!   with jobs still running. The terminal ledger always balances:
+//!   `completed + failed + cancelled + expired == accepted`.
 //!
 //! ## Quick start
 //!
@@ -70,6 +80,6 @@ mod tenant;
 
 pub use admission::{AdmissionError, Rejected, RetryPolicy};
 pub use job::{JobKind, JobSpec, JobStatus, JobTicket, TenantCx};
-pub use metrics::{ServiceMetrics, TenantMetrics};
+pub use metrics::{ServiceMetrics, StallReport, TenantMetrics};
 pub use service::{JobService, ServiceConfig};
 pub use tenant::{Lane, TemplateSlots, TenantId, TenantSpec};

@@ -1,8 +1,31 @@
-//! Service- and tenant-level metric snapshots.
+//! Service- and tenant-level metric snapshots, and the watchdog's stall
+//! report.
+
+use std::time::Duration;
 
 use ompss::RuntimeStats;
 
 use crate::tenant::{Lane, TenantId};
+
+/// What the stall watchdog saw when per-tenant task progress flatlined while
+/// jobs were still marked running: which tenant owns the oldest stuck job,
+/// how stuck, and a dependence-tracker snapshot to tell "deadlocked graph"
+/// from "tracker leak" at a glance.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Tenant owning the oldest running job at detection time.
+    pub tenant: TenantId,
+    /// Jobs marked running service-wide when the stall was declared.
+    pub stuck_jobs: usize,
+    /// Age of the oldest running job.
+    pub oldest_age: Duration,
+    /// Tasks still in flight across the stuck tenant's runtime pool.
+    pub in_flight_tasks: usize,
+    /// Regions the stuck tenant's dependence trackers still hold.
+    pub tracked_regions: usize,
+    /// Lifetime tracker allocations for the stuck tenant's pool.
+    pub tracked_allocs: usize,
+}
 
 /// A point-in-time snapshot of the whole service, returned by
 /// [`JobService::metrics`](crate::JobService::metrics) and by
@@ -27,6 +50,12 @@ pub struct ServiceMetrics {
     pub completed: u64,
     /// Jobs that failed (body panic, task panic or empty replay slot).
     pub failed: u64,
+    /// Jobs resolved [`Cancelled`](crate::JobStatus::Cancelled) via
+    /// [`JobTicket::cancel`](crate::JobTicket::cancel).
+    pub cancelled: u64,
+    /// Jobs resolved [`Expired`](crate::JobStatus::Expired) — deadline
+    /// passed while queued or mid-run.
+    pub expired: u64,
     /// Retry attempts made by `submit_with_retry` after soft rejections.
     pub retries: u64,
     /// Submissions shed because the queue was at capacity.
@@ -37,6 +66,11 @@ pub struct ServiceMetrics {
     pub rejected_shutdown: u64,
     /// Submissions naming an unregistered tenant.
     pub rejected_unknown_tenant: u64,
+    /// Stalls the watchdog has declared since startup (progress flatlined
+    /// for a full stall window with jobs running).
+    pub stalls_detected: u64,
+    /// The most recent stall report, if any.
+    pub last_stall: Option<StallReport>,
     /// One entry per registered tenant, in registration order.
     pub tenants: Vec<TenantMetrics>,
 }
@@ -84,6 +118,10 @@ pub struct TenantMetrics {
     pub completed: u64,
     /// Jobs failed.
     pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs expired (deadline).
+    pub expired: u64,
     /// Shed because the shared queue was full.
     pub rejected_queue_full: u64,
     /// Shed because this tenant's budget was full.
@@ -118,11 +156,15 @@ mod tests {
             accepted: 0,
             completed: 0,
             failed: 0,
+            cancelled: 0,
+            expired: 0,
             retries: 0,
             rejected_queue_full: 0,
             rejected_tenant_budget: 0,
             rejected_shutdown: 0,
             rejected_unknown_tenant: 0,
+            stalls_detected: 0,
+            last_stall: None,
             tenants: Vec::new(),
         }
     }

@@ -3,7 +3,9 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use ompss::{FaultClass, FaultPlan};
 use parking_lot::{Condvar, Mutex};
 
 use crate::job::{JobKind, JobTicket};
@@ -15,6 +17,9 @@ pub(crate) struct QueuedJob {
     pub(crate) kind: JobKind,
     pub(crate) affinity: u32,
     pub(crate) ticket: JobTicket,
+    /// Absolute deadline, stamped at admission from
+    /// [`JobSpec::with_deadline`](crate::JobSpec::with_deadline).
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl std::fmt::Debug for QueuedJob {
@@ -47,6 +52,10 @@ pub(crate) struct IngestQueue {
     lanes: Mutex<Lanes>,
     cv: Condvar,
     capacity: usize,
+    /// Deterministic fault injection: a `QueueFull` roll makes `push` hand
+    /// the job back exactly as if the lanes were at capacity, exercising the
+    /// shed/retry path without needing a real burst. `None` in production.
+    fault: Option<FaultPlan>,
     depth: AtomicUsize,
     peak: AtomicUsize,
     /// Jobs popped but not yet finished by a dispatcher. Incremented under
@@ -65,10 +74,16 @@ impl IngestQueue {
             }),
             cv: Condvar::new(),
             capacity: capacity.max(1),
+            fault: None,
             depth: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
         }
+    }
+
+    /// Install a fault plan before the queue is shared (construction time).
+    pub(crate) fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -94,6 +109,11 @@ impl IngestQueue {
         let depth = lanes.len();
         if depth >= self.capacity {
             return Err(job);
+        }
+        if let Some(plan) = &self.fault {
+            if plan.roll_next(FaultClass::QueueFull) {
+                return Err(job);
+            }
         }
         if latency {
             lanes.latency.push_back(job);
@@ -155,6 +175,7 @@ mod tests {
             },
             affinity,
             ticket: JobTicket::new(),
+            deadline: None,
         }
     }
 
@@ -198,6 +219,22 @@ mod tests {
         q.close();
         assert_eq!(q.pop().unwrap().affinity, 7);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn injected_queue_full_hands_the_job_back() {
+        let mut q = IngestQueue::new(64);
+        q.set_fault_plan(FaultPlan::seeded(7).queue_full_one_in(2));
+        let t = tenant();
+        let (mut ok, mut shed) = (0, 0);
+        for i in 0..64 {
+            match q.push(job(&t, i), false) {
+                Ok(_) => ok += 1,
+                Err(_) => shed += 1,
+            }
+        }
+        assert!(ok > 0 && shed > 0, "ok={ok} shed={shed}");
+        assert_eq!(q.depth(), ok);
     }
 
     #[test]

@@ -4,14 +4,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ompss::ReplayBindings;
+use ompss::{FaultPlan, ReplayBindings};
 use parking_lot::{Condvar, Mutex};
 
 use crate::admission::{AdmissionError, Rejected, RetryPolicy};
 use crate::job::{JobKind, JobSpec, JobStatus, JobTicket, TenantCx};
-use crate::metrics::{ServiceMetrics, TenantMetrics};
+use crate::metrics::{ServiceMetrics, StallReport, TenantMetrics};
 use crate::queue::{IngestQueue, QueuedJob};
 use crate::tenant::{Lane, TenantId, TenantSpec, TenantState};
 
@@ -22,6 +22,22 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Dispatcher threads popping and executing jobs (default 2).
     pub dispatchers: usize,
+    /// How often the watchdog thread samples running jobs: it cancels jobs
+    /// whose [`deadline`](JobSpec::with_deadline) has passed mid-run and
+    /// declares stalls. `Duration::ZERO` disables the watchdog entirely —
+    /// mid-run deadlines then go unenforced (queued jobs are still shed at
+    /// dequeue). Default 10ms.
+    pub watchdog_interval: Duration,
+    /// How long per-tenant task progress must flatline — while jobs are
+    /// marked running — before the watchdog declares a stall and publishes a
+    /// [`StallReport`]. Default 1s.
+    pub stall_window: Duration,
+    /// Deterministic fault plan for the service layer: a `QueueFull` roll at
+    /// push makes admission behave exactly as if the queue were at capacity.
+    /// The per-tenant *runtime* faults (task panics, rename exhaustion…)
+    /// are configured on the tenants' `RuntimeConfig` instead. Default
+    /// `None`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -29,6 +45,9 @@ impl Default for ServiceConfig {
         ServiceConfig {
             queue_capacity: 256,
             dispatchers: 2,
+            watchdog_interval: Duration::from_millis(10),
+            stall_window: Duration::from_secs(1),
+            fault_plan: None,
         }
     }
 }
@@ -45,6 +64,24 @@ impl ServiceConfig {
         self.dispatchers = dispatchers.max(1);
         self
     }
+
+    /// Set the watchdog sampling interval (`Duration::ZERO` disables it).
+    pub fn with_watchdog_interval(mut self, interval: Duration) -> Self {
+        self.watchdog_interval = interval;
+        self
+    }
+
+    /// Set the no-progress window after which a stall is declared.
+    pub fn with_stall_window(mut self, window: Duration) -> Self {
+        self.stall_window = window;
+        self
+    }
+
+    /// Install a deterministic service-layer fault plan (queue-full bursts).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 #[derive(Default)]
@@ -53,11 +90,24 @@ struct ServiceCounters {
     accepted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
     retries: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_budget: AtomicU64,
     rejected_shutdown: AtomicU64,
     rejected_unknown: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// A job a dispatcher is executing right now, registered so the watchdog
+/// can reach it (deadline cancellation, stall attribution).
+struct RunningJob {
+    id: u64,
+    tenant: Arc<TenantState>,
+    ticket: JobTicket,
+    deadline: Option<Instant>,
+    started: Instant,
 }
 
 struct ServiceInner {
@@ -68,6 +118,33 @@ struct ServiceInner {
     shutting_down: AtomicBool,
     drain_lock: Mutex<()>,
     drain_cv: Condvar,
+    running: Mutex<Vec<RunningJob>>,
+    next_running_id: AtomicU64,
+    last_stall: Mutex<Option<StallReport>>,
+    watchdog_stop: AtomicBool,
+}
+
+impl ServiceInner {
+    fn register_running(
+        &self,
+        tenant: &Arc<TenantState>,
+        ticket: &JobTicket,
+        deadline: Option<Instant>,
+    ) -> u64 {
+        let id = self.next_running_id.fetch_add(1, Ordering::SeqCst);
+        self.running.lock().push(RunningJob {
+            id,
+            tenant: Arc::clone(tenant),
+            ticket: ticket.clone(),
+            deadline,
+            started: Instant::now(),
+        });
+        id
+    }
+
+    fn deregister_running(&self, id: u64) {
+        self.running.lock().retain(|r| r.id != id);
+    }
 }
 
 /// The multi-tenant job frontend. See the [crate docs](crate) for the
@@ -78,20 +155,29 @@ struct ServiceInner {
 pub struct JobService {
     inner: Arc<ServiceInner>,
     dispatchers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl JobService {
     /// Start the service: the ingest queue plus `config.dispatchers`
     /// dispatcher threads, all idle until tenants register and submit.
     pub fn new(config: ServiceConfig) -> Self {
+        let mut queue = IngestQueue::new(config.queue_capacity);
+        if let Some(plan) = config.fault_plan.clone() {
+            queue.set_fault_plan(plan);
+        }
         let inner = Arc::new(ServiceInner {
-            queue: IngestQueue::new(config.queue_capacity),
+            queue,
             tenants: Mutex::new(Vec::new()),
             counters: ServiceCounters::default(),
             dispatcher_count: config.dispatchers,
             shutting_down: AtomicBool::new(false),
             drain_lock: Mutex::new(()),
             drain_cv: Condvar::new(),
+            running: Mutex::new(Vec::new()),
+            next_running_id: AtomicU64::new(0),
+            last_stall: Mutex::new(None),
+            watchdog_stop: AtomicBool::new(false),
         });
         let dispatchers = (0..config.dispatchers)
             .map(|i| {
@@ -102,7 +188,19 @@ impl JobService {
                     .expect("spawn dispatcher thread")
             })
             .collect();
-        JobService { inner, dispatchers }
+        let watchdog = (config.watchdog_interval > Duration::ZERO).then(|| {
+            let inner = Arc::clone(&inner);
+            let (interval, window) = (config.watchdog_interval, config.stall_window);
+            std::thread::Builder::new()
+                .name("svc-watchdog".to_string())
+                .spawn(move || watchdog_loop(&inner, interval, window))
+                .expect("spawn watchdog thread")
+        });
+        JobService {
+            inner,
+            dispatchers,
+            watchdog,
+        }
     }
 
     /// Register a tenant, creating its private runtime pool. Tenants cannot
@@ -156,11 +254,13 @@ impl JobService {
             });
         }
         let ticket = JobTicket::new();
+        let deadline_spec = job.deadline;
         let queued = QueuedJob {
             tenant: Arc::clone(&state),
             kind: job.kind,
             affinity: job.affinity,
             ticket: ticket.clone(),
+            deadline: deadline_spec.map(|d| Instant::now() + d),
         };
         match self
             .inner
@@ -183,6 +283,7 @@ impl JobService {
                     job: JobSpec {
                         kind: back.kind,
                         affinity: back.affinity,
+                        deadline: deadline_spec,
                     },
                     error: AdmissionError::QueueFull {
                         depth: self.inner.queue.capacity(),
@@ -250,11 +351,15 @@ impl JobService {
             accepted: c.accepted.load(Ordering::SeqCst),
             completed: c.completed.load(Ordering::SeqCst),
             failed: c.failed.load(Ordering::SeqCst),
+            cancelled: c.cancelled.load(Ordering::SeqCst),
+            expired: c.expired.load(Ordering::SeqCst),
             retries: c.retries.load(Ordering::SeqCst),
             rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
             rejected_tenant_budget: c.rejected_budget.load(Ordering::SeqCst),
             rejected_shutdown: c.rejected_shutdown.load(Ordering::SeqCst),
             rejected_unknown_tenant: c.rejected_unknown.load(Ordering::SeqCst),
+            stalls_detected: c.stalls.load(Ordering::SeqCst),
+            last_stall: inner.last_stall.lock().clone(),
             tenants,
         }
     }
@@ -271,6 +376,12 @@ impl JobService {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.queue.close();
         for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+        // Dispatchers have drained every admitted job; only now stop the
+        // watchdog, so deadlines stay enforced through the shutdown drain.
+        self.inner.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
         }
     }
@@ -320,6 +431,8 @@ fn tenant_metrics(state: &TenantState) -> TenantMetrics {
         accepted: c.accepted.load(Ordering::SeqCst),
         completed: c.completed.load(Ordering::SeqCst),
         failed: c.failed.load(Ordering::SeqCst),
+        cancelled: c.cancelled.load(Ordering::SeqCst),
+        expired: c.expired.load(Ordering::SeqCst),
         rejected_queue_full: c.rejected_queue_full.load(Ordering::SeqCst),
         rejected_budget: c.rejected_budget.load(Ordering::SeqCst),
         spawn_jobs: c.spawn_jobs.load(Ordering::SeqCst),
@@ -348,9 +461,34 @@ fn run_job(inner: &ServiceInner, job: QueuedJob) {
         kind,
         affinity,
         ticket,
+        deadline,
     } = job;
-    ticket.set(JobStatus::Running);
+    // Serialize on the routed runtime first: time spent waiting for a
+    // pool-mate job counts against the deadline check below, exactly like
+    // time spent queued.
     let entry = tenant.route(affinity);
+    let _job_guard = entry.busy.lock();
+    // Shed at dequeue: a cancel request or an already-passed deadline means
+    // no work runs at all — the ticket resolves terminal without touching
+    // the tenant's runtime.
+    if ticket.cancel_requested() {
+        finish(inner, &tenant, &ticket, JobStatus::Cancelled);
+        return;
+    }
+    if let Some(d) = deadline {
+        let now = Instant::now();
+        if now >= d {
+            // The typed reason exists for callers/logs; the ticket carries
+            // the terminal state.
+            let _shed_as = AdmissionError::DeadlineExpired {
+                tenant: tenant.id,
+                late_by: now.duration_since(d),
+            };
+            finish(inner, &tenant, &ticket, JobStatus::Expired);
+            return;
+        }
+    }
+    ticket.set(JobStatus::Running);
     let kind_counter = match &kind {
         JobKind::Spawn(_) => &tenant.counters.spawn_jobs,
         JobKind::Replay { .. } => &tenant.counters.replay_jobs,
@@ -358,38 +496,141 @@ fn run_job(inner: &ServiceInner, job: QueuedJob) {
     };
     kind_counter.fetch_add(1, Ordering::SeqCst);
 
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute(kind, entry)));
-    let status = match outcome {
-        Ok(Ok(())) => {
-            let panics = entry.runtime.take_panics();
-            if panics.is_empty() {
-                JobStatus::Completed
-            } else {
-                JobStatus::Failed(format!(
-                    "{} task panic(s), first: {}",
-                    panics.len(),
-                    panics[0]
-                ))
+    // Every task the job spawns joins this cancel scope, so a mid-run
+    // `JobTicket::cancel()` or watchdog deadline hit retires the job's
+    // not-yet-started tasks without running them.
+    let token = entry.runtime.cancel_scope();
+    ticket.register_scope(token.clone());
+    let running_id = inner.register_running(&tenant, &ticket, deadline);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        entry.runtime.with_cancel_scope(&token, || execute(kind, entry))
+    }));
+    inner.deregister_running(running_id);
+    ticket.clear_scope();
+    // Quiesce the runtime (a panicked body may have left a half-spawned
+    // graph) and *consume* any poison note so neither can leak into the
+    // tenant's next job on this pooled runtime.
+    let poison = match catch_unwind(AssertUnwindSafe(|| entry.runtime.try_taskwait())) {
+        Ok(result) => result.err(),
+        Err(_) => None,
+    };
+    let panics = entry.runtime.take_panics();
+    let status = if ticket.deadline_expired() {
+        JobStatus::Expired
+    } else if ticket.cancel_requested() {
+        JobStatus::Cancelled
+    } else {
+        match outcome {
+            Ok(Ok(())) => {
+                if let Some(first) = panics.first() {
+                    JobStatus::Failed(format!(
+                        "{} task panic(s), first: {first}",
+                        panics.len()
+                    ))
+                } else if let Some(err) = poison {
+                    JobStatus::Failed(err.to_string())
+                } else {
+                    JobStatus::Completed
+                }
             }
-        }
-        Ok(Err(msg)) => JobStatus::Failed(msg),
-        Err(payload) => {
-            // Quiesce the runtime so a half-spawned graph cannot leak into
-            // the tenant's next job, then fold any task panics in.
-            let _ = catch_unwind(AssertUnwindSafe(|| entry.runtime.taskwait()));
-            let _ = entry.runtime.take_panics();
-            JobStatus::Failed(panic_message(payload.as_ref()))
+            Ok(Err(msg)) => JobStatus::Failed(msg),
+            Err(payload) => JobStatus::Failed(panic_message(payload.as_ref())),
         }
     };
-    let ok = status.is_completed();
-    ticket.set(status);
+    finish(inner, &tenant, &ticket, status);
+}
+
+/// Resolve the ticket, release the tenant's budget and settle exactly one of
+/// the four terminal ledger counters — the ledger invariant
+/// `completed + failed + cancelled + expired == accepted` lives here.
+fn finish(inner: &ServiceInner, tenant: &TenantState, ticket: &JobTicket, status: JobStatus) {
+    let (svc, ten) = match &status {
+        JobStatus::Completed => (&inner.counters.completed, &tenant.counters.completed),
+        JobStatus::Failed(_) => (&inner.counters.failed, &tenant.counters.failed),
+        JobStatus::Cancelled => (&inner.counters.cancelled, &tenant.counters.cancelled),
+        JobStatus::Expired => (&inner.counters.expired, &tenant.counters.expired),
+        JobStatus::Queued | JobStatus::Running => {
+            unreachable!("finish() with non-terminal status")
+        }
+    };
+    ticket.set(status.clone());
     tenant.release_in_flight();
-    if ok {
-        tenant.counters.completed.fetch_add(1, Ordering::SeqCst);
-        inner.counters.completed.fetch_add(1, Ordering::SeqCst);
-    } else {
-        tenant.counters.failed.fetch_add(1, Ordering::SeqCst);
-        inner.counters.failed.fetch_add(1, Ordering::SeqCst);
+    ten.fetch_add(1, Ordering::SeqCst);
+    svc.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Sum of every tenant runtime's retired-task counters — the progress
+/// signal the stall detector watches. Poisoned and cancelled retirements
+/// count: a draining poisoned graph is progress, not a stall.
+fn total_progress(inner: &ServiceInner) -> u64 {
+    let tenants = inner.tenants.lock();
+    let mut progress = 0u64;
+    for tenant in tenants.iter() {
+        for entry in &tenant.pool {
+            let stats = entry.runtime.stats();
+            progress += stats.tasks_executed + stats.tasks_poisoned + stats.tasks_cancelled;
+        }
+    }
+    progress
+}
+
+fn watchdog_loop(inner: &ServiceInner, interval: Duration, window: Duration) {
+    let mut last_progress = total_progress(inner);
+    let mut last_change = Instant::now();
+    while !inner.watchdog_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let now = Instant::now();
+        // Deadline enforcement: cancel the task-graph scope of any running
+        // job whose deadline has passed. Cloned out so no lock is held while
+        // poking tickets.
+        let snapshot: Vec<(Arc<TenantState>, JobTicket, Option<Instant>, Instant)> = inner
+            .running
+            .lock()
+            .iter()
+            .map(|r| (Arc::clone(&r.tenant), r.ticket.clone(), r.deadline, r.started))
+            .collect();
+        for (_, ticket, deadline, _) in &snapshot {
+            if let Some(d) = deadline {
+                if now >= *d && !ticket.deadline_expired() {
+                    ticket.expire();
+                }
+            }
+        }
+        // Stall detection: progress flatlined for a full window while jobs
+        // are marked running.
+        let progress = total_progress(inner);
+        if snapshot.is_empty() || progress != last_progress {
+            last_progress = progress;
+            last_change = now;
+            continue;
+        }
+        if now.duration_since(last_change) >= window {
+            let (tenant, _, _, started) = snapshot
+                .iter()
+                .min_by_key(|(_, _, _, started)| *started)
+                .expect("snapshot checked non-empty");
+            let mut in_flight_tasks = 0;
+            let mut tracked_regions = 0;
+            let mut tracked_allocs = 0;
+            for entry in &tenant.pool {
+                in_flight_tasks += entry.runtime.in_flight_tasks();
+                let diag = entry.runtime.tracker_diagnostics();
+                tracked_regions += diag.total_regions();
+                tracked_allocs += diag.total_allocs();
+            }
+            *inner.last_stall.lock() = Some(StallReport {
+                tenant: tenant.id,
+                stuck_jobs: snapshot.len(),
+                oldest_age: now.duration_since(*started),
+                in_flight_tasks,
+                tracked_regions,
+                tracked_allocs,
+            });
+            inner.counters.stalls.fetch_add(1, Ordering::SeqCst);
+            // Re-arm: report again only after another silent window, not
+            // every tick.
+            last_change = now;
+        }
     }
 }
 

@@ -142,6 +142,13 @@ impl std::fmt::Debug for TemplateSlots {
 pub(crate) struct PoolEntry {
     pub(crate) runtime: Runtime,
     pub(crate) templates: TemplateSlots,
+    /// Serializes jobs on this runtime. A runtime's poison note, panic
+    /// sink and `taskwait` are runtime-global: two jobs interleaved on one
+    /// runtime would misattribute each other's failures (one job resolving
+    /// `Completed` with another job's panic charged to it). Dispatchers
+    /// hold this for the whole execute-and-quiesce span, so failure
+    /// attribution is exact per job.
+    pub(crate) busy: Mutex<()>,
 }
 
 /// Per-tenant service-side counters (all monotonic except `in_flight`).
@@ -151,6 +158,8 @@ pub(crate) struct TenantCounters {
     pub(crate) accepted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) expired: AtomicU64,
     pub(crate) rejected_queue_full: AtomicU64,
     pub(crate) rejected_budget: AtomicU64,
     pub(crate) spawn_jobs: AtomicU64,
@@ -176,6 +185,7 @@ impl TenantState {
             .map(|_| PoolEntry {
                 runtime: Runtime::new(spec.runtime.clone()),
                 templates: TemplateSlots::default(),
+                busy: Mutex::new(()),
             })
             .collect();
         TenantState {

@@ -228,6 +228,7 @@ fn retry_with_backoff_absorbs_transient_overload() {
         attempts: 200,
         backoff: Duration::from_micros(200),
         max_backoff: Duration::from_millis(1),
+        jitter_seed: 0,
     };
     let admitted = svc
         .submit_with_retry(tenant, rejected.job, &policy)

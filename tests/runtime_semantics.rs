@@ -331,23 +331,30 @@ fn critical_sections_protect_hidden_state() {
 }
 
 #[test]
-fn panicking_tasks_do_not_poison_the_runtime() {
+fn panicking_tasks_poison_successors_but_not_the_runtime() {
     let rt = runtime(2);
     let data = rt.data(0u32);
+    let boom_id;
     {
         let data = data.clone();
-        rt.task().name("boom").inout(&data).spawn(move |_ctx| {
+        boom_id = rt.task().name("boom").inout(&data).spawn(move |_ctx| {
             panic!("injected failure");
         });
     }
-    // A dependent task still runs after the panicking predecessor.
+    // The dependent task is *poisoned*: retired without running, so the
+    // half-failed chain never commits a value.
     {
         let data = data.clone();
         rt.task().inout(&data).spawn(move |ctx| {
             *ctx.write(&data) = 99;
         });
     }
-    rt.taskwait();
+    // The graph drains rather than hanging, and the typed error names the
+    // panicking task as the poison origin.
+    match rt.try_taskwait() {
+        Err(ompss::Error::Poisoned { origin }) => assert_eq!(origin, boom_id),
+        other => panic!("expected a poisoned taskwait, got {other:?}"),
+    }
     let panics = rt.take_panics();
     assert_eq!(panics.len(), 1);
     match &panics[0] {
@@ -357,8 +364,21 @@ fn panicking_tasks_do_not_poison_the_runtime() {
         }
         other => panic!("unexpected error {other:?}"),
     }
-    assert_eq!(rt.into_inner(data), 99);
-    assert_eq!(rt.stats().tasks_panicked, 1);
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_panicked, 1);
+    assert_eq!(stats.tasks_poisoned, 1);
+    // The poison note was consumed by try_taskwait: the runtime itself is
+    // healthy, and an unrelated follow-up chain runs and unwraps normally.
+    assert_eq!(rt.into_inner(data), 0, "poisoned write must not commit");
+    let fresh = rt.data(0u32);
+    {
+        let fresh = fresh.clone();
+        rt.task().inout(&fresh).spawn(move |ctx| *ctx.write(&fresh) = 7);
+    }
+    rt.try_taskwait().expect("clean round after a consumed poison");
+    assert_eq!(rt.into_inner(fresh), 7);
+    assert_eq!(rt.in_flight_tasks(), 0);
+    assert_eq!(rt.task_slab_diagnostics().outstanding, 0);
 }
 
 #[test]

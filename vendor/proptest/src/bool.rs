@@ -15,6 +15,13 @@ impl Strategy for Any {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 #[cfg(test)]

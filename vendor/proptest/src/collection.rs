@@ -45,12 +45,41 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.end - self.size.start) as u64;
         let len = self.size.start + rng.below(span.max(1)) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.size.start;
+        // Length shrinking first, most aggressive cut first: the minimum
+        // length, then half the excess, then drop-last.
+        if value.len() > min {
+            out.push(value[..min].to_vec());
+            let half = min + (value.len() - min) / 2;
+            if half != min && half != value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() - 1 != min && value.len() - 1 != half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+        }
+        // Then element-wise: a couple of candidates per position, length
+        // unchanged.
+        for i in 0..value.len() {
+            for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -77,5 +106,22 @@ mod tests {
         }
         let fixed = vec(0u8.., 3usize);
         assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn vec_shrink_shortens_then_shrinks_elements() {
+        let s = vec(0u8..200, 1..8);
+        let cands = s.shrink(&vec![10, 20, 30, 40, 50]);
+        // Aggressive length cuts first, never below the minimum length.
+        assert_eq!(cands[0], vec![10]);
+        assert_eq!(cands[1], vec![10, 20, 30]);
+        assert_eq!(cands[2], vec![10, 20, 30, 40]);
+        assert!(cands.iter().all(|c| !c.is_empty()));
+        // Element-wise candidates keep the length.
+        assert!(cands[3..].iter().all(|c| c.len() == 5));
+        assert!(cands.contains(&vec![0, 20, 30, 40, 50]));
+        // A value already at minimum length still shrinks its elements.
+        assert!(s.shrink(&vec![0]).is_empty());
+        assert!(!s.shrink(&vec![9]).is_empty());
     }
 }

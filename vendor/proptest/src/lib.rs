@@ -11,10 +11,16 @@
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
 //!
 //! Differences from upstream: generation is deterministic per test (seeded
-//! from the test name, so failures reproduce), there is **no shrinking**, and
-//! rejected cases (`prop_assume!`) are simply skipped. That is sufficient for
-//! the property suites in this repository, which assert invariants rather
-//! than hunt for minimal counterexamples.
+//! from the test name, so failures reproduce) and rejected cases
+//! (`prop_assume!`) are simply skipped. Shrinking is supported in a
+//! simplified form: when a case fails a `prop_assert!`-family assertion, the
+//! runner greedily walks [`strategy::Strategy::shrink`] candidates —
+//! integers bisect toward their range's lower bound, `Vec`s shorten and
+//! shrink elements, tuples shrink one component at a time — and reports the
+//! smallest still-failing case, capped at
+//! [`test_runner::MAX_SHRINK_ATTEMPTS`] attempts. Panics inside a property
+//! body (as opposed to assertion failures) propagate immediately without
+//! shrinking.
 
 pub mod array;
 pub mod bool;
@@ -60,19 +66,53 @@ macro_rules! __proptest_fns {
             let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                 module_path!(), "::", stringify!($name)
             ));
+            // The whole case is one tuple value, so a failing case can be
+            // re-run against shrink candidates. Generation order (and hence
+            // the RNG stream) is identical to generating each argument in
+            // sequence.
+            let strategy = ($(($strat),)+);
+            let check = $crate::strategy::check_fn(&strategy, |case_value| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(case_value);
+                { $body }
+                ::std::result::Result::Ok(())
+            });
             for case in 0..config.cases {
-                let result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    { $body }
-                    ::std::result::Result::Ok(())
-                })();
-                match result {
+                let value = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                match check(&value) {
                     ::std::result::Result::Ok(()) => {}
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
                         // prop_assume! failed: skip this case.
                     }
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                        panic!("property `{}` failed at case {}: {}", stringify!($name), case, msg);
+                        // Greedy shrink: recurse into the first candidate
+                        // that still fails, until no candidate fails or the
+                        // attempt cap is hit.
+                        let mut best = value;
+                        let mut best_msg = msg;
+                        let mut attempts: u32 = 0;
+                        let mut improved = true;
+                        while improved && attempts < $crate::test_runner::MAX_SHRINK_ATTEMPTS {
+                            improved = false;
+                            for cand in $crate::strategy::Strategy::shrink(&strategy, &best) {
+                                attempts += 1;
+                                if let ::std::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Fail(m),
+                                ) = check(&cand)
+                                {
+                                    best = cand;
+                                    best_msg = m;
+                                    improved = true;
+                                    break;
+                                }
+                                if attempts >= $crate::test_runner::MAX_SHRINK_ATTEMPTS {
+                                    break;
+                                }
+                            }
+                        }
+                        panic!(
+                            "property `{}` failed at case {} (after {} shrink attempt(s)): {}\nminimal counterexample: {:?}",
+                            stringify!($name), case, attempts, best_msg, &best
+                        );
                     }
                 }
             }

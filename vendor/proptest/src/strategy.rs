@@ -4,14 +4,28 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike upstream proptest there is no value tree / shrinking: a strategy
-/// simply produces a value from the deterministic [`TestRng`].
+/// Unlike upstream proptest there is no full value tree: a strategy produces
+/// a value from the deterministic [`TestRng`], and on failure the runner asks
+/// the strategy for *shrink candidates* — simpler variants of a failing value
+/// — via [`Strategy::shrink`]. Integer ranges bisect toward their lower
+/// bound, `Vec`s shorten and shrink their elements, and tuples shrink one
+/// component at a time; adaptors without an obvious inverse (`prop_map`,
+/// unions) keep the default of no candidates.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler variants of `value` to try when a case fails, most
+    /// aggressive first. The runner greedily recurses into the first
+    /// candidate that still fails, so a handful of well-ordered candidates
+    /// (minimum, midpoint, predecessor) gives logarithmic convergence.
+    /// The default — no candidates — means the value is reported as-is.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -28,6 +42,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
@@ -35,6 +52,40 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Pin a case-checking closure's argument type to a strategy's `Value`
+/// (used by the `proptest!` expansion; plain inference would otherwise
+/// unify the argument with unsized coercion targets like `&[T]`).
+pub fn check_fn<S, F>(_strategy: &S, f: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+{
+    f
+}
+
+/// Ordered shrink candidates for an integer `value` drawn from a range
+/// starting at `start`: the minimum itself, the midpoint (bisection), and
+/// the predecessor. Computed in `i128` so every supported integer type fits.
+pub(crate) fn int_shrink_candidates(start: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value == start {
+        return out;
+    }
+    out.push(start);
+    let mid = start + (value - start) / 2;
+    if mid != start && mid != value {
+        out.push(mid);
+    }
+    let dec = value - 1;
+    if dec != start && dec != mid && dec != value {
+        out.push(dec);
+    }
+    out
 }
 
 /// Strategy producing a constant value.
@@ -104,6 +155,12 @@ macro_rules! impl_int_range_strategy {
                 let offset = (rng.next_u64() as u128) % span;
                 (self.start as i128 + offset as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for std::ops::RangeFrom<$t> {
             type Value = $t;
@@ -111,6 +168,12 @@ macro_rules! impl_int_range_strategy {
                 let span = (<$t>::MAX as i128 - self.start as i128 + 1) as u128;
                 let offset = (rng.next_u64() as u128) % span;
                 (self.start as i128 + offset as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -121,6 +184,12 @@ macro_rules! impl_int_range_strategy {
                 let span = (end as i128 - start as i128 + 1) as u128;
                 let offset = (rng.next_u64() as u128) % span;
                 (start as i128 + offset as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -143,24 +212,36 @@ macro_rules! impl_float_range_strategy {
 impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $(<$name as Strategy>::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
 
 #[cfg(test)]
 mod tests {
@@ -197,6 +278,23 @@ mod tests {
         let s = (0u32..10, Just("x")).prop_map(|(n, s)| format!("{s}{n}"));
         let v = s.generate(&mut r);
         assert!(v.starts_with('x'));
+    }
+
+    #[test]
+    fn int_shrink_bisects_toward_start() {
+        let s = 3usize..1000;
+        let cands = s.shrink(&900);
+        assert_eq!(cands, vec![3, 451, 899]);
+        assert!(s.shrink(&3).is_empty());
+        let signed = -10i32..10;
+        assert_eq!(signed.shrink(&9), vec![-10, -1, 8]);
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (0u32..100, 0u32..100);
+        let cands = s.shrink(&(4, 6));
+        assert_eq!(cands, vec![(0, 6), (2, 6), (3, 6), (4, 0), (4, 3), (4, 5)]);
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Test-runner support types: configuration, case errors and the
 //! deterministic RNG driving value generation.
 
+/// Cap on shrink attempts per failing case: each candidate re-runs the
+/// property body, and pathological strategies could otherwise shrink
+/// forever.
+pub const MAX_SHRINK_ATTEMPTS: u32 = 1024;
+
 /// Configuration accepted by `#![proptest_config(...)]`.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
