@@ -327,7 +327,7 @@ impl AccessVec {
         // Overflow: move the inline elements into the heap vector.
         self.spill.reserve(ACCESS_INLINE_CAP + 1);
         for slot in &mut self.inline[..self.len] {
-            // Safety: slots 0..len are initialised; they are logically moved
+            // SAFETY: slots 0..len are initialised; they are logically moved
             // out here and `len` is reset so they are never touched again.
             self.spill.push(unsafe { slot.assume_init_read() });
         }
@@ -346,7 +346,7 @@ impl AccessVec {
             let n = other.len;
             other.len = 0;
             for slot in &mut other.inline[..n] {
-                // Safety: slots 0..n were initialised and `other.len` is
+                // SAFETY: slots 0..n were initialised and `other.len` is
                 // already zeroed, so ownership transfers exactly once.
                 self.push(unsafe { slot.assume_init_read() });
             }
@@ -358,7 +358,7 @@ impl AccessVec {
         if self.spilled {
             &self.spill
         } else {
-            // Safety: elements 0..len are initialised, and
+            // SAFETY: elements 0..len are initialised, and
             // `MaybeUninit<Access>` has the same layout as `Access`.
             unsafe {
                 std::slice::from_raw_parts(self.inline.as_ptr() as *const Access, self.len)
@@ -371,7 +371,7 @@ impl AccessVec {
         if self.spilled {
             &mut self.spill
         } else {
-            // Safety: as in `as_slice`, plus `&mut self` makes it unique.
+            // SAFETY: as in `as_slice`, plus `&mut self` makes it unique.
             unsafe {
                 std::slice::from_raw_parts_mut(self.inline.as_mut_ptr() as *mut Access, self.len)
             }
@@ -385,7 +385,7 @@ impl AccessVec {
             self.spill.clear();
         } else {
             for slot in &mut self.inline[..self.len] {
-                // Safety: slots 0..len are initialised; len is reset below.
+                // SAFETY: slots 0..len are initialised; len is reset below.
                 unsafe { slot.assume_init_drop() };
             }
             self.len = 0;

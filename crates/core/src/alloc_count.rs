@@ -40,25 +40,31 @@ impl CountingAllocator {
     }
 }
 
-// Safety: delegates every operation to `System` unchanged; the only added
+// SAFETY: delegates every operation to `System` unchanged; the only added
 // behaviour is a relaxed counter increment, which allocates nothing.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; the caller upholds `GlobalAlloc`'s
+        // contract for `layout`.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim, as in `alloc`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; `ptr`/`layout` come from a prior
+        // allocation through this same delegating allocator.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim, as in `realloc`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

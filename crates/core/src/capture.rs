@@ -628,6 +628,9 @@ impl Runtime {
                         fresh.replay_pass = base + m as u64 + 1;
                         fresh.cancel = cancel.clone();
                     }
+                    if let Some(d) = &inner.dcheck {
+                        d.register_task(&node);
+                    }
                     nodes.push(node);
                 }
             }
@@ -679,6 +682,11 @@ impl Runtime {
                     if accesses.spilled() {
                         spills += 1;
                     }
+                    if !tickets.is_empty() {
+                        // Bind side of the version-ticket ledger, mirroring
+                        // `TaskBuilder::spawn` (release side: worker retire).
+                        inner.rename.note_tickets_bound(tickets.len() as u64);
+                    }
                     let run = recipe.body.clone();
                     let mut spilled = false;
                     let mut node = inner.slab.acquire(
@@ -699,6 +707,9 @@ impl Runtime {
                             .expect("freshly acquired node is unshared");
                         fresh.replay_pass = base + m as u64 + 1;
                         fresh.cancel = cancel.clone();
+                    }
+                    if let Some(d) = &inner.dcheck {
+                        d.register_task(&node);
                     }
                     for access in node.accesses.iter() {
                         sids.push(inner.tracker.shard_of(access.region.id.alloc));
@@ -759,6 +770,16 @@ impl Runtime {
         inner
             .stats
             .add(StatField::DependencesSeen, batch.predecessors_seen as u64);
+
+        if let Some(d) = &inner.dcheck {
+            // Same rule as `spawn_node`: the completed-task snapshot is
+            // merged right after tracker registration, so any predecessor
+            // that completed before (or raced with) this batch's
+            // registration is already in each node's clock.
+            for node in nodes.iter() {
+                d.merge_completed_snapshot(node);
+            }
+        }
 
         // Freeze attempt — a resolved pass with empty bindings that used no
         // version machinery proves the batch renaming-free; bake it. Done

@@ -549,7 +549,7 @@ pub(crate) struct FrozenPlan {
     pub baked_preds: usize,
 }
 
-// Safety: `FrozenPlan` stops being auto-Send/Sync only because the resolved
+// SAFETY: `FrozenPlan` stops being auto-Send/Sync only because the resolved
 // per-task `Access`es carry the raw storage pointer of the version each
 // clause bound (see `crate::access::BoundPtr`). Freezing requires a pass
 // with zero renames or binding substitutions, so those pointers target the
@@ -843,12 +843,15 @@ struct ShardSlot {
 /// stream of fast publications. The sequence occupies the remaining bits.
 const GATE_WAITER: u64 = 1 << 63;
 
-// Safety: `data` is only ever accessed while the shard's gate is held odd
+// SAFETY: `data` is only ever accessed while the shard's gate is held odd
 // (acquired with an Acquire CAS, released with a Release store), which makes
 // every access exclusive; `TrackerShard` itself is `Send` (task nodes are
 // `Send + Sync`).
 unsafe impl Sync for ShardSlot {}
 
+// lint: hot-path-begin — gate/guard tier: every task registration and
+// completion passes through here; no panicking calls allowed (see
+// `cargo xtask lint`).
 impl ShardSlot {
     fn new() -> Self {
         ShardSlot {
@@ -949,14 +952,14 @@ struct FastGate<'a> {
 impl std::ops::Deref for FastGate<'_> {
     type Target = TrackerShard;
     fn deref(&self) -> &TrackerShard {
-        // Safety: the gate is held odd for the guard's lifetime.
+        // SAFETY: the gate is held odd for the guard's lifetime.
         unsafe { &*self.slot.data.get() }
     }
 }
 
 impl std::ops::DerefMut for FastGate<'_> {
     fn deref_mut(&mut self) -> &mut TrackerShard {
-        // Safety: as above; gate exclusivity makes the access unique.
+        // SAFETY: as above; gate exclusivity makes the access unique.
         unsafe { &mut *self.slot.data.get() }
     }
 }
@@ -979,14 +982,14 @@ struct ShardGuard<'a> {
 impl std::ops::Deref for ShardGuard<'_> {
     type Target = TrackerShard;
     fn deref(&self) -> &TrackerShard {
-        // Safety: the gate is held for the guard's lifetime.
+        // SAFETY: the gate is held for the guard's lifetime.
         unsafe { &*self.slot.data.get() }
     }
 }
 
 impl std::ops::DerefMut for ShardGuard<'_> {
     fn deref_mut(&mut self) -> &mut TrackerShard {
-        // Safety: as above, and the guard is unique (gate + queue held).
+        // SAFETY: as above, and the guard is unique (gate + queue held).
         unsafe { &mut *self.slot.data.get() }
     }
 }
@@ -1032,7 +1035,7 @@ impl<'a> BatchGuard<'a> {
     /// guard; the underlying exclusivity comes from the held gate.
     fn shard_mut(&mut self, sid: usize) -> &mut TrackerShard {
         debug_assert!(self.sids.contains(&sid), "shard {sid} is not held");
-        // Safety: the gate of every shard in `sids` is held odd for the
+        // SAFETY: the gate of every shard in `sids` is held odd for the
         // guard's lifetime, making this access exclusive.
         unsafe { &mut *self.shards[sid].data.get() }
     }
@@ -1046,6 +1049,7 @@ impl Drop for BatchGuard<'_> {
         }
     }
 }
+// lint: hot-path-end
 
 /// The sharded dependence tracker: routes every allocation to one
 /// [`TrackerShard`] and coordinates multi-shard registrations (canonical
@@ -1491,6 +1495,8 @@ impl ShardedTracker {
         Some(batch)
     }
 
+    // lint: hot-path-begin — completion tier: retire + successor wakeup run
+    // once per task; no panicking calls allowed (see `cargo xtask lint`).
     /// Retire a completed task from the history: every live reference it
     /// still holds in any shard is replaced by a tombstone, releasing the
     /// node. Locks one shard at a time (retirement needs no cross-shard
@@ -1551,6 +1557,18 @@ impl ShardedTracker {
         for sid in 0..self.shards.len() {
             self.lock_shard_uncounted(sid).garbage_collect();
         }
+    }
+
+    /// Index of the first shard whose sequence gate currently reads odd
+    /// (held by some mutator), or `None` when every gate is quiescent. At
+    /// runtime quiescence no registration or retirement can be
+    /// mid-publication, so a held gate is an invariant violation (see
+    /// [`crate::Runtime::audit`]). The waiter flag is advisory and masked
+    /// out; only the low sequence bit decides held vs quiescent.
+    pub(crate) fn first_held_gate(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|slot| slot.gate.load(Ordering::Acquire) & 1 == 1)
     }
 
     /// Current per-shard map sizes plus the fast-path hit/fallback counters.
@@ -1704,11 +1722,25 @@ pub(crate) fn finish_registration(node: &Arc<TaskNode>) -> bool {
 /// wakeup path allocates nothing. Decrementing `pending` under the
 /// predecessor's links lock is the same single-lock+atomic pattern
 /// [`add_edge`] uses, so no lock ordering is introduced.
-pub(crate) fn complete_into(node: &Arc<TaskNode>, ready: &mut Vec<Arc<TaskNode>>) {
+pub(crate) fn complete_into(
+    node: &Arc<TaskNode>,
+    ready: &mut Vec<Arc<TaskNode>>,
+    dcheck: Option<&crate::dcheck::DcheckState>,
+) {
     node.set_state(TaskState::Completed);
+    // Publish completion to the race oracle's snapshot *before* the
+    // successor list closes: a registration racing with this completion then
+    // either gets a live edge (merged below) or observes `links.completed`
+    // and inherits the ordering from the snapshot instead.
+    if let Some(d) = dcheck {
+        d.mark_completed(node);
+    }
     let mut links = node.links.lock();
     links.completed = true;
     for succ in links.successors.drain(..) {
+        if let Some(d) = dcheck {
+            d.merge_edge(node, &succ);
+        }
         let prev = succ.pending.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev >= 1);
         if prev == 1 {
@@ -1724,7 +1756,7 @@ pub(crate) fn complete_into(node: &Arc<TaskNode>, ready: &mut Vec<Arc<TaskNode>>
 /// own reusable buffer.
 pub(crate) fn complete(node: &Arc<TaskNode>) -> Vec<Arc<TaskNode>> {
     let mut ready = Vec::new();
-    complete_into(node, &mut ready);
+    complete_into(node, &mut ready, None);
     ready
 }
 
@@ -1741,11 +1773,22 @@ pub(crate) fn complete_into_poison(
     node: &Arc<TaskNode>,
     ready: &mut Vec<Arc<TaskNode>>,
     origin: TaskId,
+    dcheck: Option<&crate::dcheck::DcheckState>,
 ) {
     node.set_state(TaskState::Completed);
+    // Same snapshot-before-close ordering as `complete_into`: poisoned
+    // completions participate in happens-before like any other (their
+    // bodies never ran, so they log no accesses — but their successors
+    // still inherit the ordering).
+    if let Some(d) = dcheck {
+        d.mark_completed(node);
+    }
     let mut links = node.links.lock();
     links.completed = true;
     for succ in links.successors.drain(..) {
+        if let Some(d) = dcheck {
+            d.merge_edge(node, &succ);
+        }
         succ.poison_with(origin);
         let prev = succ.pending.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev >= 1);
@@ -1755,6 +1798,7 @@ pub(crate) fn complete_into_poison(
         }
     }
 }
+// lint: hot-path-end
 
 /// Benchmark support: drives the tracker's register→complete→retire cycle
 /// directly, without workers or scheduling, so the insertion-side cost being

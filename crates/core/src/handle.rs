@@ -160,7 +160,7 @@ impl<T> ChainState<T> {
     }
 }
 
-// Safety: access to the cells is mediated by the runtime: a mutable guard is
+// SAFETY: access to the cells is mediated by the runtime: a mutable guard is
 // only produced for a task that declared a write access, tasks with
 // conflicting declared accesses on the same version are ordered by the
 // dependence graph, and distinct versions are distinct storage. All other
@@ -673,9 +673,12 @@ impl<T> PartInner<T> {
     fn plain_ptr(&self, elems: std::ops::Range<usize>) -> (*mut T, usize) {
         match &self.storage {
             PartStorage::Plain(cell) => {
-                // Safety: we only manufacture the pointer here; dereferencing
+                // SAFETY: we only manufacture the pointer here; dereferencing
                 // is gated by the runtime (see module docs).
                 let base = unsafe { (*cell.get()).as_mut_ptr() };
+                // SAFETY: `elems` is a chunk range validated against the
+                // backing vector's length at partition time, so the offset
+                // stays within the same allocation.
                 (unsafe { base.add(elems.start) }, elems.len())
             }
             PartStorage::Versioned(_) => {
@@ -708,7 +711,13 @@ impl<T> PartInner<T> {
     }
 }
 
+// SAFETY: the `UnsafeCell` backing store (plain tier) and raw chunk
+// pointers are only dereferenced through task guards, and the runtime's
+// dependence tracking serialises conflicting accesses (same argument as
+// `DataInner`); all other state is behind locks or atomics, so sharing the
+// partition across threads is sound for `T: Send`.
 unsafe impl<T: Send> Send for PartInner<T> {}
+// SAFETY: as for `Send` above.
 unsafe impl<T: Send> Sync for PartInner<T> {}
 
 /// Release hook for one (task, chunk version) binding of a versioned
@@ -826,7 +835,7 @@ fn rename_chunk_version<T: Send + 'static>(
         refs: 1,
         reservation,
     });
-    // Safety: pointer manufacture only; the chain lock is held and the
+    // SAFETY: pointer manufacture only; the chain lock is held and the
     // version cannot be reclaimed while the returned ticket is live.
     let ptr = unsafe { (*st.slots.last().expect("just pushed").cell.get()).as_mut_ptr() };
     cx.pool().note_rename(recycled, true);
@@ -874,7 +883,7 @@ fn resolve_chunk<T: Send + 'static>(
         let current = st.current;
         st.slots[current].refs += 1;
         let alloc = st.slots[current].alloc;
-        // Safety: pointer manufacture only; the chain lock is held and the
+        // SAFETY: pointer manufacture only; the chain lock is held and the
         // version cannot be reclaimed while the ticket below is live.
         let ptr = unsafe { (*st.slots[current].cell.get()).as_mut_ptr() };
         let mut access = Access::bound_to(
@@ -1625,6 +1634,7 @@ mod tests {
             commit(&mut w);
             // Write through the bound version as a task body would.
             let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
+            // SAFETY: `w` holds the only binding of this live version.
             unsafe { *ptr = 42 };
             release(w);
             assert_eq!(d.try_into_inner().unwrap(), 42);
@@ -1637,6 +1647,7 @@ mod tests {
             let cx = cx(&pool, true);
             let w = d.resolve(AccessKind::Output, &cx);
             let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
+            // SAFETY: `w` holds the only binding of this live version.
             assert_eq!(unsafe { *ptr }, 99, "fresh version starts from make()");
         }
 
@@ -1684,6 +1695,7 @@ mod tests {
             let d = Data::versioned(3u64);
             let w = d.resolve(AccessKind::Output, &cx_eliding(&pool));
             let ptr = d.ptr_for_alloc(w.access().region.id.alloc).unwrap();
+            // SAFETY: `w` holds the only binding of this live version.
             unsafe { *ptr = 9 };
             release(w);
             assert_eq!(d.try_into_inner().unwrap(), 9);
@@ -1811,6 +1823,8 @@ mod tests {
             let mut w = p.chunk(1).resolve(AccessKind::Output, &cx);
             let (ptr, len) = w.access().bound_ptr().unwrap();
             assert_eq!(len, 2);
+            // SAFETY: `w` holds the only binding of this fresh chunk version,
+            // and `(ptr, len)` is its full bound storage.
             unsafe {
                 let slice = std::slice::from_raw_parts_mut(ptr as *mut u32, len);
                 slice.copy_from_slice(&[7, 8]);
@@ -1853,6 +1867,8 @@ mod tests {
             let p = PartitionedData::versioned_with(vec![0u8; 4], 2, |len| vec![0xAB; len]);
             let w = p.chunk(0).resolve(AccessKind::Output, &cx(&pool, true));
             let (ptr, len) = w.access().bound_ptr().unwrap();
+            // SAFETY: `(ptr, len)` is the bound storage of the version `w`
+            // pins; nothing else writes it while `w` is held.
             let fresh = unsafe { std::slice::from_raw_parts(ptr as *const u8, len) };
             assert_eq!(fresh, &[0xAB, 0xAB], "fresh version starts from make()");
             release(w);
@@ -1875,6 +1891,8 @@ mod tests {
             commit(&mut w1);
             // Write the elided chunk in place and check commit-back.
             let (ptr, len) = w0.access().bound_ptr().unwrap();
+            // SAFETY: `w0` holds the only binding of the elided chunk, and
+            // `(ptr, len)` is its full bound storage.
             unsafe {
                 std::slice::from_raw_parts_mut(ptr as *mut u32, len).copy_from_slice(&[7, 8, 9])
             };

@@ -82,12 +82,14 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod access;
 pub mod alloc_count;
 pub mod barrier;
 pub mod capture;
 pub mod critical;
+pub mod dcheck;
 pub mod error;
 pub mod failpoint;
 pub mod graph;
@@ -108,6 +110,7 @@ pub use alloc_count::CountingAllocator;
 pub use barrier::{BarrierKind, BarrierWait, TaskBarrier};
 pub use capture::{CaptureScope, CapturedTaskBuilder, GraphTemplate, ReplayBindings};
 pub use critical::CriticalSections;
+pub use dcheck::{AuditReport, AuditViolation, RaceReport};
 pub use error::{Error, Result};
 pub use failpoint::{FaultClass, FaultPlan};
 pub use graph::TrackerDiagnostics;

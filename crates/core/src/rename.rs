@@ -171,6 +171,13 @@ pub struct RenamePool {
     recycled: AtomicU64,
     fallbacks: AtomicU64,
     elided: AtomicU64,
+    /// Version tickets moved into spawned task nodes (bind side of the
+    /// ticket ledger audited by [`crate::Runtime::audit`]).
+    ticket_refs_bound: AtomicU64,
+    /// Version tickets released by retired task nodes (release side; at
+    /// quiescence the two sides must balance — an imbalance means some
+    /// retirement path leaked or double-released a binding).
+    ticket_refs_released: AtomicU64,
 }
 
 impl RenamePool {
@@ -184,6 +191,8 @@ impl RenamePool {
             recycled: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             elided: AtomicU64::new(0),
+            ticket_refs_bound: AtomicU64::new(0),
+            ticket_refs_released: AtomicU64::new(0),
         }
     }
 
@@ -227,6 +236,26 @@ impl RenamePool {
     /// no edge). Disjoint from [`RenamePool::renames`].
     pub fn elided(&self) -> u64 {
         self.elided.load(Ordering::Relaxed)
+    }
+
+    /// Version tickets moved into spawned task nodes so far.
+    pub fn ticket_refs_bound(&self) -> u64 {
+        self.ticket_refs_bound.load(Ordering::Relaxed)
+    }
+
+    /// Version tickets released by retired task nodes so far.
+    pub fn ticket_refs_released(&self) -> u64 {
+        self.ticket_refs_released.load(Ordering::Relaxed)
+    }
+
+    /// Account `n` version tickets entering a spawned task node.
+    pub(crate) fn note_tickets_bound(&self, n: u64) {
+        self.ticket_refs_bound.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Account `n` version tickets released at task retirement.
+    pub(crate) fn note_tickets_released(&self, n: u64) {
+        self.ticket_refs_released.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Try to reserve `bytes` for a new version. Returns the reservation, or

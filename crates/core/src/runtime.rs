@@ -16,6 +16,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::access::{Access, AccessKind, AccessVec};
 use crate::critical::CriticalSections;
+use crate::dcheck::{AuditReport, AuditViolation, RaceReport};
 use crate::error::{Error, Result};
 use crate::failpoint::FaultPlan;
 use crate::graph::{self, ShardedTracker, TrackerDiagnostics};
@@ -117,6 +118,13 @@ pub struct RuntimeConfig {
     /// rename-budget exhaustion and forced tracker fallbacks at the plan's
     /// rates — reproducibly, from nothing but the seed.
     pub fault_plan: Option<FaultPlan>,
+    /// Whether the [`dcheck`](crate::dcheck) race oracle is armed: every
+    /// task carries a vector clock, bind-time accesses append to per-worker
+    /// shadow logs, and each quiescent `taskwait`/`barrier` runs the
+    /// happens-before checker plus [`Runtime::audit`]. Off by default —
+    /// when off every hook is a single `Option` check and the spawn path
+    /// stays allocation-free.
+    pub dcheck: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -141,6 +149,7 @@ impl Default for RuntimeConfig {
             inline_body_bytes: crate::task::INLINE_BODY_BYTES,
             replay_prewiring: true,
             fault_plan: None,
+            dcheck: false,
         }
     }
 }
@@ -270,6 +279,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Arm the [`dcheck`](crate::dcheck) vector-clock race oracle and the
+    /// automatic quiescent audit (see [`RuntimeConfig::dcheck`]).
+    pub fn with_dcheck(mut self, dcheck: bool) -> Self {
+        self.dcheck = dcheck;
+        self
+    }
+
     /// The shard count a runtime built from this configuration will use.
     pub fn effective_tracker_shards(&self) -> usize {
         if self.tracker_shards == 0 {
@@ -294,6 +310,10 @@ pub(crate) struct RuntimeInner {
     pub(crate) rename: Arc<RenamePool>,
     pub(crate) slab: TaskSlab,
     pub(crate) fault: Option<FaultPlan>,
+    /// The race-oracle + auditor state, present only under
+    /// [`RuntimeConfig::with_dcheck`] — `None` keeps every hook down to one
+    /// branch (see [`crate::dcheck`]).
+    pub(crate) dcheck: Option<crate::dcheck::DcheckState>,
     /// First poison origin observed since the last `try_taskwait` — the
     /// panicked or cancelled task a subsequent typed error points at.
     poison_note: Mutex<Option<TaskId>>,
@@ -308,6 +328,12 @@ impl RuntimeInner {
         renames: Vec<RenameEvent>,
     ) -> TaskId {
         let id = node.id;
+        // Race oracle: assign the task its epoch index *before* tracker
+        // registration, so no completion or edge can reference an
+        // unregistered task (see `crate::dcheck`).
+        if let Some(d) = &self.dcheck {
+            d.register_task(&node);
+        }
         self.stats.add(StatField::TasksSpawned, 1);
         // Only the rare spill is counted; inline hits are derived as
         // `tasks_spawned - spills` at snapshot time, so the common case
@@ -320,6 +346,12 @@ impl RuntimeInner {
 
         let trace_enabled = self.trace.is_enabled();
         let registration = self.tracker.register(&node, trace_enabled);
+        // Race oracle: now that registration has discovered every live
+        // predecessor, fold in the completed-task snapshot — it covers
+        // exactly the predecessors registration saw as already done.
+        if let Some(d) = &self.dcheck {
+            d.merge_completed_snapshot(&node);
+        }
         let gc_interval = self.config.tracker_gc_interval;
         if gc_interval != 0 {
             let count = self.spawn_count.fetch_add(1, Ordering::Relaxed) + 1;
@@ -432,6 +464,92 @@ impl RuntimeInner {
     fn quiescent(&self) -> bool {
         self.in_flight.load(Ordering::SeqCst) == 0
     }
+
+    /// The dcheck work done at every quiescent `taskwait`/`barrier`: run the
+    /// happens-before checker over the epoch's shadow logs, then the full
+    /// invariant audit, recording any violation. No-op when dcheck is off.
+    pub(crate) fn dcheck_quiescent_pass(&self) {
+        let Some(d) = &self.dcheck else { return };
+        d.run_check();
+        if let Err(violation) = self.audit_inner() {
+            d.note_audit(violation);
+        }
+    }
+
+    /// See [`Runtime::audit`]. Lives on the inner so the worker-facing
+    /// quiescent pass and the public API share one implementation.
+    pub(crate) fn audit_inner(
+        &self,
+    ) -> std::result::Result<crate::AuditReport, crate::AuditViolation> {
+        use crate::{AuditReport, AuditViolation};
+        // The SeqCst `in_flight` read first: observing zero synchronises
+        // with every retirement's final decrement, so the counters read
+        // below are the settled post-drain values.
+        let in_flight = self.in_flight.load(Ordering::SeqCst) as u64;
+        let quiescent = in_flight == 0;
+        if quiescent {
+            // Deterministically drop tombstoned history before checking for
+            // residue, exactly as a quiescent `taskwait` does.
+            self.tracker.garbage_collect();
+        }
+        let executed = self.stats.get(StatField::TasksExecuted);
+        let poisoned = self.stats.get(StatField::TasksPoisoned);
+        let cancelled = self.stats.get(StatField::TasksCancelled);
+        // Spawned is read *after* the completion-side counters: the
+        // completion ledger can then never spuriously overtake it mid-run.
+        let spawned = self.stats.get(StatField::TasksSpawned);
+        let diag = self.tracker.diagnostics();
+        let slab = self.slab.diagnostics();
+        let report = AuditReport {
+            quiescent,
+            spawned,
+            executed,
+            poisoned,
+            cancelled,
+            in_flight,
+            tracked_regions: diag.total_regions(),
+            tracked_allocs: diag.total_allocs(),
+            slab_outstanding: slab.outstanding,
+            ticket_refs_bound: self.rename.ticket_refs_bound(),
+            ticket_refs_released: self.rename.ticket_refs_released(),
+        };
+        let drained = executed + poisoned + cancelled;
+        if (quiescent && drained != spawned) || (!quiescent && drained > spawned) {
+            return Err(AuditViolation::LedgerMismatch {
+                spawned,
+                executed,
+                poisoned,
+                cancelled,
+                in_flight,
+            });
+        }
+        if !quiescent {
+            // Mid-run only the overcount direction is checkable; the rest of
+            // the identities legitimately hold state while tasks fly.
+            return Ok(report);
+        }
+        if let Some(shard) = self.tracker.first_held_gate() {
+            return Err(AuditViolation::GateHeld { shard });
+        }
+        if report.tracked_regions != 0 || report.tracked_allocs != 0 {
+            return Err(AuditViolation::TrackerResidue {
+                regions: report.tracked_regions,
+                allocs: report.tracked_allocs,
+            });
+        }
+        if report.slab_outstanding != 0 {
+            return Err(AuditViolation::SlabLeak {
+                outstanding: report.slab_outstanding,
+            });
+        }
+        if report.ticket_refs_bound != report.ticket_refs_released {
+            return Err(AuditViolation::TicketImbalance {
+                bound: report.ticket_refs_bound,
+                released: report.ticket_refs_released,
+            });
+        }
+        Ok(report)
+    }
 }
 
 thread_local! {
@@ -542,6 +660,9 @@ impl Runtime {
                 config.inline_body_bytes,
             ),
             fault: config.fault_plan.clone(),
+            dcheck: config
+                .dcheck
+                .then(|| crate::dcheck::DcheckState::new(config.workers)),
             poison_note: Mutex::new(None),
             spawn_count: AtomicU64::new(0),
             config,
@@ -729,6 +850,7 @@ impl Runtime {
         // deterministically drops the tombstoned history — a drained runtime
         // tracks nothing (see `Runtime::tracker_diagnostics`).
         self.inner.tracker.garbage_collect();
+        self.inner.dcheck_quiescent_pass();
     }
 
     /// [`Runtime::taskwait`] that reports failure instead of swallowing it:
@@ -770,6 +892,7 @@ impl Runtime {
             backoff(&mut spins);
         }
         self.inner.tracker.garbage_collect();
+        self.inner.dcheck_quiescent_pass();
     }
 
     /// Execute `f` under the named critical section (the `#pragma omp
@@ -922,6 +1045,67 @@ impl Runtime {
             tracker_lock_contention: self.inner.tracker.counters().contention(),
             tracker_fast_path_hits: self.inner.tracker.counters().fast_hits(),
             tracker_fast_path_fallbacks: self.inner.tracker.counters().fast_fallbacks(),
+        }
+    }
+
+    /// Audit the runtime's cross-layer bookkeeping identities (see
+    /// [`crate::dcheck`], "The invariant auditor").
+    ///
+    /// At quiescence (`in_flight == 0` — e.g. right after a
+    /// [`Runtime::taskwait`]) the full set of drain-time identities is
+    /// checked: `executed + poisoned + cancelled == spawned`, every tracker
+    /// shard gate even, no tracked history residue after GC, slab
+    /// `outstanding == 0`, and version-ticket bind/release balance. While
+    /// tasks are in flight only the direction that must hold mid-run is
+    /// checked (the completion ledger never overtakes the spawn counter) —
+    /// the service layer's stall watchdog uses this to separate ledger
+    /// corruption from genuine slowness.
+    ///
+    /// Runs automatically at every quiescent `taskwait`/`barrier` when
+    /// dcheck is armed; violations found there are reported by
+    /// [`Runtime::take_dcheck_audit_violations`].
+    pub fn audit(&self) -> std::result::Result<AuditReport, AuditViolation> {
+        self.inner.audit_inner()
+    }
+
+    /// Copy of the race reports the [`dcheck`](crate::dcheck) oracle has
+    /// accumulated (always empty when dcheck is off).
+    pub fn dcheck_reports(&self) -> Vec<RaceReport> {
+        self.inner
+            .dcheck
+            .as_ref()
+            .map_or_else(Vec::new, |d| d.reports())
+    }
+
+    /// Drain the race reports the [`dcheck`](crate::dcheck) oracle has
+    /// accumulated (always empty when dcheck is off).
+    pub fn take_dcheck_reports(&self) -> Vec<RaceReport> {
+        self.inner
+            .dcheck
+            .as_ref()
+            .map_or_else(Vec::new, |d| d.take_reports())
+    }
+
+    /// Drain the violations found by the automatic quiescent audits dcheck
+    /// runs at every `taskwait`/`barrier` (always empty when dcheck is off).
+    pub fn take_dcheck_audit_violations(&self) -> Vec<AuditViolation> {
+        self.inner
+            .dcheck
+            .as_ref()
+            .map_or_else(Vec::new, |d| d.take_audit_violations())
+    }
+
+    /// Test-only mutation hook ("checker checks the checker"): suppress the
+    /// oracle's clock merge for the dcheck epoch-index pair `(pred, succ)`
+    /// — indices are assigned in spawn order from 0 per epoch — simulating
+    /// a missed tracker edge. The dependence graph itself is untouched; only
+    /// the oracle's view loses the ordering, so a run over genuinely
+    /// conflicting data must produce exactly that race report. No-op when
+    /// dcheck is off.
+    #[doc(hidden)]
+    pub fn dcheck_suppress_edge(&self, pred: u64, succ: u64) {
+        if let Some(d) = &self.inner.dcheck {
+            d.suppress_edge(pred, succ);
         }
     }
 
@@ -1137,6 +1321,12 @@ impl<'r> TaskBuilder<'r> {
         let tickets = std::mem::take(&mut self.tickets);
         let renames = std::mem::take(&mut self.renames);
         let cancel = self.cancel.take();
+        if !tickets.is_empty() {
+            // Bind side of the version-ticket ledger; the release side is
+            // `release_tickets()` in the worker's retire tail. The audit
+            // checks the two balance at quiescence.
+            self.inner.rename.note_tickets_bound(tickets.len() as u64);
+        }
         // The node comes from the runtime's slab: recycled storage when a
         // retired node is available, a fresh allocation otherwise. Small
         // bodies are written into the node's inline buffer — a steady-state
@@ -1311,16 +1501,28 @@ impl<'a> TaskContext<'a> {
     }
 
     fn check_access(&self, region: &crate::region::Region, write: bool, what: &str) {
-        let ok = self.node.accesses.iter().any(|a| {
+        let matched = self.node.accesses.iter().find(|a| {
             a.region.contains(region) && (!write || a.kind.allows_mutation())
         });
-        if !ok {
+        let Some(access) = matched else {
             panic!(
                 "task `{}` accessed {what} {} ({}) without declaring a matching {} access",
                 self.node.display_name(),
                 region.id,
                 if write { "mutably" } else { "for reading" },
                 if write { "output/inout/concurrent" } else { "input/inout" },
+            );
+        };
+        if let Some(d) = &self.inner.dcheck {
+            // Log the *requested* region (a subset of the declared one): any
+            // overlap the oracle sees on it, the tracker saw on the declared
+            // region too, so oracle conflicts never outrun tracker edges.
+            d.log_access(
+                self.worker,
+                self.node,
+                region,
+                write,
+                access.kind == AccessKind::Concurrent,
             );
         }
     }
@@ -1363,6 +1565,18 @@ impl<'a> TaskContext<'a> {
             Some(ptr as *mut T),
             "bind-time pointer must match the live version storage"
         );
+        if let Some(d) = &self.inner.dcheck {
+            // The bound region carries the *version's* AllocId (renamed
+            // versions mint fresh ids), so "same version" falls out of the
+            // record's alloc field in the oracle.
+            d.log_access(
+                self.worker,
+                self.node,
+                &access.region,
+                write,
+                access.kind == AccessKind::Concurrent,
+            );
+        }
         ptr as *mut T
     }
 
@@ -1403,6 +1617,15 @@ impl<'a> TaskContext<'a> {
         let (ptr, len) = access
             .bound_ptr()
             .expect("runtime-resolved accesses carry their storage pointer");
+        if let Some(d) = &self.inner.dcheck {
+            d.log_access(
+                self.worker,
+                self.node,
+                &access.region,
+                write,
+                access.kind == AccessKind::Concurrent,
+            );
+        }
         (ptr as *mut T, len)
     }
 
@@ -1412,6 +1635,10 @@ impl<'a> TaskContext<'a> {
     pub fn read<'d, T: Send + 'static>(&self, data: &'d Data<T>) -> ReadGuard<'d, T> {
         let ptr = self.data_binding(data, false);
         ReadGuard {
+            // SAFETY: the declared access was verified by `data_binding`,
+            // the bound version is pinned by this task's ticket for the
+            // guard's lifetime, and the dependence tracker orders every
+            // conflicting writer before or after this task.
             value: unsafe { &*ptr },
         }
     }
@@ -1423,6 +1650,8 @@ impl<'a> TaskContext<'a> {
     pub fn write<'d, T: Send + 'static>(&self, data: &'d Data<T>) -> WriteGuard<'d, T> {
         let ptr = self.data_binding(data, true);
         WriteGuard {
+            // SAFETY: as in `read`, and the mutation-capable declared access
+            // makes this task the version's sole writer while it runs.
             value: unsafe { &mut *ptr },
         }
     }
@@ -1439,6 +1668,9 @@ impl<'a> TaskContext<'a> {
             chunk.slice_ptr()
         };
         SliceReadGuard {
+            // SAFETY: `(ptr, len)` is the chunk's bound (or checked plain)
+            // storage; the tracker orders conflicting writers, and the
+            // binding pins the version for the guard's lifetime.
             slice: unsafe { std::slice::from_raw_parts(ptr, len) },
         }
     }
@@ -1458,6 +1690,8 @@ impl<'a> TaskContext<'a> {
             chunk.slice_ptr()
         };
         SliceWriteGuard {
+            // SAFETY: as in `read_chunk`, and the mutation-capable declared
+            // access makes this task the chunk's sole writer while it runs.
             slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
         }
     }
@@ -1491,6 +1725,9 @@ impl<'a> TaskContext<'a> {
         self.check_access(&whole.region(), false, "array");
         let (ptr, len) = whole.slice_ptr();
         Ok(SliceReadGuard {
+            // SAFETY: `(ptr, len)` is the plain partition's whole backing
+            // array; `check_access` verified the declared access, and the
+            // tracker orders conflicting writers around this task.
             slice: unsafe { std::slice::from_raw_parts(ptr, len) },
         })
     }
@@ -1525,6 +1762,8 @@ impl<'a> TaskContext<'a> {
         self.check_access(&whole.region(), true, "array");
         let (ptr, len) = whole.slice_ptr();
         Ok(SliceWriteGuard {
+            // SAFETY: as in `try_read_whole`, and the mutation-capable
+            // declared access makes this task the array's sole writer.
             slice: unsafe { std::slice::from_raw_parts_mut(ptr, len) },
         })
     }
@@ -1540,6 +1779,8 @@ impl<'a> TaskContext<'a> {
         let mut out = Vec::with_capacity(whole.len());
         for index in 0..whole.inner.chunks.len() {
             let (ptr, len) = self.chunk_binding(&whole.inner, index, false);
+            // SAFETY: `(ptr, len)` is the chunk's bound storage, pinned by
+            // this task's binding (same argument as `read_chunk`).
             out.extend_from_slice(unsafe { std::slice::from_raw_parts(ptr, len) });
         }
         out
@@ -1563,6 +1804,9 @@ impl<'a> TaskContext<'a> {
         }
         for index in 0..whole.inner.chunks.len() {
             let (ptr, len) = self.chunk_binding(&whole.inner, index, true);
+            // SAFETY: `(ptr, len)` is the chunk's bound storage and the
+            // write binding makes this task its sole writer (as in
+            // `write_chunk`).
             let dst = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
             dst.clone_from_slice(&src[whole.inner.chunks[index].clone()]);
         }

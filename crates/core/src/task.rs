@@ -125,14 +125,14 @@ type CallThunk = unsafe fn(*mut u8, &TaskContext<'_>);
 type DropThunk = unsafe fn(*mut u8);
 
 unsafe fn call_thunk<F: FnOnce(&TaskContext<'_>)>(p: *mut u8, ctx: &TaskContext<'_>) {
-    // Safety: the caller guarantees `p` holds an initialised `F` that is
+    // SAFETY: the caller guarantees `p` holds an initialised `F` that is
     // consumed exactly once by this read.
     let f = unsafe { (p as *mut F).read() };
     f(ctx)
 }
 
 unsafe fn drop_thunk<F>(p: *mut u8) {
-    // Safety: as in `call_thunk`, but the closure is dropped unrun.
+    // SAFETY: as in `call_thunk`, but the closure is dropped unrun.
     unsafe { (p as *mut F).drop_in_place() }
 }
 
@@ -170,7 +170,7 @@ impl BodySlot {
         if std::mem::size_of::<F>() <= limit.min(INLINE_BODY_BYTES)
             && std::mem::align_of::<F>() <= INLINE_BODY_ALIGN
         {
-            // Safety: the buffer is large and aligned enough for `F`, and the
+            // SAFETY: the buffer is large and aligned enough for `F`, and the
             // thunks recorded alongside are instantiated for this exact `F`.
             unsafe { (self.buf.0.as_mut_ptr() as *mut F).write(f) };
             self.inline = Some((call_thunk::<F>, drop_thunk::<F>));
@@ -212,7 +212,7 @@ impl BodySlot {
     /// Drop an armed-but-never-run closure (runtime shutdown paths).
     pub(crate) fn clear(&mut self) {
         if let Some((_, drop)) = self.inline.take() {
-            // Safety: the buffer held a live closure; `inline` is cleared so
+            // SAFETY: the buffer held a live closure; `inline` is cleared so
             // this drop happens exactly once.
             unsafe { drop(self.buf.0.as_mut_ptr() as *mut u8) };
         }
@@ -237,7 +237,7 @@ impl TakenBody {
     /// Execute the closure.
     pub(crate) fn run(mut self, ctx: &TaskContext<'_>) {
         if let Some((mut buf, call, _)) = self.inline.take() {
-            // Safety: the buffer holds the closure moved out of the slot;
+            // SAFETY: the buffer holds the closure moved out of the slot;
             // `inline` is cleared first so `Drop` cannot double-free, even
             // if the closure panics.
             unsafe { call(buf.0.as_mut_ptr() as *mut u8, ctx) }
@@ -250,7 +250,7 @@ impl TakenBody {
 impl Drop for TakenBody {
     fn drop(&mut self) {
         if let Some((mut buf, _, drop)) = self.inline.take() {
-            // Safety: the closure was never run; drop it in place once.
+            // SAFETY: the closure was never run; drop it in place once.
             unsafe { drop(buf.0.as_mut_ptr() as *mut u8) }
         }
     }
@@ -366,9 +366,15 @@ pub(crate) struct TaskNode {
     /// outstanding count — when the node returns to the free list or is
     /// deallocated. `None` for nodes built outside a slab (tests, benches).
     live_token: Option<LiveToken>,
+    /// Dense per-epoch index assigned by the race oracle
+    /// ([`crate::dcheck`]) at registration; [`crate::dcheck::NO_INDEX`]
+    /// when dcheck is off or the node was recycled since. All clock state
+    /// lives centrally, so this one word is the node's entire dcheck
+    /// footprint.
+    pub dcheck_index: AtomicU64,
 }
 
-// Safety: `TaskNode` stops being auto-Send/Sync because each version-bound
+// SAFETY: `TaskNode` stops being auto-Send/Sync because each version-bound
 // `Access` carries the raw storage pointer of the version it bound (resolved
 // once at bind time — see `crate::access`), and `BodySlot` stores a closure
 // as raw bytes. Sharing the pointers across workers is sound: the pointed-to
@@ -398,9 +404,35 @@ impl TaskNode {
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
+        Arc::new(Self::build(
+            name,
+            priority,
+            accesses,
+            body,
+            parent_children,
+            inline_limit,
+            spilled,
+        ))
+    }
+
+    /// As [`TaskNode::new`] but returning the plain value, for callers (the
+    /// slab's fresh-allocation path) that still need to set owner-only
+    /// fields before sharing the node behind an `Arc`.
+    pub(crate) fn build<F>(
+        name: Option<Arc<str>>,
+        priority: TaskPriority,
+        accesses: AccessVec,
+        body: F,
+        parent_children: Arc<ChildTracker>,
+        inline_limit: usize,
+        spilled: &mut bool,
+    ) -> Self
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
         let mut slot = BodySlot::default();
         *spilled = slot.set(body, inline_limit);
-        Arc::new(TaskNode {
+        TaskNode {
             id: TaskId::fresh(),
             name,
             priority,
@@ -427,7 +459,8 @@ impl TaskNode {
             poison: AtomicU64::new(0),
             cancel: None,
             live_token: None,
-        })
+            dcheck_index: AtomicU64::new(crate::dcheck::NO_INDEX),
+        }
     }
 
     /// Re-arm a recycled node for its next task. The caller holds the only
@@ -509,6 +542,8 @@ impl TaskNode {
         self.retired.store(false, Ordering::Relaxed);
         self.poison.store(0, Ordering::Relaxed);
         self.cancel = None;
+        self.dcheck_index
+            .store(crate::dcheck::NO_INDEX, Ordering::Relaxed);
         self.generation = self.generation.wrapping_add(1);
         (self.live_token.take(), parent)
     }
@@ -547,11 +582,15 @@ impl TaskNode {
 
     /// Release the version-binding hooks in place (called once, at
     /// completion), keeping the vector's capacity for the node's next life.
-    pub(crate) fn release_tickets(&self) {
+    /// Returns how many tickets were released, so the caller can balance
+    /// the rename pool's bind/release ledger (see [`crate::Runtime::audit`]).
+    pub(crate) fn release_tickets(&self) -> usize {
         let mut tickets = self.tickets.lock();
+        let released = tickets.len();
         for ticket in tickets.drain(..) {
             ticket.release();
         }
+        released
     }
 
     /// Current coarse state.
@@ -796,7 +835,10 @@ impl TaskSlab {
             debug_assert!(false, "shared node in the slab free list");
         }
         self.allocated.fetch_add(1, Ordering::Relaxed);
-        let mut node = TaskNode::new(
+        // Built as a plain value and only then shared: the owner-only field
+        // writes below need no `Arc::get_mut` (hot-path code must not carry
+        // a panicking unwrap — enforced by `cargo xtask lint`).
+        let mut n = TaskNode::build(
             name,
             priority,
             accesses,
@@ -805,12 +847,11 @@ impl TaskSlab {
             self.inline_limit,
             spilled,
         );
-        let n = Arc::get_mut(&mut node).expect("freshly allocated node is unique");
         if !tickets.is_empty() {
             *n.tickets.get_mut() = tickets;
         }
         n.live_token = Some(token);
-        node
+        Arc::new(n)
     }
 
     /// Return a completed node to the free list, if the caller holds the

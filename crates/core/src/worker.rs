@@ -84,11 +84,14 @@ pub(crate) fn execute_task(
         });
     }
 
-    let body = node
-        .body
-        .lock()
-        .take()
-        .expect("task body executed more than once");
+    // A missing body means the node was already executed (a duplicate
+    // wakeup would be a scheduler bug, surfaced loudly in debug builds) —
+    // whoever ran the body also owns the completion tail, so the only safe
+    // move here is to drop this reference without double-retiring.
+    let Some(body) = node.body.lock().take() else {
+        debug_assert!(false, "task body executed more than once");
+        return;
+    };
     let inject_panic = inner
         .fault
         .as_ref()
@@ -102,6 +105,8 @@ pub(crate) fn execute_task(
         };
         let result = catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
+                // lint: allow(panic) — deliberate fault injection, caught by
+                // the surrounding catch_unwind (see failpoint.rs).
                 panic!("injected fault: task panic");
             }
             body.run(&ctx)
@@ -144,11 +149,12 @@ pub(crate) fn execute_task(
     // through the scheduler and the retire tail below like any other task,
     // they just never run their bodies (see `retire_without_run`).
     debug_assert!(ready.is_empty());
+    let dcheck = inner.dcheck.as_ref();
     if panicked {
         inner.note_poison(task_id);
-        graph::complete_into_poison(&node, ready, task_id);
+        graph::complete_into_poison(&node, ready, task_id, dcheck);
     } else {
-        graph::complete_into(&node, ready);
+        graph::complete_into(&node, ready, dcheck);
     }
 
     inner.stats.add(StatField::TasksExecuted, 1);
@@ -204,7 +210,7 @@ fn retire_without_run(
     };
 
     debug_assert!(ready.is_empty());
-    graph::complete_into_poison(&node, ready, origin);
+    graph::complete_into_poison(&node, ready, origin, inner.dcheck.as_ref());
     retire_node(inner, node, worker, deque, ready, task_id, generation);
 }
 
@@ -258,7 +264,10 @@ fn retire_node(
     // zero then guarantees every earlier task on the version is already a
     // tombstone in the tracker — an elided overwrite can inherit no WAR/WAW
     // edge.
-    node.release_tickets();
+    let released = node.release_tickets();
+    if released != 0 {
+        inner.rename.note_tickets_released(released as u64);
+    }
 
     // Record this worker as the shard's last completer (the shard-affinity
     // locality key) — after retirement, so the data really is done here.

@@ -25,6 +25,11 @@ pub struct StallReport {
     pub tracked_regions: usize,
     /// Lifetime tracker allocations for the stuck tenant's pool.
     pub tracked_allocs: usize,
+    /// First bookkeeping-identity violation found by auditing the stuck
+    /// tenant's runtimes ([`ompss::Runtime::audit`]), if any. `Some`
+    /// separates ledger corruption (a runtime bug) from a genuine stall
+    /// (slow or livelocked but internally consistent — `None`).
+    pub audit: Option<ompss::AuditViolation>,
 }
 
 /// A point-in-time snapshot of the whole service, returned by

@@ -612,11 +612,19 @@ fn watchdog_loop(inner: &ServiceInner, interval: Duration, window: Duration) {
             let mut in_flight_tasks = 0;
             let mut tracked_regions = 0;
             let mut tracked_allocs = 0;
+            let mut audit = None;
             for entry in &tenant.pool {
                 in_flight_tasks += entry.runtime.in_flight_tasks();
                 let diag = entry.runtime.tracker_diagnostics();
                 tracked_regions += diag.total_regions();
                 tracked_allocs += diag.total_allocs();
+                // Separate ledger corruption from genuine slowness: a
+                // mid-run audit only checks identities that must hold while
+                // tasks are in flight, so any violation here is a real bug,
+                // not an artefact of the stall.
+                if audit.is_none() {
+                    audit = entry.runtime.audit().err();
+                }
             }
             *inner.last_stall.lock() = Some(StallReport {
                 tenant: tenant.id,
@@ -625,6 +633,7 @@ fn watchdog_loop(inner: &ServiceInner, interval: Duration, window: Duration) {
                 in_flight_tasks,
                 tracked_regions,
                 tracked_allocs,
+                audit,
             });
             inner.counters.stalls.fetch_add(1, Ordering::SeqCst);
             // Re-arm: report again only after another silent window, not

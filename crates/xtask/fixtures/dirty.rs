@@ -1,0 +1,50 @@
+//! Lint fixture: deliberately dirty source proving each rule fires (and the
+//! exemptions hold). Never compiled; `cargo xtask lint` must FAIL on it with
+//! exactly the violations marked `BAD` below.
+
+struct Raw(*mut u8);
+
+// BAD(1): unsafe impl without a SAFETY comment.
+unsafe impl Send for Raw {}
+
+// SAFETY: fine — justified unsafe impls are accepted.
+unsafe impl Sync for Raw {}
+
+fn uncommented_block(p: *const u8) -> u8 {
+    // BAD(2): unsafe block without a SAFETY comment.
+    unsafe { *p }
+}
+
+fn commented_block(p: *const u8) -> u8 {
+    // SAFETY: fine — the caller guarantees `p` is valid.
+    unsafe { *p }
+}
+
+fn hot(v: Option<u8>) -> u8 {
+    // BAD(3): unwrap on the hot path.
+    let x = v.unwrap();
+    if x == 255 {
+        // BAD(4): panic! on the hot path.
+        panic!("overflow");
+    }
+    x
+}
+
+fn allowlisted(v: Option<u8>) -> u8 {
+    // lint: allow(panic) — deliberate, exercised by the fixture test.
+    v.unwrap()
+}
+
+fn timing() -> std::time::Instant {
+    // BAD(5): wall-clock read in a deterministic module.
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1); // fine: cfg(test) module is exempt
+    }
+}

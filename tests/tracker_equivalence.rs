@@ -300,6 +300,64 @@ proptest! {
     }
 }
 
+/// Run one program under the dcheck race oracle on a given tracker
+/// configuration and return (final values, race reports, audit verdict).
+fn final_values_dcheck(
+    shards: usize,
+    fast_path: bool,
+    recycler: bool,
+    cells: usize,
+    ops: &[Op],
+) -> (Vec<u64>, Vec<ompss::RaceReport>, bool) {
+    let rt = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(3)
+            .with_tracker_shards(shards)
+            .with_tracker_fast_path(fast_path)
+            .with_task_recycler(recycler)
+            .with_dcheck(true),
+    );
+    let handles: Vec<Data<u64>> = (0..cells).map(|_| rt.data(0u64)).collect();
+    spawn_program(&rt, &handles, ops, None);
+    rt.taskwait();
+    let values = handles.iter().map(|h| rt.fetch(h)).collect();
+    let races = rt.take_dcheck_reports();
+    let audit_ok =
+        rt.audit().is_ok() && rt.take_dcheck_audit_violations().is_empty();
+    rt.shutdown();
+    (values, races, audit_ok)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The full tracker matrix under the dcheck race oracle: every shard
+    /// count × {optimistic, forced-locked} × {recycler on, off} runs random
+    /// programs with zero race reports and a clean audit — the sharded
+    /// tracker orders every conflicting pair no matter which registration
+    /// path or node-reuse policy is active, and the oracle agrees.
+    #[test]
+    fn tracker_matrix_is_race_free_under_dcheck(
+        ops in proptest::collection::vec(op_strategy(4), 1..32),
+    ) {
+        let expected = run_sequential_matching_tasks(4, &ops);
+        for shards in SHARD_COUNTS {
+            for fast_path in [true, false] {
+                for recycler in [true, false] {
+                    let (got, races, audit_ok) =
+                        final_values_dcheck(shards, fast_path, recycler, 4, &ops);
+                    let tag = format!(
+                        "shards = {shards}, fast_path = {fast_path}, recycler = {recycler}"
+                    );
+                    prop_assert_eq!(&got, &expected, "values diverged: {}", tag);
+                    prop_assert!(races.is_empty(), "races under {}: {:?}", tag, races);
+                    prop_assert!(audit_ok, "audit violation under {}", tag);
+                }
+            }
+        }
+    }
+}
+
 /// A fixed two-stage pipeline whose structure is easy to reason about:
 /// `n` producer→consumer pairs over disjoint handles, plus a final reader of
 /// everything. The edge multiset is the same for every shard count, and the
